@@ -1,0 +1,781 @@
+(* Experiment harness: regenerates every figure/claim of the paper.
+   Each [run_*] prints a self-contained table; EXPERIMENTS.md records the
+   expected shapes. All runs are deterministic (seeded). *)
+open Hpl_core
+open Hpl_protocols
+
+let section id title =
+  Printf.printf "\n=== %s — %s ===\n" id title
+
+let p0 = Pid.of_int 0
+let p1 = Pid.of_int 1
+
+(* ---------------------------------------------------------------- E1 *)
+
+let run_e1 () =
+  section "E1" "Figure 3-1: isomorphism diagram";
+  let ea = Event.internal ~pid:p0 ~lseq:0 "a" in
+  let eb = Event.internal ~pid:p1 ~lseq:0 "b" in
+  let named =
+    [
+      ("x", Trace.of_list [ ea; eb ]);
+      ("y", Trace.of_list [ ea ]);
+      ("z", Trace.of_list [ eb; ea ]);
+      ("w", Trace.of_list [ eb ]);
+    ]
+  in
+  Pid.set_name p0 "p";
+  Pid.set_name p1 "q";
+  let d = Iso_diagram.of_computations ~all:(Pset.all 2) named in
+  List.iter
+    (fun e ->
+      Printf.printf "  %s -- %s : [%s]\n" e.Iso_diagram.x e.Iso_diagram.y
+        (Pset.to_string e.Iso_diagram.label))
+    (Iso_diagram.edges d);
+  Printf.printf "  (self-loops labelled [%s]; y–w unrelated, as in the figure)\n"
+    (Pset.to_string (Iso_diagram.self_label d));
+  (* restore default names for later experiments *)
+  Pid.set_name p0 "p0";
+  Pid.set_name p1 "p1"
+
+(* ---------------------------------------------------------------- E2 *)
+
+let random_pset rng n =
+  let s = ref Pset.empty in
+  for i = 0 to n - 1 do
+    if Hpl_sim.Rng.bool rng then s := Pset.add (Pid.of_int i) !s
+  done;
+  !s
+
+let run_e2 () =
+  section "E2" "§3 algebraic laws of isomorphism (random instances)";
+  let spec = Spec.make ~n:2 (fun p history ->
+      if List.length history >= 2 then []
+      else
+        let right = Pid.of_int ((Pid.to_int p + 1) mod 2) in
+        [ Spec.Send_to (right, "c"); Spec.Do "idle"; Spec.Recv_any ])
+  in
+  let u = Universe.enumerate ~mode:`Full spec ~depth:4 in
+  let rng = Hpl_sim.Rng.create 17L in
+  let trials = 2000 in
+  let failures = ref 0 in
+  let laws =
+    [
+      ("idempotence [PP]=[P]", fun i j ps _qs -> Isomorphism.Laws.idempotence u ps i j);
+      ("reflexivity x[α]x", fun i _j ps qs -> Isomorphism.Laws.reflexivity u [ ps; qs ] i);
+      ("inversion", fun i j ps qs -> Isomorphism.Laws.inversion u [ ps; qs ] i j);
+      ("concatenation", fun i j ps qs -> Isomorphism.Laws.concatenation u [ ps ] [ qs ] i j);
+      ("union/inter", fun i j ps qs -> Isomorphism.Laws.union_inter u ps qs i j);
+      ("monotonicity", fun i j ps qs -> Isomorphism.Laws.monotonicity u ps (Pset.union ps qs) i j);
+      ("subsumption", fun i j ps qs -> Isomorphism.Laws.subsumption u (Pset.union ps qs) ps i j);
+      ("substitution", fun i j ps qs -> Isomorphism.Laws.substitution u [ ps ] qs qs [ ps ] i j);
+      ("extensionality", fun _i _j ps qs -> Isomorphism.Laws.extensionality u ps qs);
+    ]
+  in
+  List.iter
+    (fun (nm, law) ->
+      let bad = ref 0 in
+      for _ = 1 to trials do
+        let i = Hpl_sim.Rng.int rng (Universe.size u) in
+        let j = Hpl_sim.Rng.int rng (Universe.size u) in
+        let ps = random_pset rng 2 and qs = random_pset rng 2 in
+        if not (law i j ps qs) then incr bad
+      done;
+      failures := !failures + !bad;
+      Printf.printf "  %-28s %d trials, %d violations\n" nm trials !bad)
+    laws;
+  Printf.printf "  => total violations: %d (expected 0)\n" !failures
+
+(* ---------------------------------------------------------------- E3 *)
+
+let run_e3 () =
+  section "E3" "Theorem 1: chain/isomorphism dichotomy";
+  let spec = Spec.make ~n:2 (fun p history ->
+      if List.length history >= 2 then []
+      else
+        let right = Pid.of_int ((Pid.to_int p + 1) mod 2) in
+        [ Spec.Send_to (right, "c"); Spec.Do "idle"; Spec.Recv_any ])
+  in
+  let u = Universe.enumerate ~mode:`Full spec ~depth:4 in
+  let psets_choices =
+    [
+      [ Pset.singleton p0 ];
+      [ Pset.singleton p1 ];
+      [ Pset.singleton p0; Pset.singleton p1 ];
+      [ Pset.singleton p1; Pset.singleton p0 ];
+    ]
+  in
+  let instances = ref 0 and holds = ref 0 and iso_only = ref 0 and chain_only = ref 0 and both = ref 0 in
+  Universe.iter
+    (fun zi z ->
+      List.iter
+        (fun xi ->
+          let x = Universe.comp u xi in
+          if Trace.is_prefix x z then
+            List.iter
+              (fun psets ->
+                incr instances;
+                let v = Theorem1.check u ~x ~z psets in
+                let has_chain = v.Theorem1.chain <> None in
+                if v.Theorem1.iso || has_chain then incr holds;
+                if v.Theorem1.iso && not has_chain then incr iso_only;
+                if has_chain && not v.Theorem1.iso then incr chain_only;
+                if v.Theorem1.iso && has_chain then incr both)
+              psets_choices)
+        (Universe.prefixes_of u zi))
+    u;
+  Printf.printf "  instances: %d  dichotomy holds: %d (%.1f%%)\n" !instances !holds
+    (100.0 *. float_of_int !holds /. float_of_int !instances);
+  Printf.printf "  iso-only: %d  chain-only: %d  both: %d\n" !iso_only !chain_only !both
+
+(* ---------------------------------------------------------------- E4 *)
+
+let run_e4 () =
+  section "E4" "Lemma 1 / Theorem 2: fusion of computations (Figs 3-2, 3-3)";
+  (* drive theorem2 over all pairs of extensions of all prefixes in a
+     chatter universe; count how often preconditions admit a fusion and
+     verify every constructed fusion *)
+  let spec = Spec.make ~n:2 (fun p history ->
+      if List.length history >= 2 then []
+      else
+        let right = Pid.of_int ((Pid.to_int p + 1) mod 2) in
+        [ Spec.Send_to (right, "c"); Spec.Do "idle"; Spec.Recv_any ])
+  in
+  let u = Universe.enumerate ~mode:`Full spec ~depth:4 in
+  let all = Pset.all 2 in
+  let p = Pset.singleton p0 in
+  let attempted = ref 0 and fused = ref 0 and verified = ref 0 and rejected = ref 0 in
+  Universe.iter
+    (fun _ x ->
+      Universe.iter
+        (fun _ y ->
+          if Trace.is_prefix x y then
+            Universe.iter
+              (fun _ z ->
+                if Trace.is_prefix x z then begin
+                  incr attempted;
+                  match Fusion.theorem2 ~all ~n:2 ~x ~y ~z ~p with
+                  | Ok w ->
+                      incr fused;
+                      if
+                        Fusion.verify_theorem2 ~all ~x ~y ~z ~p ~w
+                        && Spec.valid spec w
+                      then incr verified
+                  | Error _ -> incr rejected
+                end)
+              u)
+        u)
+    u;
+  Printf.printf "  instances: %d  preconditions met: %d  rejected: %d\n" !attempted
+    !fused !rejected;
+  Printf.printf "  fusions verified (iso + valid computation): %d / %d\n" !verified !fused
+
+(* ---------------------------------------------------------------- E5 *)
+
+let run_e5 () =
+  section "E5" "Theorem 3: how events move the isomorphism set";
+  let spec = Spec.make ~n:2 (fun p history ->
+      if Pid.equal p p0 then
+        match history with
+        | [] -> [ Spec.Send_to (p1, "ping") ]
+        | _ -> [ Spec.Recv_any ]
+      else
+        match history with
+        | [] -> [ Spec.Recv_any ]
+        | [ _ ] -> [ Spec.Send_to (p0, "pong") ]
+        | _ -> [])
+  in
+  let u = Universe.enumerate ~mode:`Full spec ~depth:4 in
+  let ping = Msg.make ~src:p0 ~dst:p1 ~seq:0 ~payload:"ping" in
+  let pong = Msg.make ~src:p1 ~dst:p0 ~seq:0 ~payload:"pong" in
+  let steps =
+    [
+      ("ε", Trace.empty);
+      ("send ping", Trace.of_list [ Event.send ~pid:p0 ~lseq:0 ping ]);
+      ( "recv ping",
+        Trace.of_list
+          [ Event.send ~pid:p0 ~lseq:0 ping; Event.receive ~pid:p1 ~lseq:0 ping ] );
+      ( "send pong",
+        Trace.of_list
+          [
+            Event.send ~pid:p0 ~lseq:0 ping;
+            Event.receive ~pid:p1 ~lseq:0 ping;
+            Event.send ~pid:p1 ~lseq:1 pong;
+          ] );
+      ( "recv pong",
+        Trace.of_list
+          [
+            Event.send ~pid:p0 ~lseq:0 ping;
+            Event.receive ~pid:p1 ~lseq:0 ping;
+            Event.send ~pid:p1 ~lseq:1 pong;
+            Event.receive ~pid:p0 ~lseq:1 pong;
+          ] );
+    ]
+  in
+  Printf.printf "  %-12s %14s %14s\n" "after" "|iso-set p0|" "|iso-set p1|";
+  List.iter
+    (fun (nm, z) ->
+      let s0 = Extension.iso_set u (Pset.singleton p0) z in
+      let s1 = Extension.iso_set u (Pset.singleton p1) z in
+      Printf.printf "  %-12s %14d %14d\n" nm (Bitset.cardinal s0) (Bitset.cardinal s1))
+    steps;
+  Printf.printf "  (receives shrink the receiver's set; sends grow or preserve the sender's)\n"
+
+(* ---------------------------------------------------------------- E6 *)
+
+let run_e6 () =
+  section "E6" "§4.1 knowledge facts 1-12 and Lemma 2";
+  let spec = Spec.make ~n:2 (fun p history ->
+      if Pid.equal p p0 then
+        match history with
+        | [] -> [ Spec.Send_to (p1, "ping") ]
+        | _ -> [ Spec.Recv_any ]
+      else
+        match history with
+        | [] -> [ Spec.Recv_any ]
+        | [ _ ] -> [ Spec.Send_to (p0, "pong") ]
+        | _ -> [])
+  in
+  let u = Universe.enumerate ~mode:`Full spec ~depth:4 in
+  let sent = Prop.make "sent" (fun z -> Trace.send_count z p0 > 0) in
+  let received =
+    Prop.make "received" (fun z -> List.exists Event.is_receive (Trace.proj z p1))
+  in
+  let props = [ sent; received; Prop.tt; Prop.ff ] in
+  let psets = [ Pset.singleton p0; Pset.singleton p1; Pset.all 2; Pset.empty ] in
+  let checks = ref 0 and bad = ref 0 in
+  let tally name ok =
+    incr checks;
+    if not ok then begin
+      incr bad;
+      Printf.printf "  VIOLATION: %s\n" name
+    end
+  in
+  List.iter
+    (fun ps ->
+      List.iter
+        (fun b ->
+          tally "fact1" (Knowledge.Laws.fact1_class_invariant u ps b);
+          tally "fact4" (Knowledge.Laws.fact4_veridical u ps b);
+          tally "fact5" (Knowledge.Laws.fact5_total u ps b);
+          tally "fact6" (Knowledge.Laws.fact6_conjunction u ps b received);
+          tally "fact7" (Knowledge.Laws.fact7_disjunction u ps b received);
+          tally "fact8" (Knowledge.Laws.fact8_consistency u ps b);
+          tally "fact9" (Knowledge.Laws.fact9_closure u ps b (Prop.or_ b received));
+          tally "fact10" (Knowledge.Laws.fact10_positive_introspection u ps b);
+          tally "fact11/lemma2" (Knowledge.Laws.fact11_negative_introspection u ps b))
+        props;
+      tally "fact12t" (Knowledge.Laws.fact12_constants u ps true);
+      tally "fact12f" (Knowledge.Laws.fact12_constants u ps false))
+    psets;
+  List.iter
+    (fun b -> tally "fact3" (Knowledge.Laws.fact3_monotone_union u (Pset.singleton p0) (Pset.singleton p1) b))
+    props;
+  Printf.printf "  %d law instances checked, %d violations (expected 0)\n" !checks !bad
+
+(* ---------------------------------------------------------------- E7 *)
+
+let run_e7 () =
+  section "E7" "§4.2 local predicates, Lemma 3, common-knowledge constancy";
+  let spec = Spec.make ~n:2 (fun p history ->
+      if Pid.equal p p0 then
+        match history with
+        | [] -> [ Spec.Send_to (p1, "ping") ]
+        | _ -> [ Spec.Recv_any ]
+      else
+        match history with
+        | [] -> [ Spec.Recv_any ]
+        | [ _ ] -> [ Spec.Send_to (p0, "pong") ]
+        | _ -> [])
+  in
+  let u = Universe.enumerate ~mode:`Full spec ~depth:4 in
+  let sent = Prop.make "sent" (fun z -> Trace.send_count z p0 > 0) in
+  let s0 = Pset.singleton p0 and s1 = Pset.singleton p1 in
+  Printf.printf "  'sent' local to p0: %b  local to p1: %b\n"
+    (Local_pred.is_local u s0 sent)
+    (Local_pred.is_local u s1 sent);
+  Printf.printf "  lemma 3 (disjoint locality => constant): %b\n"
+    (Local_pred.lemma3_constant u s0 s1 sent);
+  Printf.printf "  identical-knowledge corollary: %b\n"
+    (Local_pred.identical_knowledge_constant u s0 s1 sent);
+  Printf.printf "  CK('sent') constant: %b  value: %b  fixpoint iterations: %d\n"
+    (Common_knowledge.constancy_holds u sent)
+    (Prop.eval (Common_knowledge.common u sent) Trace.empty)
+    (Common_knowledge.iterations_to_fixpoint u sent);
+  (* E^k approximation sizes *)
+  Printf.printf "  |E^k(sent)| by depth k:";
+  for k = 0 to 4 do
+    Printf.printf " k=%d:%d" k
+      (Bitset.cardinal (Prop.extent u (Common_knowledge.level u k sent)))
+  done;
+  print_newline ()
+
+(* ---------------------------------------------------------------- E8 *)
+
+let run_e8 () =
+  section "E8" "§4.1 token bus: nested knowledge when r holds the token";
+  let u = Universe.enumerate ~mode:`Canonical (Token_bus.spec ~n:5) ~depth:10 in
+  let r_holds = Token_bus.holds (Pid.of_int 2) in
+  let assertion = Token_bus.paper_assertion u in
+  let r_states = ref 0 and holds_all = ref true and non_r = ref 0 and holds_elsewhere = ref 0 in
+  Universe.iter
+    (fun _ z ->
+      if Prop.eval r_holds z then begin
+        incr r_states;
+        if not (Prop.eval assertion z) then holds_all := false
+      end
+      else begin
+        incr non_r;
+        if Prop.eval assertion z then incr holds_elsewhere
+      end)
+    u;
+  Printf.printf "  universe: %d computations (canonical, depth 10)\n" (Universe.size u);
+  Printf.printf "  computations where r holds token: %d — assertion holds at all: %b\n"
+    !r_states !holds_all;
+  Printf.printf "  (for contrast, it also holds at %d of %d non-r-holding computations)\n"
+    !holds_elsewhere !non_r
+
+(* ---------------------------------------------------------------- E9 *)
+
+let run_e9 () =
+  section "E9" "Theorems 4-6: knowledge transfer is sequential";
+  (* two-generals ladder: nested depth vs delivered messages *)
+  let u = Universe.enumerate ~mode:`Canonical Two_generals.spec ~depth:11 in
+  Printf.printf "  two generals: delivered messages k -> max nested-knowledge depth\n   ";
+  for rounds = 0 to 4 do
+    let z = Two_generals.ladder_trace ~rounds in
+    Printf.printf " k=%d:depth=%d" rounds (Two_generals.max_depth_at u z)
+  done;
+  Printf.printf "\n  CK(attack) ever attained: %b (expected false)\n"
+    (not (Two_generals.common_knowledge_never u));
+  (* gossip at scale: rounds to knowledge *)
+  Printf.printf "  gossip (push): n -> (all informed?, messages, t_all, t_depth2)\n";
+  List.iter
+    (fun n ->
+      let o = Gossip.run { Gossip.default with n; seed = 5L } in
+      let t_all =
+        Array.fold_left
+          (fun acc t -> match t with Some t -> max acc t | None -> acc)
+          0.0 o.Gossip.informed_time
+      in
+      Printf.printf "    n=%2d  all=%b  msgs=%4d  t_all=%7.1f  t_depth2=%s\n" n
+        o.Gossip.all_informed o.Gossip.messages t_all
+        (match o.Gossip.depth2_complete_time with
+        | Some t -> Printf.sprintf "%7.1f" t
+        | None -> "   -"))
+    [ 4; 8; 16; 32 ];
+  (* dissemination strategy comparison at n=16 *)
+  Printf.printf "  gossip modes (n=16): mode -> (t_all, messages)\n";
+  List.iter
+    (fun (name, mode) ->
+      let o = Gossip.run { Gossip.default with n = 16; mode; seed = 5L } in
+      let t_all =
+        Array.fold_left
+          (fun acc t -> match t with Some t -> max acc t | None -> infinity)
+          0.0 o.Gossip.informed_time
+      in
+      Printf.printf "    %-10s t_all=%7.1f  msgs=%4d\n" name t_all o.Gossip.messages)
+    [ ("push", Gossip.Push); ("pull", Gossip.Pull); ("push-pull", Gossip.Push_pull) ]
+
+(* ---------------------------------------------------------------- E10 *)
+
+let run_e10 () =
+  section "E10" "§5 failure detection: impossible without timeouts";
+  let u =
+    Universe.enumerate ~mode:`Canonical (Failure_detector.crashable_spec ~n:2) ~depth:6
+  in
+  Printf.printf "  exact (universe %d computations): observer ever knows crash: %b\n"
+    (Universe.size u)
+    (not (Failure_detector.nobody_ever_knows u ~observer:p1 ~subject:p0));
+  Printf.printf "  heartbeat detector (crash at t=100, horizon 300):\n";
+  Printf.printf "  %-28s %6s %6s %10s\n" "timeout regime" "false" "miss" "detect t";
+  List.iter
+    (fun (label, timeout, max_delay) ->
+      let config = { Hpl_sim.Engine.default with max_delay } in
+      let o =
+        Failure_detector.run ~config { Failure_detector.default with timeout }
+      in
+      Printf.printf "  %-28s %6d %6d %10s\n" label o.Failure_detector.false_suspicions
+        o.Failure_detector.missed
+        (match o.Failure_detector.detection_time with
+        | Some t -> Printf.sprintf "%.1f" t
+        | None -> "-"))
+    [
+      ("sync (T=20 > period+delay)", 20.0, 10.0);
+      ("tight (T=6)", 6.0, 10.0);
+      ("too short (T=2)", 2.0, 10.0);
+      ("slow net (T=20, delay<=60)", 20.0, 60.0);
+    ]
+
+(* ---------------------------------------------------------------- E11 *)
+
+let run_e11 () =
+  section "E11" "§5 termination detection: overhead vs underlying messages";
+  let detectors p cfg =
+    [
+      Dijkstra_scholten.run ~config:cfg p;
+      Credit.run ~config:cfg p;
+      Safra.run ~config:cfg ~round_delay:2.0 p;
+      Snapshot_term.run ~config:cfg ~attempt_delay:3.0 p;
+      Probe.run ~config:cfg ~wave_delay:2.0 ~mode:`Four_counter p;
+      Probe.run ~config:cfg ~wave_delay:2.0 ~mode:`Naive p;
+    ]
+  in
+  List.iter
+    (fun (wl_name, mk) ->
+      Printf.printf "  workload: %s\n" wl_name;
+      Printf.printf "  %s\n" Termination.row_header;
+      List.iter
+        (fun budget ->
+          let params, cfg = mk budget in
+          List.iter
+            (fun r -> Printf.printf "  %s  (budget %d)\n" (Termination.report_row r) budget)
+            (detectors params cfg))
+        [ 25; 100; 400 ])
+    [
+      ( "burst (fanout 3, n=6)",
+        fun budget ->
+          ( { Underlying.default with n = 6; budget; seed = 31L },
+            { Hpl_sim.Engine.default with seed = 31L } ) );
+      ( "trickle (fanout 1, sequential)",
+        fun budget ->
+          ( {
+              Underlying.default with
+              n = 6;
+              budget;
+              fanout = 1;
+              spawn_prob = 1.0;
+              seed = 32L;
+            },
+            { Hpl_sim.Engine.default with seed = 32L } ) );
+    ];
+  Printf.printf
+    "  (shape: sound detectors pay >= M overhead in the adversarial regime;\n\
+    \   the naive probe goes under the bound only by being wrong)\n"
+
+(* ---------------------------------------------------------------- E12 *)
+
+let run_e12 () =
+  section "E12" "§5 remote tracking of a changing local predicate";
+  let silent =
+    Universe.enumerate ~mode:`Canonical (Tracking.silent_spec ~n:2 ~flips:2 ~ticks:2)
+      ~depth:4
+  in
+  let notify = Universe.enumerate ~mode:`Canonical (Tracking.notify_spec ~flips:2) ~depth:8 in
+  Printf.printf "  silent flipper: tracker unsure after any flip: %b\n"
+    (Tracking.tracker_always_unsure_after_flip silent);
+  Printf.printf "  unsure-while-changing — silent: %b  notify: %b\n"
+    (Tracking.unsure_while_changing silent)
+    (Tracking.unsure_while_changing notify);
+  Printf.printf "  change requires flipper to know tracker is unsure — silent: %b  notify: %b\n"
+    (Tracking.change_requires_known_unsureness silent ~tracker:p1)
+    (Tracking.change_requires_known_unsureness notify ~tracker:p1);
+  (* fraction of notify computations where the tracker is sure *)
+  let sure = Knowledge.sure notify (Pset.singleton p1) Tracking.bit in
+  let total = Universe.size notify in
+  let n_sure = Universe.fold (fun _ z acc -> if Prop.eval sure z then acc + 1 else acc) notify 0 in
+  Printf.printf "  notify protocol: tracker sure in %d / %d computations\n" n_sure total
+
+(* ---------------------------------------------------------------- E13 *)
+
+let run_e13 () =
+  section "E13" "knowledge in running protocols: ring mutex, echo waves, election";
+  (* token ring: exclusion + fairness *)
+  let tr = Token_ring.run { Token_ring.default with horizon = 1000.0 } in
+  Printf.printf "  token ring (n=%d): mutual exclusion=%b  all served=%b  passes=%d  entries=[%s]\n"
+    Token_ring.default.Token_ring.n tr.Token_ring.mutual_exclusion
+    tr.Token_ring.all_served tr.Token_ring.token_passes
+    (String.concat ";" (Array.to_list (Array.map string_of_int tr.Token_ring.entries)));
+  (* echo: message complexity and the knowledge chain *)
+  Printf.printf "  echo/PIF: n -> (messages, 2(n-1)^2, completion-knows-all)\n";
+  List.iter
+    (fun n ->
+      let o = Echo.run { Echo.default with n } in
+      Printf.printf "    n=%2d  msgs=%4d  expected=%4d  knows-all=%b\n" n
+        o.Echo.messages
+        (2 * (n - 1) * (n - 1))
+        o.Echo.completion_knows_all)
+    [ 2; 4; 8; 16 ];
+  (* chang-roberts: election message statistics over seeds *)
+  Printf.printf "  chang-roberts (n=8): election messages over 20 seeds\n";
+  let n = 8 in
+  let msgs =
+    List.map
+      (fun s ->
+        let o = Chang_roberts.run { Chang_roberts.default with n; seed = Int64.of_int s } in
+        o.Chang_roberts.election_messages)
+      (List.init 20 (fun i -> i + 1))
+  in
+  let mn = List.fold_left min max_int msgs and mx = List.fold_left max 0 msgs in
+  let avg = float_of_int (List.fold_left ( + ) 0 msgs) /. 20.0 in
+  Printf.printf "    min=%d  avg=%.1f  max=%d  (bounds: best 2n-1=%d, worst n(n+1)/2=%d)\n"
+    mn avg mx ((2 * n) - 1) (n * (n + 1) / 2)
+
+(* ---------------------------------------------------------------- E14 *)
+
+let run_e14 () =
+  section "E14" "§6 generalizations: state-based knowledge; consistent-cut lattice";
+  let spec = Spec.make ~n:2 (fun p history ->
+      if Pid.equal p p0 then
+        match history with
+        | [] -> [ Spec.Send_to (p1, "ping") ]
+        | _ -> [ Spec.Recv_any ]
+      else
+        match history with
+        | [] -> [ Spec.Recv_any ]
+        | [ _ ] -> [ Spec.Send_to (p0, "pong") ]
+        | _ -> [])
+  in
+  let u = Universe.enumerate ~mode:`Full spec ~depth:4 in
+  let sent = Prop.make "sent" (fun z -> Trace.send_count z p0 > 0) in
+  Printf.printf "  view -> |knows(p1, sent)| extent (|U|=%d):\n" (Universe.size u);
+  List.iter
+    (fun view ->
+      let t = State_iso.make u view in
+      let k = State_iso.knows_ext t (Pset.singleton p1) (Prop.extent u sent) in
+      Printf.printf "    %-12s %d computations\n" view.State_iso.name
+        (Bitset.cardinal k))
+    [ State_iso.full; State_iso.counters; State_iso.last_event; State_iso.message_log ];
+  (* cut lattice sizes vs concurrency *)
+  Printf.printf "  consistent cuts: sequential chain vs independent events\n";
+  let chain_z =
+    let m01 = Msg.make ~src:p0 ~dst:p1 ~seq:0 ~payload:"m" in
+    Trace.of_list
+      [ Event.send ~pid:p0 ~lseq:0 m01; Event.receive ~pid:p1 ~lseq:0 m01 ]
+  in
+  let indep_z =
+    Trace.of_list
+      [ Event.internal ~pid:p0 ~lseq:0 "a"; Event.internal ~pid:p1 ~lseq:0 "b" ]
+  in
+  Printf.printf "    2-event causal chain: %d cuts;  2 independent events: %d cuts\n"
+    (Cut.count_consistent ~n:2 chain_z)
+    (Cut.count_consistent ~n:2 indep_z);
+  let ladder = Hpl_protocols.Two_generals.ladder_trace ~rounds:3 in
+  Printf.printf "    two-generals ladder (7 events): %d cuts (chain-like: length+1 = 8)\n"
+    (Cut.count_consistent ~n:2 ladder);
+  (* and the cut a real snapshot records is one point of that lattice *)
+  let snap = Snapshot.run Snapshot.default in
+  Printf.printf
+    "  chandy-lamport snapshot of a live run: consistent=%b conservation=%b\n"
+    snap.Snapshot.consistent snap.Snapshot.conservation
+
+(* ---------------------------------------------------------------- E15 *)
+
+let run_e15 () =
+  section "E15" "Chandy-Misra-Haas deadlock detection: learning you are stuck";
+  List.iter
+    (fun (name, params) ->
+      let o = Deadlock.run params in
+      Printf.printf "  %-24s declared=[%s]  ground-truth-match=%b  probes=%d\n"
+        name
+        (String.concat ""
+           (Array.to_list (Array.map (fun b -> if b then "X" else ".") o.Deadlock.declared)))
+        o.Deadlock.correct o.Deadlock.probes)
+    [
+      ("ring of 6 (all stuck)", Deadlock.ring_deadlock ~n:6);
+      ("chain of 6 (none stuck)", Deadlock.chain_no_deadlock ~n:6);
+      ("partial cycle {1,2}", Deadlock.of_edges ~n:4 [ (0, 1); (1, 2); (2, 1) ]);
+      ( "two cycles {0,1},{3,4,5}",
+        Deadlock.of_edges ~n:6 [ (0, 1); (1, 0); (3, 4); (4, 5); (5, 3) ] );
+    ];
+  Printf.printf
+    "  (a process declares iff its own probe returns — a process chain\n\
+    \   around its cycle: you learn you are deadlocked only from yourself)\n"
+
+(* ---------------------------------------------------------------- E16 *)
+
+let run_e16 () =
+  section "E16" "ordering protocols: Lamport mutex, causal broadcast, possibly/definitely";
+  let mx = Lamport_mutex.run Lamport_mutex.default in
+  Printf.printf
+    "  lamport mutex (n=%d, 3 rounds): exclusion=%b  ts-order=%b  msgs/entry=%.1f (theory: %d)\n"
+    Lamport_mutex.default.Lamport_mutex.n mx.Lamport_mutex.mutual_exclusion
+    mx.Lamport_mutex.timestamp_order_respected mx.Lamport_mutex.messages_per_entry
+    (3 * (Lamport_mutex.default.Lamport_mutex.n - 1));
+  let ra = Ricart_agrawala.run Ricart_agrawala.default in
+  Printf.printf
+    "  ricart-agrawala (n=%d):           exclusion=%b  msgs/entry=%.1f (theory: %d) — the fused-reply optimization\n"
+    Ricart_agrawala.default.Ricart_agrawala.n ra.Ricart_agrawala.mutual_exclusion
+    ra.Ricart_agrawala.messages_per_entry
+    (2 * (Ricart_agrawala.default.Ricart_agrawala.n - 1));
+  Printf.printf "  causal broadcast under reordering (delay 1..40, no FIFO):\n";
+  List.iter
+    (fun seed ->
+      let config =
+        { Hpl_sim.Engine.default with fifo = false; max_delay = 40.0; seed }
+      in
+      let o = Causal_broadcast.run ~config Causal_broadcast.default in
+      Printf.printf
+        "    seed=%Ld  buffered=%2d/%d arrivals  causal-delivery=%b\n" seed
+        o.Causal_broadcast.buffered_arrivals o.Causal_broadcast.delivered_total
+        o.Causal_broadcast.causal_delivery_ok)
+    [ 1L; 2L; 3L ];
+  let to_ = Total_order.run { Total_order.default with n = 4 } in
+  Printf.printf
+    "  total-order broadcast (sequencer): identical delivery order=%b  gaps buffered=%d\n"
+    to_.Total_order.identical_order to_.Total_order.gaps_buffered;
+  (* possibly/definitely on a concurrent trace *)
+  let pa = Pid.of_int 0 and pb = Pid.of_int 1 in
+  let two_tickers =
+    Trace.of_list
+      [
+        Event.internal ~pid:pa ~lseq:0 "tick";
+        Event.internal ~pid:pb ~lseq:0 "tick";
+        Event.internal ~pid:pa ~lseq:1 "tick";
+        Event.internal ~pid:pb ~lseq:1 "tick";
+      ]
+  in
+  let both_at_one z =
+    Trace.local_length z pa = 1 && Trace.local_length z pb = 1
+  in
+  Printf.printf
+    "  observer detection on 2x2 independent ticks: possibly(both-at-1)=%b  definitely=%b\n"
+    (Detect.possibly ~n:2 two_tickers both_at_one)
+    (Detect.definitely ~n:2 two_tickers both_at_one);
+  Printf.printf
+    "  (exactly the §5 tracking gap: true on some interleaving, not forced on all)\n"
+
+(* ---------------------------------------------------------------- E17 *)
+
+let run_e17 () =
+  section "E17" "elections and the synchrony they secretly buy (bully vs ring)";
+  let show name o =
+    Printf.printf "  %-34s coordinators=[%s]  agreed=%s  safe=%b  msgs=%d\n" name
+      (String.concat ";" (List.map string_of_int o.Bully.coordinators))
+      (match o.Bully.agreed_on with Some c -> "p" ^ string_of_int c | None -> "-")
+      o.Bully.safe o.Bully.messages
+  in
+  show "bully, all alive" (Bully.run Bully.default);
+  show "bully, top crashed" (Bully.run { Bully.default with crash = Some 4 });
+  let slow = { Hpl_sim.Engine.default with min_delay = 20.0; max_delay = 80.0 } in
+  show "bully, delays >> timeout"
+    (Bully.run ~config:slow { Bully.default with ok_timeout = 10.0 });
+  let cr = Chang_roberts.run { Chang_roberts.default with n = 5 } in
+  Printf.printf
+    "  %-34s leader=%s  agreed=%b  msgs=%d (no timeouts, but cannot survive a crash)\n"
+    "chang-roberts ring, all alive"
+    (match cr.Chang_roberts.leader with Some l -> "p" ^ string_of_int l | None -> "-")
+    cr.Chang_roberts.agreed cr.Chang_roberts.messages;
+  Printf.printf
+    "  (bully tolerates crashes by spending timeouts — §5: without them,\n\
+    \   silence can never become knowledge of failure)\n"
+
+(* ---------------------------------------------------------------- E18 *)
+
+let run_e18 () =
+  section "E18" "post-mortem knowledge: replay universes = cut lattices";
+  let params = { Underlying.default with n = 3; budget = 4; seed = 4L } in
+  let r = Underlying.run params in
+  let z = r.Hpl_sim.Engine.trace in
+  let n = 3 in
+  let u = Replay.universe_of_trace ~n z in
+  Printf.printf
+    "  recorded run: %d events; consistent cuts: %d; replay universe: %d (identical by construction)\n"
+    (Trace.length z)
+    (Cut.count_consistent ~n z)
+    (Universe.size u);
+  let started =
+    Prop.make "root started" (fun c -> Trace.send_count c (Pid.of_int 0) > 0)
+  in
+  Printf.printf "  first-knowledge positions (log-analyst view):";
+  List.iter
+    (fun i ->
+      Printf.printf " p%d:%s" i
+        (match Replay.knew_at ~n z (Pset.singleton (Pid.of_int i)) started with
+        | Some k -> string_of_int k
+        | None -> "never"))
+    [ 0; 1; 2 ];
+  print_newline ()
+
+(* ---------------------------------------------------------------- E19 *)
+
+let run_e19 () =
+  section "E19" "two-phase commit: blocking as a knowledge limitation";
+  let show name o =
+    Printf.printf "  %-30s decisions=[%s]  blocked=%d  agree=%b\n" name
+      (String.concat ";"
+         (Array.to_list
+            (Array.map
+               (function Some d -> d | None -> "?")
+               o.Two_phase_commit.decisions)))
+      o.Two_phase_commit.blocked o.Two_phase_commit.agreement
+  in
+  show "all yes" (Two_phase_commit.run Two_phase_commit.default);
+  show "one NO voter"
+    (Two_phase_commit.run { Two_phase_commit.default with no_voters = [ 2 ] });
+  show "coordinator crash at t=10"
+    (Two_phase_commit.run
+       { Two_phase_commit.default with crash_coordinator_at = Some 10.0 });
+  let u = Universe.enumerate ~mode:`Canonical Two_phase_commit.spec ~depth:8 in
+  Printf.printf
+    "  exact (universe %d): YES-voted, outcome-decided, participant knows neither verdict: %b\n"
+    (Universe.size u)
+    (Two_phase_commit.uncertainty_is_real u);
+  Printf.printf
+    "  (blocking = the §4.3 corollary: only a receive can resolve the window)\n"
+
+(* ---------------------------------------------------------------- E20 *)
+
+let run_e20 () =
+  section "E20" "quorum knowledge: the ABD register under crashes";
+  let show name o =
+    Printf.printf "  %-22s atomic=%b  completed=%2d  blocked=%d  msgs=%d\n" name
+      o.Abd_register.atomic o.Abd_register.completed_ops o.Abd_register.blocked_ops
+      o.Abd_register.messages
+  in
+  show "healthy (n=5)" (Abd_register.run Abd_register.default);
+  show "minority crash (2/5)"
+    (Abd_register.run { Abd_register.default with crash = [ (30.0, 3); (60.0, 4) ] });
+  show "majority crash (3/5)"
+    (Abd_register.run
+       { Abd_register.default with crash = [ (30.0, 2); (30.0, 3); (30.0, 4) ] });
+  Printf.printf
+    "  (overlapping majorities force a process chain between any two\n\
+    \   operations: atomicity survives any minority, liveness does not\n\
+    \   survive a majority — safety is knowledge, liveness is reachability)\n"
+
+(* ---------------------------------------------------------------- E21 *)
+
+let run_e21 () =
+  section "E21" "consensus: single-decree Paxos under contention and crashes";
+  let show name o =
+    Printf.printf "  %-32s agree=%b  decided=%b  ballots=%d  msgs=%3d  value=%s\n"
+      name o.Paxos.agreement o.Paxos.any_decision o.Paxos.ballots_started
+      o.Paxos.messages
+      (match List.sort_uniq compare (List.map snd o.Paxos.decided) with
+      | [ v ] -> string_of_int v
+      | [] -> "-"
+      | vs -> "CONFLICT " ^ String.concat "," (List.map string_of_int vs))
+  in
+  show "1 proposer" (Paxos.run Paxos.default);
+  show "3 proposers (contention)" (Paxos.run { Paxos.default with proposers = 3 });
+  show "2 proposers, 2 acceptors crash"
+    (Paxos.run { Paxos.default with proposers = 2; crash = [ (5.0, 3); (5.0, 4) ] });
+  show "2 proposers, p0 crashes mid-ballot"
+    (Paxos.run { Paxos.default with proposers = 2; crash = [ (22.0, 0) ] });
+  Printf.printf
+    "  (the last row shows value adoption: p0 is dead, its value wins —\n\
+    \   quorum intersection forced the chain from the old ballot to the new)\n"
+
+let run_all () =
+  run_e1 ();
+  run_e2 ();
+  run_e3 ();
+  run_e4 ();
+  run_e5 ();
+  run_e6 ();
+  run_e7 ();
+  run_e8 ();
+  run_e9 ();
+  run_e10 ();
+  run_e11 ();
+  run_e12 ();
+  run_e13 ();
+  run_e14 ();
+  run_e15 ();
+  run_e16 ();
+  run_e17 ();
+  run_e18 ();
+  run_e19 ();
+  run_e20 ();
+  run_e21 ()

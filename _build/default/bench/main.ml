@@ -1,0 +1,195 @@
+(* Benchmark entry point.
+
+   Part 1 regenerates every paper artifact (experiments E1-E12, tables
+   printed to stdout; see EXPERIMENTS.md for the expected shapes).
+   Part 2 runs bechamel micro-benchmarks on the engineering-critical
+   paths (P1-P5 in DESIGN.md): knowledge evaluation, universe
+   enumeration (full vs canonical ablation), chain detection, vector
+   clocks, bitsets. *)
+open Bechamel
+open Toolkit
+open Hpl_core
+
+let p0 = Pid.of_int 0
+
+(* -- P1: knows() vs universe size ------------------------------------ *)
+
+let chatter ~n ~k =
+  Spec.make ~n (fun p history ->
+      if List.length history >= k then []
+      else
+        let right = Pid.of_int ((Pid.to_int p + 1) mod n) in
+        [ Spec.Send_to (right, "c"); Spec.Do "idle"; Spec.Recv_any ])
+
+let knows_bench ~depth =
+  let u = Universe.enumerate ~mode:`Canonical (chatter ~n:3 ~k:3) ~depth in
+  let sent = Prop.make "sent" (fun z -> Trace.send_count z p0 > 0) in
+  let name = Printf.sprintf "knows/U=%d" (Universe.size u) in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore (Prop.extent u (Knowledge.knows u (Pset.singleton p0) sent))))
+
+let knows_naive_bench ~depth =
+  let u = Universe.enumerate ~mode:`Canonical (chatter ~n:3 ~k:3) ~depth in
+  let sent = Prop.make "sent" (fun z -> Trace.send_count z p0 > 0) in
+  let ext = Prop.extent u sent in
+  let name = Printf.sprintf "knows-naive/U=%d" (Universe.size u) in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore (Knowledge.knows_ext_naive u (Pset.singleton p0) ext)))
+
+(* -- P2: enumeration ablation ----------------------------------------- *)
+
+let enumeration_bench mode name ~depth =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         ignore (Universe.enumerate ~mode (chatter ~n:3 ~k:2) ~depth)))
+
+(* -- P3: chain detection vs trace length ------------------------------- *)
+
+let relay_trace len =
+  (* a long causal chain across 4 processes *)
+  let n = 4 in
+  let rec go k trace send_counts lseqs =
+    if k >= len then trace
+    else begin
+      let src = k mod n and dst = (k + 1) mod n in
+      let m =
+        Msg.make ~src:(Pid.of_int src) ~dst:(Pid.of_int dst)
+          ~seq:send_counts.(src) ~payload:"m"
+      in
+      send_counts.(src) <- send_counts.(src) + 1;
+      let e1 = Event.send ~pid:(Pid.of_int src) ~lseq:lseqs.(src) m in
+      lseqs.(src) <- lseqs.(src) + 1;
+      let e2 = Event.receive ~pid:(Pid.of_int dst) ~lseq:lseqs.(dst) m in
+      lseqs.(dst) <- lseqs.(dst) + 1;
+      go (k + 1) (Trace.snoc (Trace.snoc trace e1) e2) send_counts lseqs
+    end
+  in
+  go 0 Trace.empty (Array.make n 0) (Array.make n 0)
+
+let chain_bench hops =
+  let z = relay_trace hops in
+  let psets = [ Pset.singleton (Pid.of_int 0); Pset.singleton (Pid.of_int 3) ] in
+  Test.make
+    ~name:(Printf.sprintf "chain/hops=%d" hops)
+    (Staged.stage (fun () -> ignore (Chain.exists ~n:4 ~z psets)))
+
+let chain_naive_bench hops =
+  let z = relay_trace hops in
+  let psets = [ Pset.singleton (Pid.of_int 0); Pset.singleton (Pid.of_int 3) ] in
+  Test.make
+    ~name:(Printf.sprintf "chain-naive/hops=%d" hops)
+    (Staged.stage (fun () -> ignore (Chain.exists_naive ~n:4 ~z psets)))
+
+(* -- P4: vector clock stamping ------------------------------------------ *)
+
+let vclock_bench hops =
+  let z = relay_trace hops in
+  Test.make
+    ~name:(Printf.sprintf "vclock/hops=%d" hops)
+    (Staged.stage (fun () -> ignore (Hpl_clocks.Vector.stamp_trace ~n:4 z)))
+
+(* -- P5: bitset algebra --------------------------------------------------- *)
+
+let bitset_bench n =
+  let a = Bitset.of_pred n (fun i -> i mod 3 = 0) in
+  let b = Bitset.of_pred n (fun i -> i mod 5 = 0) in
+  Test.make
+    ~name:(Printf.sprintf "bitset/n=%d" n)
+    (Staged.stage (fun () -> ignore (Bitset.cardinal (Bitset.inter a b))))
+
+let formula_bench () =
+  let u = Universe.enumerate ~mode:`Canonical (chatter ~n:3 ~k:3) ~depth:6 in
+  let sent = Prop.make "sent" (fun z -> Trace.send_count z p0 > 0) in
+  let env = function "sent" -> Some sent | _ -> None in
+  let f =
+    match Formula.parse "AG (sent -> EF (K p1 sent))" with
+    | Ok f -> f
+    | Error e -> failwith e
+  in
+  Test.make ~name:"formula/AG-EF-K"
+    (Staged.stage (fun () -> ignore (Formula.check u ~env f)))
+
+let replay_bench () =
+  let m01 = Msg.make ~src:p0 ~dst:(Pid.of_int 1) ~seq:0 ~payload:"m" in
+  let z =
+    Trace.of_list
+      [
+        Event.send ~pid:p0 ~lseq:0 m01;
+        Event.internal ~pid:(Pid.of_int 2) ~lseq:0 "a";
+        Event.receive ~pid:(Pid.of_int 1) ~lseq:0 m01;
+        Event.internal ~pid:p0 ~lseq:1 "b";
+        Event.internal ~pid:(Pid.of_int 2) ~lseq:1 "c";
+        Event.internal ~pid:(Pid.of_int 1) ~lseq:1 "d";
+      ]
+  in
+  Test.make ~name:"replay/6-event-universe"
+    (Staged.stage (fun () -> ignore (Replay.universe_of_trace ~n:3 z)))
+
+let dependency_bench hops =
+  let z = relay_trace hops in
+  Test.make
+    ~name:(Printf.sprintf "dep-reconstruct/hops=%d" hops)
+    (Staged.stage (fun () ->
+         let hb = Hpl_clocks.Dependency.reconstruct ~n:4 z in
+         ignore (hb 0 0)))
+
+let all_tests =
+  Test.make_grouped ~name:"hpl"
+    [
+      formula_bench ();
+      replay_bench ();
+      dependency_bench 50;
+      knows_bench ~depth:4;
+      knows_bench ~depth:6;
+      knows_bench ~depth:8;
+      knows_naive_bench ~depth:4;
+      enumeration_bench `Full "enumerate/full" ~depth:5;
+      enumeration_bench `Canonical "enumerate/canonical" ~depth:5;
+      chain_bench 50;
+      chain_bench 200;
+      chain_bench 800;
+      chain_naive_bench 50;
+      chain_naive_bench 200;
+      vclock_bench 200;
+      bitset_bench 10_000;
+      bitset_bench 100_000;
+    ]
+
+let run_benchmarks () =
+  print_endline "\n=== microbenchmarks (bechamel, monotonic clock) ===";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  Printf.printf "  %-28s %16s %10s\n" "benchmark" "time/run" "r²";
+  List.iter
+    (fun (name, ols) ->
+      let time =
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] ->
+            if est > 1e6 then Printf.sprintf "%10.2f ms" (est /. 1e6)
+            else if est > 1e3 then Printf.sprintf "%10.2f µs" (est /. 1e3)
+            else Printf.sprintf "%10.0f ns" est
+        | _ -> "-"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      Printf.printf "  %-28s %16s %10s\n" name time r2)
+    rows
+
+let () =
+  Experiments.run_all ();
+  run_benchmarks ();
+  print_endline "\nall experiments completed"

@@ -1,0 +1,591 @@
+(* hpl — explore "How Processes Learn" systems from the command line.
+
+   Subcommands:
+     enumerate    enumerate a built-in system's computations
+     diagram      emit the isomorphism diagram of a universe as DOT
+     knows        evaluate knowledge along the canonical run of a system
+     termination  run the §5 termination-detector comparison
+     heartbeat    run the §5 heartbeat failure detector
+     gossip       run the rumor-spreading simulation
+     snapshot     take a Chandy–Lamport snapshot of a running system *)
+open Cmdliner
+open Hpl_core
+open Hpl_protocols
+
+(* -- built-in systems ------------------------------------------------- *)
+
+type system = Ping_pong | Token_bus of int | Two_generals | Chatter of int
+
+let system_of_string s =
+  match String.split_on_char ':' s with
+  | [ "ping-pong" ] -> Ok Ping_pong
+  | [ "two-generals" ] -> Ok Two_generals
+  | [ "token-bus" ] -> Ok (Token_bus 5)
+  | [ "token-bus"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 2 -> Ok (Token_bus n)
+      | _ -> Error (`Msg "token-bus:<n> needs n >= 2"))
+  | [ "chatter" ] -> Ok (Chatter 2)
+  | [ "chatter"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> Ok (Chatter n)
+      | _ -> Error (`Msg "chatter:<n> needs n >= 1"))
+  | _ ->
+      Error
+        (`Msg
+           "unknown system (try: ping-pong, token-bus[:n], two-generals, chatter[:n])")
+
+let spec_of = function
+  | Ping_pong ->
+      Spec.make ~n:2 (fun p history ->
+          if Pid.to_int p = 0 then
+            match history with
+            | [] -> [ Spec.Send_to (Pid.of_int 1, "ping") ]
+            | _ -> [ Spec.Recv_any ]
+          else
+            match history with
+            | [] -> [ Spec.Recv_any ]
+            | [ _ ] -> [ Spec.Send_to (Pid.of_int 0, "pong") ]
+            | _ -> [])
+  | Token_bus n -> Token_bus.spec ~n
+  | Two_generals -> Two_generals.spec
+  | Chatter n ->
+      Spec.make ~n (fun p history ->
+          if List.length history >= 2 then []
+          else
+            let right = Pid.of_int ((Pid.to_int p + 1) mod n) in
+            [ Spec.Send_to (right, "c"); Spec.Do "idle"; Spec.Recv_any ])
+
+let system_conv =
+  Arg.conv (system_of_string, fun fmt _ -> Format.pp_print_string fmt "<system>")
+
+let system_arg =
+  Arg.(
+    value
+    & opt system_conv Ping_pong
+    & info [ "s"; "system" ] ~docv:"SYSTEM"
+        ~doc:
+          "Built-in system: ping-pong, token-bus[:n], two-generals, chatter[:n].")
+
+let depth_arg =
+  Arg.(
+    value & opt int 6
+    & info [ "d"; "depth" ] ~docv:"DEPTH" ~doc:"Enumeration depth bound.")
+
+let mode_arg =
+  let mode_of_string = function
+    | "full" -> Ok `Full
+    | "canonical" -> Ok `Canonical
+    | _ -> Error (`Msg "mode is 'full' or 'canonical'")
+  in
+  let mode_conv =
+    Arg.conv
+      ( mode_of_string,
+        fun fmt m ->
+          Format.pp_print_string fmt
+            (match m with `Full -> "full" | `Canonical -> "canonical") )
+  in
+  Arg.(
+    value
+    & opt mode_conv `Canonical
+    & info [ "m"; "mode" ] ~docv:"MODE"
+        ~doc:"Enumeration mode: 'full' (all interleavings) or 'canonical'.")
+
+(* -- enumerate ---------------------------------------------------------- *)
+
+let enumerate system depth mode verbose =
+  let u = Universe.enumerate ~mode (spec_of system) ~depth in
+  Format.printf "%a@." Universe.pp_stats u;
+  if verbose then
+    Universe.iter (fun i z -> Format.printf "%4d: %a@." i Trace.pp z) u
+
+let enumerate_cmd =
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every computation.")
+  in
+  Cmd.v
+    (Cmd.info "enumerate" ~doc:"Enumerate a system's bounded computation universe")
+    Term.(const enumerate $ system_arg $ depth_arg $ mode_arg $ verbose)
+
+(* -- diagram ------------------------------------------------------------- *)
+
+let diagram system depth mode limit =
+  let u = Universe.enumerate ~mode (spec_of system) ~depth in
+  let size = min limit (Universe.size u) in
+  let named =
+    Universe.fold
+      (fun i z acc -> if i < size then (string_of_int i, z) :: acc else acc)
+      u []
+    |> List.rev
+  in
+  let dg =
+    Iso_diagram.of_computations ~all:(Spec.all (Universe.spec u)) named
+  in
+  print_string (Iso_diagram.to_dot dg)
+
+let diagram_cmd =
+  let limit =
+    Arg.(
+      value & opt int 16
+      & info [ "limit" ] ~docv:"N" ~doc:"Cap on diagram vertices.")
+  in
+  Cmd.v
+    (Cmd.info "diagram" ~doc:"Emit the isomorphism diagram as Graphviz DOT")
+    Term.(const diagram $ system_arg $ depth_arg $ mode_arg $ limit)
+
+(* -- knows ---------------------------------------------------------------- *)
+
+let knows system depth =
+  let spec = spec_of system in
+  let u = Universe.enumerate (spec_of system) ~depth in
+  Format.printf "%a@.@." Universe.pp_stats u;
+  (* one interesting local predicate per system *)
+  let facts =
+    match system with
+    | Ping_pong | Chatter _ ->
+        [ Prop.make "p0 sent something" (fun z -> Trace.send_count z (Pid.of_int 0) > 0) ]
+    | Token_bus n ->
+        List.init n (fun i -> Token_bus.holds (Pid.of_int i))
+    | Two_generals -> [ Two_generals.attack_decided ]
+  in
+  let n = Spec.n spec in
+  List.iter
+    (fun fact ->
+      Format.printf "fact: %a@." Prop.pp fact;
+      for i = 0 to n - 1 do
+        let p = Pid.of_int i in
+        let k = Knowledge.knows_p u p fact in
+        let count =
+          Universe.fold (fun _ z acc -> if Prop.eval k z then acc + 1 else acc) u 0
+        in
+        Format.printf "  %a knows it in %d / %d computations@." Pid.pp p count
+          (Universe.size u)
+      done)
+    facts
+
+let knows_cmd =
+  Cmd.v
+    (Cmd.info "knows" ~doc:"Summarize who knows what across a universe")
+    Term.(const knows $ system_arg $ depth_arg)
+
+(* -- termination ------------------------------------------------------------ *)
+
+let termination budget n fanout seed dump =
+  let params =
+    { Underlying.default with n; budget; fanout; seed = Int64.of_int seed }
+  in
+  let config = { Hpl_sim.Engine.default with seed = Int64.of_int seed } in
+  Printf.printf "%s\n" Termination.row_header;
+  List.iter
+    (fun r -> Printf.printf "%s\n" (Termination.report_row r))
+    [
+      Dijkstra_scholten.run ~config params;
+      Credit.run ~config params;
+      Safra.run ~config ~round_delay:2.0 params;
+      Snapshot_term.run ~config ~attempt_delay:3.0 params;
+      Probe.run ~config ~wave_delay:2.0 ~mode:`Four_counter params;
+      Probe.run ~config ~wave_delay:2.0 ~mode:`Naive params;
+    ];
+  match dump with
+  | None -> ()
+  | Some path ->
+      let _, z = Dijkstra_scholten.run_raw ~config params in
+      Trace_io.save path z;
+      Printf.printf "DS run saved to %s\n" path
+
+let termination_cmd =
+  let budget =
+    Arg.(value & opt int 100 & info [ "budget" ] ~doc:"Underlying message budget.")
+  in
+  let n = Arg.(value & opt int 6 & info [ "n" ] ~doc:"Number of processes.") in
+  let fanout = Arg.(value & opt int 3 & info [ "fanout" ] ~doc:"Max spawns per delivery.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Random seed.") in
+  let dump =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dump" ] ~docv:"FILE" ~doc:"Save the DS run's trace for 'hpl analyze'.")
+  in
+  Cmd.v
+    (Cmd.info "termination"
+       ~doc:"Compare termination detectors on a diffusing workload (§5)")
+    Term.(const termination $ budget $ n $ fanout $ seed $ dump)
+
+(* -- heartbeat ---------------------------------------------------------------- *)
+
+let heartbeat timeout crash =
+  let params =
+    {
+      Failure_detector.default with
+      timeout;
+      crash_time = (if crash < 0.0 then None else Some crash);
+    }
+  in
+  let o = Failure_detector.run params in
+  Printf.printf "false suspicions: %d\nmissed crashes:  %d\ndetection time:  %s\n"
+    o.Failure_detector.false_suspicions o.Failure_detector.missed
+    (match o.Failure_detector.detection_time with
+    | Some t -> Printf.sprintf "%.1f" t
+    | None -> "-")
+
+let heartbeat_cmd =
+  let timeout =
+    Arg.(value & opt float 20.0 & info [ "timeout" ] ~doc:"Suspicion timeout.")
+  in
+  let crash =
+    Arg.(
+      value & opt float 100.0
+      & info [ "crash-at" ] ~doc:"Crash injection time (negative: no crash).")
+  in
+  Cmd.v
+    (Cmd.info "heartbeat" ~doc:"Run the timeout-based failure detector (§5)")
+    Term.(const heartbeat $ timeout $ crash)
+
+(* -- gossip -------------------------------------------------------------------- *)
+
+let gossip n seed mode =
+  let mode =
+    match mode with
+    | "pull" -> Gossip.Pull
+    | "push-pull" -> Gossip.Push_pull
+    | _ -> Gossip.Push
+  in
+  let o = Gossip.run { Gossip.default with n; mode; seed = Int64.of_int seed } in
+  Printf.printf "all informed: %b  messages: %d\n" o.Gossip.all_informed
+    o.Gossip.messages;
+  Array.iteri
+    (fun i t ->
+      Printf.printf "  p%-3d informed at %s\n" i
+        (match t with Some t -> Printf.sprintf "%.1f" t | None -> "never"))
+    o.Gossip.informed_time;
+  Printf.printf "everyone-knows-everyone-knows at: %s\n"
+    (match o.Gossip.depth2_complete_time with
+    | Some t -> Printf.sprintf "%.1f" t
+    | None -> "-")
+
+let gossip_cmd =
+  let n = Arg.(value & opt int 8 & info [ "n" ] ~doc:"Number of processes.") in
+  let seed = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"Random seed.") in
+  let mode =
+    Arg.(value & opt string "push" & info [ "mode" ] ~doc:"push, pull, or push-pull.")
+  in
+  Cmd.v
+    (Cmd.info "gossip" ~doc:"Run the rumor-spreading simulation")
+    Term.(const gossip $ n $ seed $ mode)
+
+(* -- analyze --------------------------------------------------------------------- *)
+
+let analyze path nprocs =
+  match Trace_io.load path with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+  | Ok z ->
+      let n =
+        match nprocs with
+        | Some n -> n
+        | None ->
+            (* infer: one past the largest pid appearing *)
+            1
+            + List.fold_left
+                (fun m e -> max m (Pid.to_int e.Event.pid))
+                0 (Trace.to_list z)
+      in
+      Printf.printf "processes:     %d\n" n;
+      Format.printf "%a@." Trace_stats.pp (Trace_stats.compute ~n z);
+      Printf.printf "fifo channels: %b\n" (Hpl_clocks.Causal_order.fifo_per_channel z);
+      Printf.printf "causal order:  %b\n"
+        (Hpl_clocks.Causal_order.delivers_causally ~n z);
+      if Trace.length z <= 14 then
+        Printf.printf "consistent cuts: %d\n" (Cut.count_consistent ~n z)
+      else Printf.printf "consistent cuts: (trace too long to enumerate)\n"
+
+let analyze_cmd =
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Trace file.")
+  in
+  let nprocs =
+    Arg.(value & opt (some int) None & info [ "n" ] ~doc:"Process count (inferred if omitted).")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Analyze a saved trace: causality, channels, cuts")
+    Term.(const analyze $ path $ nprocs)
+
+(* -- deadlock -------------------------------------------------------------------- *)
+
+let deadlock_cmd =
+  let shape =
+    Arg.(
+      value & opt string "ring"
+      & info [ "shape" ] ~doc:"Wait-for graph: 'ring', 'chain', or 'partial'.")
+  in
+  let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of processes.") in
+  let run shape n =
+    let params =
+      match shape with
+      | "chain" -> Deadlock.chain_no_deadlock ~n
+      | "partial" -> Deadlock.of_edges ~n [ (0, 1); (1, 2); (2, 1) ]
+      | _ -> Deadlock.ring_deadlock ~n
+    in
+    let o = Deadlock.run params in
+    Array.iteri
+      (fun i d -> Printf.printf "p%d: %s\n" i (if d then "deadlocked" else "ok"))
+      o.Deadlock.declared;
+    Printf.printf "matches wait-for-graph ground truth: %b (%d probes)\n"
+      o.Deadlock.correct o.Deadlock.probes
+  in
+  Cmd.v
+    (Cmd.info "deadlock" ~doc:"Run Chandy-Misra-Haas deadlock detection")
+    Term.(const run $ shape $ n)
+
+(* -- mutex ----------------------------------------------------------------------- *)
+
+let mutex_cmd =
+  let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Number of processes.") in
+  let rounds = Arg.(value & opt int 3 & info [ "rounds" ] ~doc:"CS entries per process.") in
+  let run n rounds =
+    let o = Lamport_mutex.run { Lamport_mutex.default with n; rounds } in
+    Printf.printf
+      "mutual exclusion: %b\nall rounds served: %b\ntimestamp order: %b\nmessages/entry: %.1f (theory %d)\n"
+      o.Lamport_mutex.mutual_exclusion o.Lamport_mutex.all_rounds_served
+      o.Lamport_mutex.timestamp_order_respected o.Lamport_mutex.messages_per_entry
+      (3 * (n - 1))
+  in
+  Cmd.v
+    (Cmd.info "mutex" ~doc:"Run Lamport's timestamp mutual exclusion")
+    Term.(const run $ n $ rounds)
+
+(* -- election --------------------------------------------------------------------- *)
+
+let election_cmd =
+  let n = Arg.(value & opt int 8 & info [ "n" ] ~doc:"Ring size.") in
+  let seed = Arg.(value & opt int 19 & info [ "seed" ] ~doc:"Id shuffle seed.") in
+  let run n seed =
+    let o = Chang_roberts.run { Chang_roberts.default with n; seed = Int64.of_int seed } in
+    Printf.printf "leader: %s\nagreed: %b\nelection messages: %d (best %d, worst %d)\n"
+      (match o.Chang_roberts.leader with Some l -> "p" ^ string_of_int l | None -> "-")
+      o.Chang_roberts.agreed o.Chang_roberts.election_messages
+      ((2 * n) - 1)
+      (n * (n + 1) / 2)
+  in
+  Cmd.v
+    (Cmd.info "election" ~doc:"Run Chang-Roberts leader election")
+    Term.(const run $ n $ seed)
+
+(* -- knew (post-mortem knowledge on a trace file) ----------------------------------- *)
+
+let knew path nprocs who atom =
+  match Trace_io.load path with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+  | Ok z ->
+      let n =
+        match nprocs with
+        | Some n -> n
+        | None ->
+            1
+            + List.fold_left
+                (fun m e -> max m (Pid.to_int e.Event.pid))
+                0 (Trace.to_list z)
+      in
+      if Trace.length z > 16 then begin
+        Printf.eprintf
+          "trace has %d events; replay universes are exponential — use a run of ≤ 16 events\n"
+          (Trace.length z);
+        exit 1
+      end;
+      let b =
+        match String.split_on_char ':' atom with
+        | [ "acted"; p ] ->
+            let p = int_of_string p in
+            Prop.make atom (fun c -> Trace.local_length c (Pid.of_int p) > 0)
+        | [ "sent"; p ] ->
+            let p = int_of_string p in
+            Prop.make atom (fun c -> Trace.send_count c (Pid.of_int p) > 0)
+        | [ "received"; p ] ->
+            let p = int_of_string p in
+            Prop.make atom (fun c ->
+                List.exists Event.is_receive (Trace.proj c (Pid.of_int p)))
+        | _ ->
+            Printf.eprintf "unknown atom %S (use acted:N, sent:N, received:N)\n" atom;
+            exit 1
+      in
+      let ps = Pset.singleton (Pid.of_int who) in
+      (match Replay.knew_at ~n z ps b with
+      | Some k when k < 0 ->
+          Printf.printf "p%d knew %S before any event\n" who atom
+      | Some k ->
+          Format.printf "p%d first knew %S after event %d: %a@." who atom k
+            Event.pp (Trace.nth z k)
+      | None -> Printf.printf "p%d never knew %S during this run\n" who atom)
+
+let knew_cmd =
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Trace file.")
+  in
+  let nprocs =
+    Arg.(value & opt (some int) None & info [ "n" ] ~doc:"Process count (inferred if omitted).")
+  in
+  let who =
+    Arg.(value & opt int 1 & info [ "who" ] ~doc:"Observer process index.")
+  in
+  let atom =
+    Arg.(
+      value & opt string "sent:0"
+      & info [ "fact" ] ~doc:"Fact: acted:N, sent:N, or received:N.")
+  in
+  Cmd.v
+    (Cmd.info "knew"
+       ~doc:"When could a process first know a fact, given a recorded run?")
+    Term.(const knew $ path $ nprocs $ who $ atom)
+
+(* -- consensus / commit -------------------------------------------------------------- *)
+
+let paxos_cmd =
+  let proposers =
+    Arg.(value & opt int 2 & info [ "proposers" ] ~doc:"Contending proposers.")
+  in
+  let seed = Arg.(value & opt int 53 & info [ "seed" ] ~doc:"Random seed.") in
+  let run proposers seed =
+    let o = Paxos.run { Paxos.default with proposers; seed = Int64.of_int seed } in
+    Printf.printf "agreement: %b\nvalidity: %b\ndecided: %b\nballots: %d\nmessages: %d\n"
+      o.Paxos.agreement o.Paxos.validity o.Paxos.any_decision o.Paxos.ballots_started
+      o.Paxos.messages
+  in
+  Cmd.v
+    (Cmd.info "paxos" ~doc:"Run single-decree Paxos")
+    Term.(const run $ proposers $ seed)
+
+let commit_cmd =
+  let crash =
+    Arg.(
+      value & opt float (-1.0)
+      & info [ "crash-at" ] ~doc:"Crash the coordinator (negative: never).")
+  in
+  let no_voters =
+    Arg.(value & opt (list int) [] & info [ "no" ] ~doc:"Participants voting NO.")
+  in
+  let run crash no_voters =
+    let o =
+      Two_phase_commit.run
+        {
+          Two_phase_commit.default with
+          no_voters;
+          crash_coordinator_at = (if crash < 0.0 then None else Some crash);
+        }
+    in
+    Array.iteri
+      (fun i d ->
+        Printf.printf "p%d: %s\n" i
+          (match d with Some d -> d | None -> "(blocked)"))
+      o.Two_phase_commit.decisions;
+    Printf.printf "agreement: %b  blocked: %d\n" o.Two_phase_commit.agreement
+      o.Two_phase_commit.blocked
+  in
+  Cmd.v
+    (Cmd.info "commit" ~doc:"Run two-phase commit (optionally crash the coordinator)")
+    Term.(const run $ crash $ no_voters)
+
+(* -- check (epistemic-temporal model checking) ------------------------------------ *)
+
+(* each built-in system exports named atoms for formulas *)
+let atom_env system : string -> Prop.t option =
+  let holds i = Some (Token_bus.holds (Pid.of_int i)) in
+  match system with
+  | Token_bus n ->
+      fun name ->
+        let l = String.length name in
+        if l > 5 && String.sub name 0 5 = "holds" then
+          match int_of_string_opt (String.sub name 5 (l - 5)) with
+          | Some i when i < n -> holds i
+          | _ -> None
+        else None
+  | Two_generals -> (
+      function "attack" -> Some Two_generals.attack_decided | _ -> None)
+  | Ping_pong | Chatter _ -> (
+      function
+      | "sent" ->
+          Some (Prop.make "sent" (fun z -> Trace.send_count z (Pid.of_int 0) > 0))
+      | "received" ->
+          Some
+            (Prop.make "received" (fun z ->
+                 List.exists Event.is_receive (Trace.proj z (Pid.of_int 1))))
+      | _ -> None)
+
+let check_formula system depth mode formula_text =
+  match Formula.parse formula_text with
+  | Error e ->
+      Printf.eprintf "parse error: %s\n" e;
+      exit 1
+  | Ok f -> (
+      let u = Universe.enumerate ~mode (spec_of system) ~depth in
+      Format.printf "%a@." Universe.pp_stats u;
+      Format.printf "formula: %a@." Formula.pp f;
+      match Formula.check u ~env:(atom_env system) f with
+      | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          exit 1
+      | Ok `Valid -> Format.printf "VALID at every computation@."
+      | Ok (`Fails_at z) ->
+          Format.printf "FAILS — witness computation:@.  %a@." Trace.pp z;
+          exit 2)
+
+let check_cmd =
+  let formula =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FORMULA"
+          ~doc:
+            "Epistemic-temporal formula, e.g. 'AG (holds2 -> K p2 (~holds0))'. \
+             Operators: ~ & | ->, K/E/S/sure <pset>, CK, AG EF AF EG AX EX.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Model-check an epistemic-temporal formula over a system's universe")
+    Term.(const check_formula $ system_arg $ depth_arg $ mode_arg $ formula)
+
+(* -- snapshot ------------------------------------------------------------------- *)
+
+let snapshot n at =
+  let o = Snapshot.run { Snapshot.default with n; snapshot_time = at } in
+  Printf.printf "consistent: %b  conservation: %b\n" o.Snapshot.consistent
+    o.Snapshot.conservation;
+  Array.iteri
+    (fun i s -> Printf.printf "  p%d recorded state: %d sent\n" i s)
+    o.Snapshot.recorded.Snapshot.states;
+  List.iter
+    (fun (s, d, c) -> Printf.printf "  channel p%d->p%d: %d in flight\n" s d c)
+    o.Snapshot.recorded.Snapshot.channel_messages
+
+let snapshot_cmd =
+  let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Number of processes.") in
+  let at =
+    Arg.(value & opt float 50.0 & info [ "at" ] ~doc:"Snapshot initiation time.")
+  in
+  Cmd.v
+    (Cmd.info "snapshot" ~doc:"Take a Chandy–Lamport snapshot")
+    Term.(const snapshot $ n $ at)
+
+let () =
+  let doc = "explore the systems of 'How Processes Learn' (Chandy & Misra 1985)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "hpl" ~version:"1.0.0" ~doc)
+          [
+            enumerate_cmd;
+            diagram_cmd;
+            knows_cmd;
+            termination_cmd;
+            heartbeat_cmd;
+            gossip_cmd;
+            snapshot_cmd;
+            analyze_cmd;
+            deadlock_cmd;
+            mutex_cmd;
+            election_cmd;
+            check_cmd;
+            knew_cmd;
+            paxos_cmd;
+            commit_cmd;
+          ]))

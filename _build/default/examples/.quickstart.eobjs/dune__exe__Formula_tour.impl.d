@@ -1,0 +1,1 @@
+examples/formula_tour.ml: Failure_detector Formula Hpl_core Hpl_protocols List Pid Printf String Token_bus Trace Two_generals Universe

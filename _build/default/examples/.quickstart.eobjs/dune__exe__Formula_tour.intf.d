@@ -1,0 +1,1 @@
+examples/formula_tour.mli:

@@ -1,0 +1,1 @@
+examples/knowledge_programs.ml: Event Format Hpl_core Kprogram List Pid Prop Pset Spec Trace Universe

@@ -1,0 +1,1 @@
+examples/ordering_demo.ml: Causal_broadcast Hpl_clocks Hpl_core Hpl_protocols Hpl_sim Printf Total_order Trace_stats

@@ -1,0 +1,1 @@
+examples/post_mortem.ml: Cut Event Explain Format Hpl_core Hpl_protocols Hpl_sim List Pid Prop Pset Replay Trace Trace_stats Underlying Universe

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Common_knowledge Event Format Hpl_core Knowledge List Msg Pid Prop Pset Spec Trace Transfer Universe

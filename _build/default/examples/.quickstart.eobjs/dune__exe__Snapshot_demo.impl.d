@@ -1,0 +1,1 @@
+examples/snapshot_demo.ml: Array Hpl_core Hpl_protocols List Printf Snapshot String

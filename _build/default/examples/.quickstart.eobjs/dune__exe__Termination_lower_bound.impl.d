@@ -1,0 +1,1 @@
+examples/termination_lower_bound.ml: Array Credit Dijkstra_scholten Hpl_protocols Hpl_sim List Printf Probe Safra Sys Termination Underlying

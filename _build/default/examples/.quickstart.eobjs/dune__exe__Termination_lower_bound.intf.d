@@ -1,0 +1,1 @@
+examples/termination_lower_bound.mli:

@@ -1,0 +1,1 @@
+examples/token_bus_knowledge.ml: Event Format Hpl_core Hpl_protocols Iso_diagram List Msg Pid Prop Pset Token_bus Trace Universe

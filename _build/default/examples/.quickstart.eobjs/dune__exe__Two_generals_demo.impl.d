@@ -1,0 +1,1 @@
+examples/two_generals_demo.ml: Format Hpl_core Hpl_protocols Pid Two_generals Universe

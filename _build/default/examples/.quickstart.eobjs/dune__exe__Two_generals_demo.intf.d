@@ -1,0 +1,1 @@
+examples/two_generals_demo.mli:

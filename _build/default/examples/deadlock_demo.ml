@@ -1,0 +1,31 @@
+(* Chandy-Misra-Haas deadlock detection: learning you are stuck.
+
+     dune exec examples/deadlock_demo.exe
+
+   Processes wait for each other; probes circulate the wait-for edges.
+   A process declares itself deadlocked exactly when its own probe
+   comes back — a process chain around its cycle, the paper's
+   knowledge-gain theorem in its most personal form. *)
+open Hpl_protocols
+
+let show name params =
+  let o = Deadlock.run params in
+  Printf.printf "%-28s " name;
+  Array.iteri
+    (fun i d ->
+      Printf.printf "p%d:%s " i (if d then "DEADLOCKED" else "ok"))
+    o.Deadlock.declared;
+  Printf.printf "  (matches ground truth: %b, %d probe messages)\n"
+    o.Deadlock.correct o.Deadlock.probes
+
+let () =
+  Printf.printf "wait-for graphs and what the probes discover:\n\n";
+  show "ring 0->1->2->3->0" (Deadlock.ring_deadlock ~n:4);
+  show "chain 0->1->2->3" (Deadlock.chain_no_deadlock ~n:4);
+  show "0->1->2->1 (cycle {1,2})" (Deadlock.of_edges ~n:4 [ (0, 1); (1, 2); (2, 1) ]);
+  show "two cycles {0,1} {2,3}"
+    (Deadlock.of_edges ~n:4 [ (0, 1); (1, 0); (2, 3); (3, 2) ]);
+  Printf.printf
+    "\nNote the third row: p0 waits on a deadlocked cycle but is not in it —\n\
+     its probe dies inside the cycle and it never 'learns' it is stuck,\n\
+     because no chain leads back to it. Detection is exactly knowledge gain.\n"

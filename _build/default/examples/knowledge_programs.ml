@@ -1,0 +1,69 @@
+(* Programming with knowledge guards.
+
+     dune exec examples/knowledge_programs.exe
+
+   Rules like "send the acknowledgement as soon as you KNOW the ping
+   was sent" compile to ordinary systems: guards are evaluated against
+   the universe the compiled program itself generates (a fixpoint,
+   computed by iteration). *)
+open Hpl_core
+
+let p0 = Pid.of_int 0
+let p1 = Pid.of_int 1
+let s1 = Pset.singleton p1
+let sent = Prop.make "ping sent" (fun z -> Trace.send_count z p0 > 0)
+
+let ack_when_known : Kprogram.t =
+ fun p history ->
+  if Pid.equal p p0 then
+    if history = [] then
+      [ { Kprogram.guard = Kprogram.gtrue; intent = Spec.Send_to (p1, "ping") } ]
+    else [ { Kprogram.guard = Kprogram.gtrue; intent = Spec.Recv_any } ]
+  else
+    let acked = List.exists Event.is_send history in
+    [ { Kprogram.guard = Kprogram.gtrue; intent = Spec.Recv_any } ]
+    @
+    if acked then []
+    else
+      [
+        {
+          Kprogram.guard = Kprogram.know s1 sent;
+          intent = Spec.Send_to (p0, "ack");
+        };
+      ]
+
+let () =
+  Pid.set_name p0 "pinger";
+  Pid.set_name p1 "acker";
+  print_endline "program: acker replies as soon as it KNOWS the ping was sent";
+  match Kprogram.solve ~n:2 ~depth:4 ack_when_known with
+  | Error e -> print_endline ("no fixpoint: " ^ e)
+  | Ok sol ->
+      Format.printf "fixpoint found in %d iteration(s); %a@.@."
+        sol.Kprogram.iterations Universe.pp_stats sol.Kprogram.universe;
+      Format.printf "the solved system's computations:@.";
+      Universe.iter
+        (fun i z -> Format.printf "  %d: %a@." i Trace.pp z)
+        sol.Kprogram.universe;
+      (* the guard did its job: the ack never precedes the receive *)
+      let ok =
+        Universe.fold
+          (fun _ z acc ->
+            acc
+            &&
+            match Trace.proj z p1 with
+            | first :: _ when Event.is_send first -> false
+            | _ -> true)
+          sol.Kprogram.universe true
+      in
+      Format.printf "@.ack always causally after the ping: %b@." ok;
+      (* compare with the unrestricted program: guards off, the acker
+         could fire blindly *)
+      let base =
+        Universe.enumerate (Kprogram.unrestricted ~n:2 ack_when_known) ~depth:4
+      in
+      Format.printf
+        "without the knowledge guard the system has %d computations (vs %d):@."
+        (Universe.size base)
+        (Universe.size sol.Kprogram.universe);
+      Format.printf "the guard pruned exactly the premature-ack behaviours.@."

@@ -1,0 +1,46 @@
+(* The delivery-ordering hierarchy, measured: FIFO ⊂ causal ⊂ total.
+
+     dune exec examples/ordering_demo.exe
+
+   The same traffic runs over a deliberately reordering network three
+   times: raw (arrival order), causal broadcast (vector-clock
+   buffering), and total-order broadcast (a sequencer). Each layer buys
+   a stronger agreement about "what happened before what" — the
+   currency the paper prices in messages and buffering. *)
+open Hpl_core
+open Hpl_protocols
+
+let reordering seed =
+  { Hpl_sim.Engine.default with fifo = false; min_delay = 1.0; max_delay = 40.0; seed }
+
+let () =
+  (* raw arrivals: the engine trace itself violates causal order *)
+  let cb = Causal_broadcast.run ~config:(reordering 3L) Causal_broadcast.default in
+  let raw_causal =
+    Hpl_clocks.Causal_order.delivers_causally ~n:4 cb.Causal_broadcast.trace
+  in
+  Printf.printf "network: delays 1..40, no FIFO; 4 processes broadcasting\n\n";
+  Printf.printf "%-22s %-18s %-14s %s\n" "layer" "guarantee" "extra cost" "verdict";
+  Printf.printf "%-22s %-18s %-14s arrivals causal: %b\n" "raw arrivals" "none"
+    "none" raw_causal;
+  Printf.printf "%-22s %-18s buffered %-5d causal delivery: %b\n" "causal broadcast"
+    "causal order" cb.Causal_broadcast.buffered_arrivals
+    cb.Causal_broadcast.causal_delivery_ok;
+  let t = Total_order.run ~config:(reordering 3L) Total_order.default in
+  Printf.printf "%-22s %-18s buffered %-5d identical order: %b\n\n" "total order"
+    "same sequence" t.Total_order.gaps_buffered t.Total_order.identical_order;
+
+  (* profile the two traces: total order serializes, so its causal
+     depth is larger relative to its size *)
+  let profile name z n =
+    let s = Trace_stats.compute ~n z in
+    Printf.printf "%-22s events=%-4d causal depth=%-4d concurrency=%.2f\n" name
+      s.Trace_stats.events s.Trace_stats.causal_depth
+      s.Trace_stats.concurrency_ratio
+  in
+  profile "causal broadcast" cb.Causal_broadcast.trace 4;
+  profile "total order" t.Total_order.trace 4;
+  Printf.printf
+    "\nThe sequencer funnels everything through one process: less\n\
+     concurrency, deeper causal chains — order is paid for in exactly\n\
+     the coin (information flow) the paper's theorems price.\n"

@@ -1,0 +1,65 @@
+(* Post-mortem knowledge analysis: point the exact engine at a log.
+
+     dune exec examples/post_mortem.exe
+
+   A small diffusing computation runs on the simulator; its recorded
+   trace is then replayed as a system of its own, whose computations
+   are exactly the run's possible interleavings (one per consistent
+   cut). Over that universe we can ask, like a log analyst: when could
+   each process first be said to KNOW the root had started the job —
+   and exactly which message taught it. *)
+open Hpl_core
+open Hpl_protocols
+
+let () =
+  (* a tiny run: 3 processes, ≤ 4 work messages *)
+  let params = { Underlying.default with n = 3; budget = 4; seed = 4L } in
+  let r = Underlying.run params in
+  let z = r.Hpl_sim.Engine.trace in
+  Format.printf "recorded run (%d events):@." (Trace.length z);
+  List.iteri (fun i e -> Format.printf "  %2d: %a@." i Event.pp e) (Trace.to_list z);
+
+  let n = 3 in
+  let stats = Trace_stats.compute ~n z in
+  Format.printf "@.profile: causal depth %d, concurrency ratio %.2f, %d consistent cuts@.@."
+    stats.Trace_stats.causal_depth stats.Trace_stats.concurrency_ratio
+    (Cut.count_consistent ~n z);
+
+  (* the replay universe: every interleaving consistent with the log *)
+  let u = Replay.universe_of_trace ~n z in
+  Format.printf "replay universe: %a@.@." Universe.pp_stats u;
+
+  let started =
+    Prop.make "root started the job" (fun c -> Trace.send_count c (Pid.of_int 0) > 0)
+  in
+  Format.printf "when did each process first know \"%s\"?@." (Prop.name started);
+  List.iter
+    (fun i ->
+      let p = Pid.of_int i in
+      match Replay.knew_at ~n z (Pset.singleton p) started with
+      | Some k when k < 0 -> Format.printf "  %a: before any event@." Pid.pp p
+      | Some k ->
+          Format.printf "  %a: after event %d (%a)@." Pid.pp p k Event.pp
+            (Trace.nth z k)
+      | None -> Format.printf "  %a: never@." Pid.pp p)
+    [ 0; 1; 2 ];
+
+  (* and the mechanism, per Theorem 5: extract the chain that taught p2 *)
+  (match Replay.knew_at ~n z (Pset.singleton (Pid.of_int 2)) started with
+  | Some k when k >= 0 ->
+      let x =
+        Trace.of_list (List.filteri (fun i _ -> i < k) (Trace.to_list z))
+      in
+      let y =
+        Trace.of_list (List.filteri (fun i _ -> i <= k) (Trace.to_list z))
+      in
+      (match Explain.gain u [ Pset.singleton (Pid.of_int 2) ] started ~x ~y with
+      | Some report ->
+          Format.printf "@.how p2 learned it:@.%a@." Explain.pp report
+      | None -> ())
+  | _ -> ());
+  Format.printf
+    "@.(knowledge here is relative to the observed partial order — what a@."
+  ;
+  Format.printf
+    " log analyst can conclude; the paper's theorems hold verbatim on it)@."

@@ -1,0 +1,33 @@
+(* Chandy–Lamport snapshots on the simulator.
+
+     dune exec examples/snapshot_demo.exe
+
+   Four processes exchange application traffic; process 0 initiates a
+   snapshot mid-flight. The recorded global state is verified to be a
+   consistent cut (no app message received inside the cut but sent
+   outside it) and to conserve messages (sender counts = receiver
+   counts + recorded channel contents). *)
+open Hpl_protocols
+
+let () =
+  let params = { Snapshot.default with n = 4; snapshot_time = 60.0 } in
+  let outcome = Snapshot.run params in
+  let { Snapshot.states; channel_messages; cut_positions } =
+    outcome.Snapshot.recorded
+  in
+  Printf.printf "snapshot initiated at t=%.0f over %d processes\n\n"
+    params.Snapshot.snapshot_time params.Snapshot.n;
+  Printf.printf "recorded local states (app messages sent):\n";
+  Array.iteri (fun i s -> Printf.printf "  p%d: %d\n" i s) states;
+  Printf.printf "\nrecorded channel contents:\n";
+  if channel_messages = [] then Printf.printf "  (all channels empty)\n"
+  else
+    List.iter
+      (fun (s, d, c) -> Printf.printf "  p%d -> p%d : %d app message(s)\n" s d c)
+      channel_messages;
+  Printf.printf "\ncut positions in the recorded trace: [%s]\n"
+    (String.concat "; " (Array.to_list (Array.map string_of_int cut_positions)));
+  Printf.printf "\ncut is consistent:        %b\n" outcome.Snapshot.consistent;
+  Printf.printf "message conservation:     %b\n" outcome.Snapshot.conservation;
+  Printf.printf "trace length:             %d events\n"
+    (Hpl_core.Trace.length outcome.Snapshot.trace)

@@ -1,0 +1,44 @@
+(* §5's lower bound, live: every sound termination detector pays about
+   as many overhead messages as the underlying computation sent — and a
+   detector that refuses to pay announces termination that has not
+   happened.
+
+     dune exec examples/termination_lower_bound.exe [budget]
+
+   Runs a diffusing computation under four detectors and prints the
+   overhead table; then shows the naive probe being caught lying. *)
+open Hpl_protocols
+
+let () =
+  let budget =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 120
+  in
+  let base = { Underlying.default with n = 6; budget; seed = 2026L } in
+  let config = { Hpl_sim.Engine.default with seed = 2026L } in
+  Printf.printf "diffusing workload: %d processes, message budget %d\n\n" base.n
+    budget;
+  Printf.printf "%s\n" Termination.row_header;
+  let reports =
+    [
+      Dijkstra_scholten.run ~config base;
+      Credit.run ~config base;
+      Safra.run ~config ~round_delay:2.0 base;
+      Probe.run ~config ~wave_delay:2.0 ~mode:`Four_counter base;
+      Probe.run ~config ~wave_delay:2.0 ~mode:`Naive base;
+    ]
+  in
+  List.iter (fun r -> Printf.printf "%s\n" (Termination.report_row r)) reports;
+  print_newline ();
+  List.iter
+    (fun r ->
+      if not r.Termination.sound then
+        Printf.printf
+          "!! %s announced %d events before the computation actually terminated\n"
+          r.Termination.detector
+          (match r.Termination.detection_latency_events with
+          | Some l -> -l
+          | None -> 0))
+    reports;
+  Printf.printf
+    "\nDijkstra–Scholten meets the paper's bound exactly: one signal per\n\
+     work message. The naive probe undercuts the bound — by being wrong.\n"

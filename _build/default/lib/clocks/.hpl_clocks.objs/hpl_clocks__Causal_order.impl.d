@@ -1,0 +1,1 @@
+lib/clocks/causal_order.ml: Array Causality Event Hashtbl Hpl_core List Msg Option Pid Trace

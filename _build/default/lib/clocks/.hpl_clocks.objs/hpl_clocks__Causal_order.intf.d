@@ -1,0 +1,1 @@
+lib/clocks/causal_order.mli: Hpl_core

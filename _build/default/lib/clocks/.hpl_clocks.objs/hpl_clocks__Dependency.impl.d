@@ -1,0 +1,1 @@
+lib/clocks/dependency.ml: Array Event Hashtbl Hpl_core List Msg Pid Trace

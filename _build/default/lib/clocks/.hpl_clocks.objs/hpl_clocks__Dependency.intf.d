@@ -1,0 +1,1 @@
+lib/clocks/dependency.mli: Hpl_core

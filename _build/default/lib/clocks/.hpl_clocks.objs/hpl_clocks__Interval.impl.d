@@ -1,0 +1,1 @@
+lib/clocks/interval.ml: Causality Event Format Hashtbl Hpl_core Int List Pid String Trace

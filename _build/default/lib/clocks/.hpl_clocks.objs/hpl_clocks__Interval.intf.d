@@ -1,0 +1,1 @@
+lib/clocks/interval.mli: Format Hpl_core

@@ -1,0 +1,1 @@
+lib/clocks/matrix.mli: Hpl_core

@@ -1,0 +1,1 @@
+lib/clocks/vector.ml: Array Causality Event Hashtbl Hpl_core List Msg Pid Trace

@@ -1,0 +1,1 @@
+lib/clocks/vector.mli: Hpl_core

@@ -1,0 +1,72 @@
+open Hpl_core
+
+let receive_positions z =
+  List.mapi (fun i e -> (i, e)) (Trace.to_list z)
+  |> List.filter_map (fun (i, e) ->
+         match e.Event.kind with
+         | Event.Receive m -> Some (i, e.Event.pid, m)
+         | Event.Send _ | Event.Internal _ -> None)
+
+let violations ~n z =
+  let ts = Causality.compute ~n z in
+  let events = Array.of_list (Trace.to_list z) in
+  let send_pos : (Pid.t * int, int) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun i e ->
+      match e.Event.kind with
+      | Event.Send m -> Hashtbl.replace send_pos (Msg.key m) i
+      | Event.Receive _ | Event.Internal _ -> ())
+    events;
+  let recvs = receive_positions z in
+  let out = ref [] in
+  List.iter
+    (fun (i1, p1, m1) ->
+      List.iter
+        (fun (i2, p2, m2) ->
+          if Pid.equal p1 p2 && i2 < i1 (* m2 delivered first *) then begin
+            let s1 = Hashtbl.find send_pos (Msg.key m1) in
+            let s2 = Hashtbl.find send_pos (Msg.key m2) in
+            (* violation when send m1 ⤳ send m2 but m2 arrived first *)
+            if s1 <> s2 && Causality.hb ts s1 s2 then out := (m1, m2) :: !out
+          end)
+        recvs)
+    recvs;
+  List.rev !out
+
+let delivers_causally ~n z = violations ~n z = []
+
+let fifo_per_channel z =
+  let sends = Trace.sent z in
+  let ok = ref true in
+  let recv_order : (int * int, int list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      let key = (Pid.to_int m.Msg.src, Pid.to_int m.Msg.dst) in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt recv_order key) in
+      Hashtbl.replace recv_order key (prev @ [ m.Msg.seq ]))
+    (Trace.received z);
+  (* per channel, the receive sequence must be increasing within the
+     sender's send order restricted to that destination *)
+  Hashtbl.iter
+    (fun (src, dst) seqs ->
+      let channel_sends =
+        List.filter
+          (fun m -> Pid.to_int m.Msg.src = src && Pid.to_int m.Msg.dst = dst)
+          sends
+        |> List.map (fun m -> m.Msg.seq)
+      in
+      let rank s =
+        let rec go i = function
+          | [] -> -1
+          | x :: tl -> if x = s then i else go (i + 1) tl
+        in
+        go 0 channel_sends
+      in
+      let ranks = List.map rank seqs in
+      let rec increasing = function
+        | a :: b :: tl -> a < b && increasing (b :: tl)
+        | _ -> true
+      in
+      if not (increasing ranks) then ok := false)
+    recv_order;
+  !ok

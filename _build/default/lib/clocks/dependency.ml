@@ -1,0 +1,77 @@
+open Hpl_core
+
+type t = { me : int; v : int array }
+
+let create ~n ~me =
+  if Pid.to_int me >= n then invalid_arg "Dependency.create: pid out of range";
+  { me = Pid.to_int me; v = Array.make n 0 }
+
+let tick c =
+  c.v.(c.me) <- c.v.(c.me) + 1;
+  c.v.(c.me)
+
+let send = tick
+
+let observe c ~src count =
+  let s = Pid.to_int src in
+  if count > c.v.(s) then c.v.(s) <- count;
+  tick c
+
+let read c = Array.copy c.v
+
+let stamp_trace ~n z =
+  (match Trace.well_formed_error z with
+  | Some reason -> invalid_arg ("Dependency.stamp_trace: " ^ reason)
+  | None -> ());
+  let clocks = Array.init n (fun i -> create ~n ~me:(Pid.of_int i)) in
+  let msg_count : (Pid.t * int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.map
+    (fun e ->
+      let c = clocks.(Pid.to_int e.Event.pid) in
+      (match e.Event.kind with
+      | Event.Internal _ -> ignore (tick c)
+      | Event.Send m -> Hashtbl.replace msg_count (Msg.key m) (send c)
+      | Event.Receive m ->
+          ignore (observe c ~src:m.Msg.src (Hashtbl.find msg_count (Msg.key m))));
+      (e, read c))
+    (Trace.to_list z)
+
+let reconstruct ~n z =
+  let stamped = Array.of_list (stamp_trace ~n z) in
+  let len = Array.length stamped in
+  (* positions of each process's k-th event (1-based count) *)
+  let pos_of : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (e, _) ->
+      Hashtbl.replace pos_of (Pid.to_int e.Event.pid, e.Event.lseq + 1) i)
+    stamped;
+  (* direct predecessor edges from the dependency vectors; close
+     transitively over positions *)
+  let reach = Array.make_matrix len len false in
+  Array.iteri
+    (fun i (e, v) ->
+      reach.(i).(i) <- true;
+      (* same-process predecessor *)
+      if e.Event.lseq > 0 then begin
+        match Hashtbl.find_opt pos_of (Pid.to_int e.Event.pid, e.Event.lseq) with
+        | Some j -> reach.(j).(i) <- true
+        | None -> ()
+      end;
+      (* direct dependencies on other processes *)
+      Array.iteri
+        (fun q cnt ->
+          if q <> Pid.to_int e.Event.pid && cnt > 0 then
+            match Hashtbl.find_opt pos_of (q, cnt) with
+            | Some j -> reach.(j).(i) <- true
+            | None -> ())
+        v)
+    stamped;
+  for k = 0 to len - 1 do
+    for i = 0 to len - 1 do
+      if reach.(i).(k) then
+        for j = 0 to len - 1 do
+          if reach.(k).(j) then reach.(i).(j) <- true
+        done
+    done
+  done;
+  fun i j -> reach.(i).(j)

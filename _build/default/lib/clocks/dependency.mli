@@ -1,0 +1,42 @@
+(** Direct-dependency clocks (Fowler–Zwaenepoel).
+
+    Vector clocks piggyback O(n) integers on every message; dependency
+    clocks piggyback {e one} — the sender's local event count. Each
+    process then records only its {e direct} dependencies: the latest
+    known event of each sender it heard from first-hand. Transitive
+    causality is lost online but recoverable {e offline} by closing the
+    dependency graph — the classic trade-off for distributed debugging,
+    where traces are analyzed after the fact anyway.
+
+    {!reconstruct} performs the offline closure and the tests verify it
+    agrees exactly with {!Hpl_core.Causality} (which is built from full
+    vector clocks) on every computation tried: cheap online, exact
+    offline. *)
+
+type t
+(** A process's direct-dependency vector. *)
+
+val create : n:int -> me:Hpl_core.Pid.t -> t
+val tick : t -> int
+(** Advance for an internal event; returns the local event count. *)
+
+val send : t -> int
+(** Advance and return the scalar to piggyback (the sender's new local
+    event count). *)
+
+val observe : t -> src:Hpl_core.Pid.t -> int -> int
+(** Record a receive of a message carrying the sender's count; returns
+    the local event count of the receive. *)
+
+val read : t -> int array
+(** Direct-dependency vector: entry [q] is the highest event count of
+    [q] directly heard from (own entry: own count). *)
+
+val stamp_trace :
+  n:int -> Hpl_core.Trace.t -> (Hpl_core.Event.t * int array) list
+(** Offline assignment of direct-dependency vectors per event. *)
+
+val reconstruct : n:int -> Hpl_core.Trace.t -> (int -> int -> bool)
+(** [reconstruct ~n z] closes the direct dependencies transitively and
+    returns a happened-before oracle on trace positions (reflexive),
+    equal to {!Hpl_core.Causality.hb}. *)

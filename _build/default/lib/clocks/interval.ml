@@ -1,0 +1,55 @@
+open Hpl_core
+
+type t = { owner : Pid.t; first : int; last : int }
+
+let make ~owner ~first ~last =
+  if first > last then invalid_arg "Interval.make: first > last";
+  { owner; first; last }
+
+let precedes ts a b = a.last <> b.first && Causality.hb ts a.last b.first
+
+let can_affect ts a b =
+  (* some event of a ⤳ some event of b: enough to test a.first vs
+     b.last (happened-before is monotone along each interval) *)
+  (not (a.owner = b.owner && a.first = b.first && a.last = b.last))
+  && Causality.hb ts a.first b.last
+
+let concurrent ts a b = (not (can_affect ts a b)) && not (can_affect ts b a)
+
+let of_bracketing ~enter ~exit z =
+  let events = Trace.to_list z in
+  let open_at : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let out = ref [] in
+  List.iteri
+    (fun i e ->
+      match e.Event.kind with
+      | Event.Internal tag when String.equal tag enter ->
+          Hashtbl.replace open_at (Pid.to_int e.Event.pid) i
+      | Event.Internal tag when String.equal tag exit -> (
+          let p = Pid.to_int e.Event.pid in
+          match Hashtbl.find_opt open_at p with
+          | Some first ->
+              Hashtbl.remove open_at p;
+              out := { owner = e.Event.pid; first; last = i } :: !out
+          | None -> ())
+      | _ -> ())
+    events;
+  (* unmatched enters run to the end of the trace *)
+  let len = List.length events in
+  Hashtbl.iter
+    (fun p first ->
+      out := { owner = Pid.of_int p; first; last = len - 1 } :: !out)
+    open_at;
+  List.sort (fun a b -> Int.compare a.first b.first) !out
+
+let totally_ordered ts intervals =
+  let rec pairs = function
+    | [] -> true
+    | a :: rest ->
+        List.for_all (fun b -> precedes ts a b || precedes ts b a) rest
+        && pairs rest
+  in
+  pairs intervals
+
+let pp fmt i =
+  Format.fprintf fmt "%a[%d..%d]" Pid.pp i.owner i.first i.last

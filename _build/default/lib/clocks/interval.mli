@@ -1,0 +1,55 @@
+(** Causality between nonatomic operations (interval events).
+
+    The paper's events are atomic; real operations (a critical section,
+    an RPC, a transaction) span {e intervals} of events. Following
+    Lamport's system-execution treatment, for intervals [A], [B] of one
+    computation:
+
+    - [A precedes B] ([A → B]): {e every} event of [A] happens-before
+      {e every} event of [B] — it suffices that [A]'s last event
+      happens-before [B]'s first;
+    - [A can_affect B] ([A ⇢ B]): {e some} event of [A] happens-before
+      some event of [B];
+    - otherwise the intervals are {!concurrent}.
+
+    [precedes] is an irreflexive strict partial order (on
+    non-overlapping intervals); [can_affect] is its weak companion
+    ([A → B ⇒ A ⇢ B], and [¬(B ⇢ A) ⇒] nothing of [B] leaked into
+    [A]). Extraction helpers build intervals from enter/exit internal
+    events, so the mutual-exclusion protocols' critical sections become
+    intervals whose total [precedes]-order {e is} the exclusion
+    property (tested in the suite). *)
+
+type t = {
+  owner : Hpl_core.Pid.t;
+  first : int;  (** trace position of the first event *)
+  last : int;  (** trace position of the last event; [first <= last] *)
+}
+
+val make : owner:Hpl_core.Pid.t -> first:int -> last:int -> t
+(** Raises [Invalid_argument] if [first > last]. *)
+
+val precedes : Hpl_core.Causality.t -> t -> t -> bool
+(** [A → B]: [A]'s last event strictly happens-before [B]'s first
+    (distinct positions). *)
+
+val can_affect : Hpl_core.Causality.t -> t -> t -> bool
+(** [A ⇢ B]: some event of [A] happens-before (or coincides with) some
+    event of [B]; overlapping intervals can affect each other in both
+    directions. Irreflexive by convention (an interval does not "affect
+    itself"). *)
+
+val concurrent : Hpl_core.Causality.t -> t -> t -> bool
+(** Neither [A ⇢ B] nor [B ⇢ A]. *)
+
+val of_bracketing :
+  enter:string -> exit:string -> Hpl_core.Trace.t -> t list
+(** Extracts one interval per enter/exit pair of internal events (per
+    process, in order). Unmatched enters extend to the trace end. *)
+
+val totally_ordered : Hpl_core.Causality.t -> t list -> bool
+(** Every pair of distinct intervals is ordered by {!precedes} one way
+    or the other — e.g. what mutual exclusion guarantees for critical
+    sections. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+open Hpl_core
+
+type t = { mutable value : int }
+
+let create () = { value = 0 }
+let now c = c.value
+
+let tick c =
+  c.value <- c.value + 1;
+  c.value
+
+let send = tick
+
+let observe c ts =
+  c.value <- max c.value ts + 1;
+  c.value
+
+let stamp_trace ~n z =
+  (match Trace.well_formed_error z with
+  | Some reason -> invalid_arg ("Lamport.stamp_trace: " ^ reason)
+  | None -> ());
+  let clocks = Array.init n (fun _ -> create ()) in
+  let msg_ts : (Pid.t * int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.map
+    (fun e ->
+      let c = clocks.(Pid.to_int e.Event.pid) in
+      let ts =
+        match e.Event.kind with
+        | Event.Internal _ -> tick c
+        | Event.Send m ->
+            let ts = send c in
+            Hashtbl.replace msg_ts (Msg.key m) ts;
+            ts
+        | Event.Receive m -> observe c (Hashtbl.find msg_ts (Msg.key m))
+      in
+      (e, ts))
+    (Trace.to_list z)
+
+let consistent_with_causality ~n z =
+  let stamped = Array.of_list (stamp_trace ~n z) in
+  let ts = Causality.compute ~n z in
+  let ok = ref true in
+  let len = Array.length stamped in
+  for i = 0 to len - 1 do
+    for j = 0 to len - 1 do
+      if i <> j && Causality.hb ts i j then begin
+        let _, ti = stamped.(i) and _, tj = stamped.(j) in
+        if not (ti < tj) then ok := false
+      end
+    done
+  done;
+  !ok

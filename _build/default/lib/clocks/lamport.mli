@@ -1,0 +1,38 @@
+(** Lamport scalar clocks (Lamport 1978, the paper's reference [5]).
+
+    A scalar clock assigns every event a timestamp such that
+    [e ⤳ e' ⇒ ts e < ts e'] for distinct events — consistency with
+    causality, without the converse (vector clocks, {!Vector},
+    characterize causality exactly).
+
+    [tick] advances on a local event; [send] produces the value to
+    piggyback; [observe] merges a received value. *)
+
+type t
+
+val create : unit -> t
+(** A fresh clock at 0. *)
+
+val now : t -> int
+(** Current value (timestamp of the latest local event). *)
+
+val tick : t -> int
+(** Advance for an internal event; returns the event's timestamp. *)
+
+val send : t -> int
+(** Advance for a send event; returns the timestamp to attach to the
+    message. *)
+
+val observe : t -> int -> int
+(** [observe c ts] advances for a receive event of a message carrying
+    timestamp [ts]: the clock becomes [max local ts + 1]. Returns the
+    receive event's timestamp. *)
+
+val stamp_trace : n:int -> Hpl_core.Trace.t -> (Hpl_core.Event.t * int) list
+(** Timestamps every event of a computation, threading one clock per
+    process and piggybacking on messages — the classic offline
+    assignment. Raises [Invalid_argument] on ill-formed traces. *)
+
+val consistent_with_causality : n:int -> Hpl_core.Trace.t -> bool
+(** Checks [e ⤳ e' ∧ e ≠ e' ⇒ ts e < ts e'] for the assignment of
+    {!stamp_trace}. *)

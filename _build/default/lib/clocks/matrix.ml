@@ -1,0 +1,55 @@
+open Hpl_core
+
+type t = { who : Pid.t; m : int array array }
+
+let create ~n ~me =
+  if Pid.to_int me >= n then invalid_arg "Matrix.create: pid out of range";
+  { who = me; m = Array.init n (fun _ -> Array.make n 0) }
+
+let me c = c.who
+let read c = Array.map Array.copy c.m
+let own_vector c = Array.copy c.m.(Pid.to_int c.who)
+
+let tick c =
+  let i = Pid.to_int c.who in
+  c.m.(i).(i) <- c.m.(i).(i) + 1
+
+let send c =
+  tick c;
+  read c
+
+let observe c ~src other =
+  let n = Array.length c.m in
+  let i = Pid.to_int c.who and s = Pid.to_int src in
+  (* all rows: pointwise max — anything the sender knew about anyone's
+     knowledge, we now know too *)
+  for q = 0 to n - 1 do
+    for r = 0 to n - 1 do
+      if other.(q).(r) > c.m.(q).(r) then c.m.(q).(r) <- other.(q).(r)
+    done
+  done;
+  (* our own view absorbs the sender's own view *)
+  for r = 0 to n - 1 do
+    if other.(s).(r) > c.m.(i).(r) then c.m.(i).(r) <- other.(s).(r)
+  done;
+  c.m.(i).(i) <- c.m.(i).(i) + 1
+
+let knows_count c ~about = c.m.(Pid.to_int c.who).(Pid.to_int about)
+let knows_that_knows c ~mid ~about = c.m.(Pid.to_int mid).(Pid.to_int about)
+
+let stamp_trace ~n z =
+  (match Trace.well_formed_error z with
+  | Some reason -> invalid_arg ("Matrix.stamp_trace: " ^ reason)
+  | None -> ());
+  let clocks = Array.init n (fun i -> create ~n ~me:(Pid.of_int i)) in
+  let msg_m : (Pid.t * int, int array array) Hashtbl.t = Hashtbl.create 16 in
+  List.map
+    (fun e ->
+      let c = clocks.(Pid.to_int e.Event.pid) in
+      (match e.Event.kind with
+      | Event.Internal _ -> tick c
+      | Event.Send m -> Hashtbl.replace msg_m (Msg.key m) (send c)
+      | Event.Receive m ->
+          observe c ~src:m.Msg.src (Hashtbl.find msg_m (Msg.key m)));
+      (e, read c))
+    (Trace.to_list z)

@@ -1,0 +1,44 @@
+(** Matrix clocks — operational second-order knowledge.
+
+    A matrix clock at process [p] stores, for every pair [(q, r)],
+    [p]'s best lower bound on "how many of [r]'s events [q] has seen".
+    Row [p] is [p]'s own vector clock; row [q] is a conservative
+    estimate of [q]'s vector clock. This is the classical mechanism
+    that makes statements like "p knows that q knows that r has passed
+    event 5" — the paper's nested knowledge ([P knows Q knows b]) for
+    event-counting local predicates — decidable {e online}, without
+    enumerating a universe. The test-suite validates the estimates
+    against the exact knowledge engine. *)
+
+type t
+
+val create : n:int -> me:Hpl_core.Pid.t -> t
+val me : t -> Hpl_core.Pid.t
+
+val read : t -> int array array
+(** Snapshot (fresh matrix). [read c].(q).(r) is the bound described
+    above. *)
+
+val own_vector : t -> int array
+(** Row [me] — the process's plain vector clock. *)
+
+val tick : t -> unit
+val send : t -> int array array
+(** Advance own entry and return the matrix to piggyback. *)
+
+val observe : t -> src:Hpl_core.Pid.t -> int array array -> unit
+(** Merge a received matrix: own row joins the sender's row (plus all
+    rows pointwise); then count the receive on own row. *)
+
+val knows_count : t -> about:Hpl_core.Pid.t -> int
+(** [knows_count c ~about:r] = how many of [r]'s events [me] has
+    (transitively) learned of. *)
+
+val knows_that_knows : t -> mid:Hpl_core.Pid.t -> about:Hpl_core.Pid.t -> int
+(** [knows_that_knows c ~mid:q ~about:r]: a sound lower bound on "the
+    number k such that [me] knows that [q] knows that [r] has executed
+    ≥ k events". *)
+
+val stamp_trace :
+  n:int -> Hpl_core.Trace.t -> (Hpl_core.Event.t * int array array) list
+(** Offline assignment over a computation. *)

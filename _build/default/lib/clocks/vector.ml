@@ -1,0 +1,63 @@
+open Hpl_core
+
+type t = { who : Pid.t; v : int array }
+
+let create ~n ~me =
+  if Pid.to_int me >= n then invalid_arg "Vector.create: pid out of range";
+  { who = me; v = Array.make n 0 }
+
+let me c = c.who
+let read c = Array.copy c.v
+
+let tick c =
+  let i = Pid.to_int c.who in
+  c.v.(i) <- c.v.(i) + 1;
+  Array.copy c.v
+
+let send = tick
+
+let observe c ts =
+  Array.iteri (fun i x -> if x > c.v.(i) then c.v.(i) <- x) ts;
+  tick c
+
+let leq a b =
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > b.(i) then ok := false) a;
+  !ok
+
+let lt a b = leq a b && not (leq b a)
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let stamp_trace ~n z =
+  (match Trace.well_formed_error z with
+  | Some reason -> invalid_arg ("Vector.stamp_trace: " ^ reason)
+  | None -> ());
+  let clocks = Array.init n (fun i -> create ~n ~me:(Pid.of_int i)) in
+  let msg_ts : (Pid.t * int, int array) Hashtbl.t = Hashtbl.create 16 in
+  List.map
+    (fun e ->
+      let c = clocks.(Pid.to_int e.Event.pid) in
+      let ts =
+        match e.Event.kind with
+        | Event.Internal _ -> tick c
+        | Event.Send m ->
+            let ts = send c in
+            Hashtbl.replace msg_ts (Msg.key m) ts;
+            ts
+        | Event.Receive m -> observe c (Hashtbl.find msg_ts (Msg.key m))
+      in
+      (e, ts))
+    (Trace.to_list z)
+
+let characterizes_causality ~n z =
+  let stamped = Array.of_list (stamp_trace ~n z) in
+  let ts = Causality.compute ~n z in
+  let ok = ref true in
+  let len = Array.length stamped in
+  for i = 0 to len - 1 do
+    for j = 0 to len - 1 do
+      let _, vi = stamped.(i) and _, vj = stamped.(j) in
+      if Causality.hb ts i j <> leq vi vj then ok := false
+    done
+  done;
+  !ok

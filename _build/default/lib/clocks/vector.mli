@@ -1,0 +1,40 @@
+(** Vector clocks.
+
+    The operational realization of the paper's causality: a vector
+    timestamp per event characterizes happened-before {e exactly}
+    ([e ⤳ e' ⟺ vt e ≤ vt e']), which is what lets a process decide
+    locally whether a fact could have reached it — the "minimum
+    information flow" of §1 made executable. *)
+
+type t
+(** A process's clock: a vector of event counts, one per process. *)
+
+val create : n:int -> me:Hpl_core.Pid.t -> t
+val me : t -> Hpl_core.Pid.t
+val read : t -> int array
+(** Snapshot of the current vector (fresh array). *)
+
+val tick : t -> int array
+(** Advance own component (internal event); returns the event's
+    timestamp. *)
+
+val send : t -> int array
+(** Advance and return the timestamp to piggyback. *)
+
+val observe : t -> int array -> int array
+(** Merge a received timestamp (component-wise max), then advance own
+    component. Returns the receive event's timestamp. *)
+
+(** Comparison of timestamps. *)
+val leq : int array -> int array -> bool
+
+val lt : int array -> int array -> bool
+val concurrent : int array -> int array -> bool
+
+val stamp_trace : n:int -> Hpl_core.Trace.t -> (Hpl_core.Event.t * int array) list
+(** Offline assignment over a computation (one clock per process,
+    piggybacked on messages). *)
+
+val characterizes_causality : n:int -> Hpl_core.Trace.t -> bool
+(** Checks [e ⤳ e' ⟺ vt e ≤ vt e'] against {!Hpl_core.Causality} for
+    every pair — the exactness property scalar clocks lack. *)

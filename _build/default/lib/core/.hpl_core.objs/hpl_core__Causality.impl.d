@@ -1,0 +1,1 @@
+lib/core/causality.ml: Array Event Hashtbl Msg Pid Trace

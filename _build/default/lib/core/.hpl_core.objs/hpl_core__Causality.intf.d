@@ -1,0 +1,1 @@
+lib/core/causality.mli: Event Trace

@@ -1,0 +1,1 @@
+lib/core/chain.ml: Array Causality Event List Msg Pid Pset Trace

@@ -1,0 +1,1 @@
+lib/core/common_knowledge.ml: Bitset Knowledge List Printf Prop Pset Spec Universe

@@ -1,0 +1,1 @@
+lib/core/common_knowledge.mli: Bitset Prop Universe

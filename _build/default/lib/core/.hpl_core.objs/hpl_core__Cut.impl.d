@@ -1,0 +1,1 @@
+lib/core/cut.ml: Array Event Format Hashtbl Int List Msg Pid String Trace

@@ -1,0 +1,1 @@
+lib/core/detect.ml: Array Cut Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/dot.ml: Buffer List Printf String

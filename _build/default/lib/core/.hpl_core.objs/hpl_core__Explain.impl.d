@@ -1,0 +1,1 @@
+lib/core/explain.ml: Array Event Format Knowledge List Msg Pid Printf Prop Pset Trace Transfer Universe

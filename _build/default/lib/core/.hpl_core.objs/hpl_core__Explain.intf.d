@@ -1,0 +1,1 @@
+lib/core/explain.mli: Event Format Prop Pset Trace Universe

@@ -1,0 +1,1 @@
+lib/core/extension.ml: Bitset Event Isomorphism List Msg Pset Relations Spec Trace Universe

@@ -1,0 +1,1 @@
+lib/core/extension.mli: Bitset Event Pset Spec Trace Universe

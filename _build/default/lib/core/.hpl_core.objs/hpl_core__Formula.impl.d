@@ -1,0 +1,1 @@
+lib/core/formula.ml: Common_knowledge Format Group Hashtbl Knowledge List Pid Printf Prop Pset Result Spec String Temporal Universe

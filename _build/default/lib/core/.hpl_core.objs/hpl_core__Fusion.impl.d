@@ -1,0 +1,1 @@
+lib/core/fusion.ml: Chain Event Format Isomorphism List Pset Result Trace

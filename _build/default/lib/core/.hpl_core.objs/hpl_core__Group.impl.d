@@ -1,0 +1,1 @@
+lib/core/group.ml: Bitset Format Knowledge Printf Prop Pset Universe

@@ -1,0 +1,1 @@
+lib/core/group.mli: Bitset Pid Prop Pset Universe

@@ -1,0 +1,1 @@
+lib/core/iso_diagram.ml: Array Dot Format Isomorphism List Pset Spec String Trace Universe

@@ -1,0 +1,1 @@
+lib/core/iso_diagram.mli: Format Pset Trace Universe

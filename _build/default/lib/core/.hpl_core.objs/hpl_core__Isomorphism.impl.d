@@ -1,0 +1,1 @@
+lib/core/isomorphism.ml: Array Bitset Event List Pset Relations Trace Universe

@@ -1,0 +1,1 @@
+lib/core/isomorphism.mli: Bitset Pid Pset Trace Universe

@@ -1,0 +1,1 @@
+lib/core/knowledge.ml: Array Bitset Format Isomorphism List Prop Pset Universe

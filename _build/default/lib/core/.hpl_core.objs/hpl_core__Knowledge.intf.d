@@ -1,0 +1,1 @@
+lib/core/knowledge.mli: Bitset Pid Prop Pset Trace Universe

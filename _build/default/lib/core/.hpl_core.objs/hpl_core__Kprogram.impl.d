@@ -1,0 +1,1 @@
+lib/core/kprogram.ml: Bitset Event Format Formula Hashtbl Knowledge List Pid Printf Prop Pset Spec Trace Universe

@@ -1,0 +1,1 @@
+lib/core/kprogram.mli: Event Formula Pid Prop Pset Spec Universe

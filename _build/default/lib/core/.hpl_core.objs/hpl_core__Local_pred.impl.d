@@ -1,0 +1,1 @@
+lib/core/local_pred.ml: Array Bitset Knowledge Prop Pset Universe

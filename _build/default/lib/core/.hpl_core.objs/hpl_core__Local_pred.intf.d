@@ -1,0 +1,1 @@
+lib/core/local_pred.mli: Prop Pset Universe

@@ -1,0 +1,1 @@
+lib/core/prop.ml: Array Bitset Bool Format Hashtbl List Printf Spec Trace Universe

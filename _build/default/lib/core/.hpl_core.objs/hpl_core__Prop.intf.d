@@ -1,0 +1,1 @@
+lib/core/prop.mli: Bitset Format Pid Trace Universe

@@ -1,0 +1,1 @@
+lib/core/pset.ml: Format Pid Set

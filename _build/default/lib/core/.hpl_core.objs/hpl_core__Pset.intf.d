@@ -1,0 +1,1 @@
+lib/core/pset.mli: Format Pid

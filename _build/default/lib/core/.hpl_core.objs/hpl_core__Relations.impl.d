@@ -1,0 +1,1 @@
+lib/core/relations.ml: Array Bitset List Universe

@@ -1,0 +1,1 @@
+lib/core/replay.ml: Array Event Knowledge List Msg Pid Prop Spec Trace Universe

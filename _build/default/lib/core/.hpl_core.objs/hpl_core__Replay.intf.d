@@ -1,0 +1,1 @@
+lib/core/replay.mli: Prop Pset Spec Trace Universe

@@ -1,0 +1,1 @@
+lib/core/spec.ml: Event List Msg Option Pid Printf Pset Trace

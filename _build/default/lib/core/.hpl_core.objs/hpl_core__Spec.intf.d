@@ -1,0 +1,1 @@
+lib/core/spec.mli: Event Msg Pid Pset Trace

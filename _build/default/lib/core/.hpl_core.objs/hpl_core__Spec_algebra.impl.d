@@ -1,0 +1,1 @@
+lib/core/spec_algebra.ml: Event List Msg Pid Spec

@@ -1,0 +1,1 @@
+lib/core/state_iso.ml: Array Bitset Event Format Hashtbl Knowledge List Msg Pid Printf Prop Pset Spec String Trace Universe

@@ -1,0 +1,1 @@
+lib/core/state_iso.mli: Bitset Event Pid Prop Pset Trace Universe

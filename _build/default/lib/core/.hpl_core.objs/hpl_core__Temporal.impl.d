@@ -1,0 +1,1 @@
+lib/core/temporal.ml: Array Bitset Format Int List Prop Spec Trace Universe

@@ -1,0 +1,1 @@
+lib/core/temporal.mli: Bitset Format Prop Trace Universe

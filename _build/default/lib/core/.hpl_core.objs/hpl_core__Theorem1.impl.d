@@ -1,0 +1,1 @@
+lib/core/theorem1.ml: Chain Event Relations Spec Trace Universe

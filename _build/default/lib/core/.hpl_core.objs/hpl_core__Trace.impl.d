@@ -1,0 +1,1 @@
+lib/core/trace.ml: Event Format Hashtbl Int List Msg Option Pid Printf

@@ -1,0 +1,1 @@
+lib/core/trace_io.ml: Event Fun List Msg Pid Printf Scanf String Trace

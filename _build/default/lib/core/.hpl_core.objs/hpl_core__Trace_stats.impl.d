@@ -1,0 +1,1 @@
+lib/core/trace_stats.ml: Array Causality Event Format Hashtbl List Msg Option Pid String Trace

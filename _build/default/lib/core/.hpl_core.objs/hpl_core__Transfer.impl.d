@@ -1,0 +1,1 @@
+lib/core/transfer.ml: Bool Chain Event Knowledge List Local_pred Prop Pset Relations Spec Trace Universe

@@ -1,0 +1,1 @@
+lib/core/universe.ml: Array Bitset Event Format Hashtbl List Msg Pid Pset Spec Trace

@@ -1,0 +1,131 @@
+(* 62 usable bits per word keeps the arithmetic comfortably inside
+   OCaml's 63-bit native ints. *)
+let bits = 62
+
+type t = { n : int; words : int array }
+
+let nwords n = (n + bits - 1) / bits
+let create n = { n; words = Array.make (max 1 (nwords n)) 0 }
+
+let mask_last n =
+  let r = n mod bits in
+  if r = 0 then -1 lsr 1 else (1 lsl r) - 1
+
+let create_full n =
+  let w = Array.make (max 1 (nwords n)) ((-1) lsr 1) in
+  if n = 0 then w.(0) <- 0
+  else begin
+    (* clear the bits beyond [n] in every word up to full width *)
+    Array.iteri
+      (fun i _ ->
+        let lo = i * bits in
+        if lo >= n then w.(i) <- 0)
+      w;
+    let lastw = (n - 1) / bits in
+    w.(lastw) <- w.(lastw) land mask_last n
+  end;
+  { n; words = w }
+
+let length t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of bounds"
+
+let mem t i =
+  check t i;
+  t.words.(i / bits) land (1 lsl (i mod bits)) <> 0
+
+let add t i =
+  check t i;
+  t.words.(i / bits) <- t.words.(i / bits) lor (1 lsl (i mod bits))
+
+let remove t i =
+  check t i;
+  t.words.(i / bits) <- t.words.(i / bits) land lnot (1 lsl (i mod bits))
+
+let copy t = { n = t.n; words = Array.copy t.words }
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let same_domain a b =
+  if a.n <> b.n then invalid_arg "Bitset: domain mismatch"
+
+let equal a b =
+  same_domain a b;
+  Array.for_all2 (fun x y -> x = y) a.words b.words
+
+let subset a b =
+  same_domain a b;
+  Array.for_all2 (fun x y -> x land lnot y = 0) a.words b.words
+
+let map2 f a b =
+  same_domain a b;
+  { n = a.n; words = Array.map2 f a.words b.words }
+
+let union a b = map2 ( lor ) a b
+let inter a b = map2 ( land ) a b
+let diff a b = map2 (fun x y -> x land lnot y) a b
+
+let complement a =
+  let full = create_full a.n in
+  diff full a
+
+let inter_into a b =
+  same_domain a b;
+  Array.iteri (fun i w -> a.words.(i) <- a.words.(i) land w) b.words
+
+let union_into a b =
+  same_domain a b;
+  Array.iteri (fun i w -> a.words.(i) <- a.words.(i) lor w) b.words
+
+let of_pred n f =
+  let t = create n in
+  for i = 0 to n - 1 do
+    if f i then add t i
+  done;
+  t
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if t.words.(i / bits) land (1 lsl (i mod bits)) <> 0 then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let for_all f t =
+  let exception Stop in
+  try
+    iter (fun i -> if not (f i) then raise Stop) t;
+    true
+  with Stop -> false
+
+let exists f t =
+  let exception Stop in
+  try
+    iter (fun i -> if f i then raise Stop) t;
+    false
+  with Stop -> true
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let choose t =
+  let exception Found of int in
+  try
+    iter (fun i -> raise (Found i)) t;
+    None
+  with Found i -> Some i
+
+let pp fmt t =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ",")
+       Format.pp_print_int)
+    (to_list t)

@@ -1,0 +1,52 @@
+(** Dense bitsets.
+
+    The knowledge engine represents a predicate extensionally as the set
+    of universe indices where it holds; all knowledge operators then
+    become bitset algebra ([knows] is a class-wise AND, common knowledge
+    a fixpoint of intersections). Sets are fixed-length and mutable;
+    the pure operators ({!union}, {!inter}, …) allocate fresh sets. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over domain [{0..n-1}]. *)
+
+val create_full : int -> t
+(** [create_full n] is the full set over domain [{0..n-1}]. *)
+
+val length : t -> int
+(** Domain size. *)
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val copy : t -> t
+
+val cardinal : t -> int
+val is_empty : t -> bool
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+(** [subset a b]: every member of [a] is in [b]. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val complement : t -> t
+
+val inter_into : t -> t -> unit
+(** [inter_into a b] updates [a] to [a ∩ b]. *)
+
+val union_into : t -> t -> unit
+
+val of_pred : int -> (int -> bool) -> t
+val iter : (int -> unit) -> t -> unit
+(** Iterates over members in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val for_all : (int -> bool) -> t -> bool
+val exists : (int -> bool) -> t -> bool
+val to_list : t -> int list
+val choose : t -> int option
+(** Least member, if any. *)
+
+val pp : Format.formatter -> t -> unit

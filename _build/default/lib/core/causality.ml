@@ -1,0 +1,55 @@
+type t = { events : Event.t array; vts : int array array }
+
+let compute ~n z =
+  (match Trace.well_formed_error z with
+  | Some reason -> invalid_arg ("Causality.compute: " ^ reason)
+  | None -> ());
+  let events = Array.of_list (Trace.to_list z) in
+  let len = Array.length events in
+  let vts = Array.make len [||] in
+  let proc_vec = Array.init n (fun _ -> Array.make n 0) in
+  (* send position by message key, to join timestamps on receive *)
+  let send_pos : (Pid.t * int, int) Hashtbl.t = Hashtbl.create 16 in
+  for k = 0 to len - 1 do
+    let e = events.(k) in
+    let p = Pid.to_int e.Event.pid in
+    let v = Array.copy proc_vec.(p) in
+    (match e.Event.kind with
+    | Event.Receive m ->
+        let sp = Hashtbl.find send_pos (Msg.key m) in
+        Array.iteri (fun q x -> if x > v.(q) then v.(q) <- x) vts.(sp)
+    | Event.Send m -> Hashtbl.replace send_pos (Msg.key m) k
+    | Event.Internal _ -> ());
+    v.(p) <- v.(p) + 1;
+    vts.(k) <- v;
+    proc_vec.(p) <- v
+  done;
+  { events; vts }
+
+let length t = Array.length t.events
+let event_at t i = t.events.(i)
+let vt t i = t.vts.(i)
+
+let hb t i j =
+  i = j
+  ||
+  let e = t.events.(i) in
+  let p = Pid.to_int e.Event.pid in
+  t.vts.(j).(p) >= e.Event.lseq + 1
+
+let position_of t e =
+  let rec go i =
+    if i >= Array.length t.events then None
+    else if Event.equal t.events.(i) e then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let concurrent t i j = (not (hb t i j)) && not (hb t j i)
+
+let causal_past t i =
+  let acc = ref [] in
+  for j = Array.length t.events - 1 downto 0 do
+    if hb t j i then acc := j :: !acc
+  done;
+  !acc

@@ -1,0 +1,36 @@
+(** Happened-before causality (§3.1, after Lamport).
+
+    For events [e], [e'] of a computation [z], [e ⤳ e'] iff they are on
+    the same process with [e] no later, or [e] is the send of the
+    message [e'] receives, or transitively so. We compute a vector
+    timestamp per position once (O(len·n)) and answer [⤳] queries in
+    O(1): with [vt e p] counting the events on [p] in [e]'s causal
+    past, [e ⤳ e' ⟺ vt e' (proc e) ≥ lseq e + 1].
+
+    The relation here is reflexive ([e ⤳ e]), as in the paper. *)
+
+type t
+(** Timestamps for one computation. *)
+
+val compute : n:int -> Trace.t -> t
+(** [compute ~n z] with [n] the number of processes in the system.
+    Raises [Invalid_argument] if [z] is not well-formed. *)
+
+val length : t -> int
+val event_at : t -> int -> Event.t
+val vt : t -> int -> int array
+(** [vt t i] is the vector timestamp of position [i]; entry [p] is the
+    number of events on [p] causally at-or-before position [i]. The
+    returned array must not be mutated. *)
+
+val hb : t -> int -> int -> bool
+(** [hb t i j] is [e_i ⤳ e_j] (reflexive). *)
+
+val position_of : t -> Event.t -> int option
+(** Position of an event in the computation, by {!Event.equal}. *)
+
+val concurrent : t -> int -> int -> bool
+(** Neither [hb i j] nor [hb j i] — independent events. *)
+
+val causal_past : t -> int -> int list
+(** Positions causally at-or-before [i] (including [i]). *)

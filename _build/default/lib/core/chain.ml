@@ -1,0 +1,95 @@
+let find_ts ts ~start psets =
+  if psets = [] then invalid_arg "Chain.find: empty chain";
+  let len = Causality.length ts in
+  let positions_on ps =
+    let acc = ref [] in
+    for i = len - 1 downto start do
+      if Event.on (Causality.event_at ts i) ps then acc := i :: !acc
+    done;
+    !acc
+  in
+  match psets with
+  | [] -> assert false
+  | p0 :: rest ->
+      (* frontier: positions reachable as the current chain element,
+         with backpointers for witness extraction *)
+      let init = List.map (fun i -> (i, [ i ])) (positions_on p0) in
+      let step frontier ps =
+        List.filter_map
+          (fun j ->
+            let rec pick = function
+              | [] -> None
+              | (i, path) :: tl ->
+                  if Causality.hb ts i j then Some (j, j :: path) else pick tl
+            in
+            pick frontier)
+          (positions_on ps)
+      in
+      let final = List.fold_left step init rest in
+      (match final with
+      | [] -> None
+      | (_, path) :: _ -> Some (List.rev path))
+
+let exists_ts ts ~start psets = find_ts ts ~start psets <> None
+
+let find ~n ?(x = Trace.empty) ~z psets =
+  if not (Trace.is_prefix x z) then invalid_arg "Chain.find: x not a prefix of z";
+  let ts = Causality.compute ~n z in
+  match find_ts ts ~start:(Trace.length x) psets with
+  | None -> None
+  | Some positions -> Some (List.map (Causality.event_at ts) positions)
+
+let exists ~n ?(x = Trace.empty) ~z psets = find ~n ~x ~z psets <> None
+
+let of_pids pids = List.map Pset.singleton pids
+
+let exists_naive ~n:_ ?(x = Trace.empty) ~z psets =
+  if psets = [] then invalid_arg "Chain.exists_naive: empty chain";
+  if not (Trace.is_prefix x z) then
+    invalid_arg "Chain.exists_naive: x not a prefix of z";
+  let events = Array.of_list (Trace.to_list z) in
+  let len = Array.length events in
+  (* direct dependencies, then Floyd-Warshall-style closure *)
+  let reach = Array.make_matrix len len false in
+  for i = 0 to len - 1 do
+    reach.(i).(i) <- true
+  done;
+  for j = 0 to len - 1 do
+    for i = 0 to j - 1 do
+      let e = events.(i) and e' = events.(j) in
+      let direct =
+        (Pid.equal e.Event.pid e'.Event.pid && e.Event.lseq <= e'.Event.lseq)
+        ||
+        match (e.Event.kind, e'.Event.kind) with
+        | Event.Send m, Event.Receive m' -> Msg.equal m m'
+        | _ -> false
+      in
+      if direct then reach.(i).(j) <- true
+    done
+  done;
+  for k = 0 to len - 1 do
+    for i = 0 to len - 1 do
+      if reach.(i).(k) then
+        for j = 0 to len - 1 do
+          if reach.(k).(j) then reach.(i).(j) <- true
+        done
+    done
+  done;
+  let start = Trace.length x in
+  let positions_on ps =
+    List.filter
+      (fun i -> i >= start && Event.on events.(i) ps)
+      (List.init len (fun i -> i))
+  in
+  match psets with
+  | [] -> assert false
+  | p0 :: rest ->
+      let frontier = ref (positions_on p0) in
+      List.iter
+        (fun ps ->
+          frontier :=
+            List.filter
+              (fun j -> List.exists (fun i -> reach.(i).(j)) !frontier)
+              (positions_on ps))
+        rest;
+      !frontier <> []

@@ -1,0 +1,35 @@
+(** Process chains (§3.1).
+
+    A computation [z] has a process chain [<P0 P1 … Pn>] when there are
+    events [e0 ⤳ e1 ⤳ … ⤳ en] (not necessarily distinct) with [ei] on
+    [Pi]. "[z] has a chain in [(x,z)]" restricts all the [ei] to the
+    suffix after the prefix [x], with causality taken in [z].
+
+    Chains are the operational face of isomorphism: Theorem 1 says
+    information about [P1 … Pn] flows from [x] to [z] either not at all
+    (isomorphism) or along such a chain. *)
+
+val find :
+  n:int -> ?x:Trace.t -> z:Trace.t -> Pset.t list -> Event.t list option
+(** [find ~n ~x ~z psets] is a witness chain [e0; …; ek] in [(x, z)]
+    for [psets = <P0 … Pk>], or [None]. [x] defaults to the empty
+    computation (chain anywhere in [z]).
+    Raises [Invalid_argument] if [psets] is empty or [x] is not a
+    prefix of [z]. *)
+
+val exists : n:int -> ?x:Trace.t -> z:Trace.t -> Pset.t list -> bool
+
+val exists_ts : Causality.t -> start:int -> Pset.t list -> bool
+(** Lower-level entry point reusing precomputed timestamps; [start] is
+    the first suffix position. *)
+
+val find_ts : Causality.t -> start:int -> Pset.t list -> int list option
+(** Witness as positions. *)
+
+val of_pids : Pid.t list -> Pset.t list
+(** Convenience: a chain alphabet of singletons. *)
+
+val exists_naive : n:int -> ?x:Trace.t -> z:Trace.t -> Pset.t list -> bool
+(** Reference implementation via an explicit O(len²) transitive-closure
+    matrix instead of vector-timestamp queries. Same answers as
+    {!exists} (property-tested); kept for the P3 ablation bench. *)

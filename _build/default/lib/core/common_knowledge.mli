@@ -1,0 +1,27 @@
+(** Common knowledge (§4.2).
+
+    [b is common knowledge] is the greatest fixpoint of
+    [ck = b ∧ ⋀p (p knows ck)]: [b] holds, everyone knows it, everyone
+    knows everyone knows it, and so on. The paper's corollary to
+    Lemma 3: in a system with more than one process, common knowledge
+    is {e constant} — it can be neither gained nor lost. Bench E7
+    exhibits this on concrete systems. *)
+
+val common_ext : Universe.t -> Bitset.t -> Bitset.t
+(** Greatest fixpoint, computed by iterating the (monotone, shrinking)
+    operator to stability. *)
+
+val common : Universe.t -> Prop.t -> Prop.t
+(** ["b is common knowledge"] as a predicate. *)
+
+val level : Universe.t -> int -> Prop.t -> Prop.t
+(** [level u k b] is the depth-[k] approximation: [b] for [k = 0],
+    [b ∧ ⋀p (p knows (level (k-1)))] otherwise. [common] is its limit. *)
+
+val constancy_holds : Universe.t -> Prop.t -> bool
+(** The corollary checker: with ≥ 2 processes, ["b is CK"] is constant
+    over the universe. *)
+
+val iterations_to_fixpoint : Universe.t -> Prop.t -> int
+(** Number of operator applications until stability — a measure used by
+    bench E7. *)

@@ -1,0 +1,88 @@
+type t = int array
+
+let of_counts a =
+  Array.iter (fun k -> if k < 0 then invalid_arg "Cut.of_counts: negative") a;
+  Array.copy a
+
+let counts c = Array.copy c
+let n c = Array.length c
+let equal a b = Array.length a = Array.length b && Array.for_all2 ( = ) a b
+
+let compare a b =
+  let c = Int.compare (Array.length a) (Array.length b) in
+  if c <> 0 then c
+  else
+    let rec go i =
+      if i >= Array.length a then 0
+      else
+        let c = Int.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let leq a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > b.(i) then ok := false) a;
+  !ok
+
+let bottom ~n = Array.make n 0
+
+let top ~of_ ~n =
+  Array.init n (fun i -> Trace.local_length of_ (Pid.of_int i))
+
+let join a b = Array.map2 max a b
+let meet a b = Array.map2 min a b
+
+let inside c e = e.Event.lseq < c.(Pid.to_int e.Event.pid)
+
+let consistent ~n:nprocs z c =
+  Array.length c = nprocs
+  && Array.for_all2 ( >= )
+       (Array.init nprocs (fun i -> Trace.local_length z (Pid.of_int i)))
+       c
+  &&
+  (* every receive inside has its send inside *)
+  let send_of : (Pid.t * int, Event.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      match e.Event.kind with
+      | Event.Send m -> Hashtbl.replace send_of (Msg.key m) e
+      | Event.Receive _ | Event.Internal _ -> ())
+    (Trace.to_list z);
+  List.for_all
+    (fun e ->
+      match e.Event.kind with
+      | Event.Receive m when inside c e -> inside c (Hashtbl.find send_of (Msg.key m))
+      | _ -> true)
+    (Trace.to_list z)
+
+let of_prefix ~n:nprocs z =
+  Array.init nprocs (fun i -> Trace.local_length z (Pid.of_int i))
+
+let events z c = List.filter (inside c) (Trace.to_list z)
+let sub_computation z c = Trace.of_list (events z c)
+
+let all_consistent ~n:nprocs z =
+  let limits = top ~of_:z ~n:nprocs in
+  let out = ref [] in
+  let c = Array.make nprocs 0 in
+  let rec enumerate i =
+    if i = nprocs then begin
+      if consistent ~n:nprocs z c then out := Array.copy c :: !out
+    end
+    else
+      for k = 0 to limits.(i) do
+        c.(i) <- k;
+        enumerate (i + 1)
+      done
+  in
+  enumerate 0;
+  List.sort compare !out
+
+let count_consistent ~n z = List.length (all_consistent ~n z)
+
+let pp fmt c =
+  Format.fprintf fmt "<%s>"
+    (String.concat "," (Array.to_list (Array.map string_of_int c)))

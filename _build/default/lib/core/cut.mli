@@ -1,0 +1,66 @@
+(** Consistent cuts — global states of a computation.
+
+    A cut of a computation [z] assigns each process a prefix length of
+    its local computation; it is {e consistent} when no included
+    receive's send is excluded. Consistent cuts are exactly the global
+    states some observer could have seen: each corresponds to one
+    [\[D\]]-class of prefixes of interleavings of [z] — the bridge
+    between the paper's prefix-based quantifiers and the "global state"
+    view its §6 sketches (and the object {!Hpl_protocols.Snapshot}
+    records).
+
+    Consistent cuts of a computation form a distributive lattice under
+    pointwise min/meet and max/join; the lattice laws are checked by
+    property tests. *)
+
+type t
+(** A cut: per-process local prefix lengths. *)
+
+val of_counts : int array -> t
+(** [of_counts \[|k0; …|\]]: the cut including the first [ki] events of
+    each process [pi]. Raises [Invalid_argument] on negatives. *)
+
+val counts : t -> int array
+val n : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Lexicographic; the lattice order is {!leq}. *)
+
+val leq : t -> t -> bool
+(** Pointwise order: [c ≤ c'] iff every process saw no more in [c]. *)
+
+val bottom : n:int -> t
+(** The empty cut. *)
+
+val top : of_:Trace.t -> n:int -> t
+(** The full cut of a computation. *)
+
+val join : t -> t -> t
+(** Pointwise max. Consistent cuts are closed under join. *)
+
+val meet : t -> t -> t
+(** Pointwise min. Consistent cuts are closed under meet. *)
+
+val consistent : n:int -> Trace.t -> t -> bool
+(** No message received inside the cut was sent outside it, and every
+    count is within the process's local length. *)
+
+val of_prefix : n:int -> Trace.t -> t
+(** The cut induced by a prefix (always consistent as a cut of any
+    extension of that prefix). *)
+
+val events : Trace.t -> t -> Event.t list
+(** The events inside the cut, in [z]'s order. *)
+
+val sub_computation : Trace.t -> t -> Trace.t
+(** The events inside a consistent cut as a computation (in [z]'s
+    order); well-formed iff the cut is consistent. *)
+
+val all_consistent : n:int -> Trace.t -> t list
+(** Every consistent cut of [z], in lexicographic order. Exponential in
+    general — intended for analysis of small runs. *)
+
+val count_consistent : n:int -> Trace.t -> int
+(** [List.length (all_consistent …)] without materializing. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,73 @@
+let cuts_and_sat ~n z b =
+  let cuts = Cut.all_consistent ~n z in
+  List.map (fun c -> (c, b (Cut.sub_computation z c))) cuts
+
+let possibly ~n z b = List.exists snd (cuts_and_sat ~n z b)
+
+let witnesses ~n z b =
+  List.filter_map (fun (c, sat) -> if sat then Some c else None) (cuts_and_sat ~n z b)
+
+(* Lattice successors: cuts one event larger. *)
+let successors cuts c =
+  List.filter
+    (fun c' ->
+      Cut.leq c c'
+      && Array.fold_left ( + ) 0 (Cut.counts c') = Array.fold_left ( + ) 0 (Cut.counts c) + 1)
+    cuts
+
+(* [definitely]: on the cut DAG from bottom to top, is every maximal
+   path forced through a satisfying cut? Equivalently: can an adversary
+   path avoid b all the way? *)
+let definitely ~n z b =
+  let sat = cuts_and_sat ~n z b in
+  let cuts = List.map fst sat in
+  let table = Hashtbl.create 64 in
+  List.iter (fun (c, s) -> Hashtbl.replace table (Cut.counts c) s) sat;
+  let satisfies c = Hashtbl.find table (Cut.counts c) in
+  let top = Cut.top ~of_:z ~n in
+  (* avoid(c): exists a b-free path from c to top *)
+  let memo = Hashtbl.create 64 in
+  let rec avoid c =
+    match Hashtbl.find_opt memo (Cut.counts c) with
+    | Some v -> v
+    | None ->
+        let v =
+          if satisfies c then false
+          else if Cut.equal c top then true
+          else
+            match successors cuts c with
+            | [] -> true (* should not happen below top, but safe *)
+            | succs -> List.exists avoid succs
+        in
+        Hashtbl.add memo (Cut.counts c) v;
+        v
+  in
+  not (avoid (Cut.bottom ~n))
+
+let first_definite_level ~n z b =
+  if not (definitely ~n z b) then None
+  else begin
+    let sat = cuts_and_sat ~n z b in
+    let cuts = List.map fst sat in
+    let table = Hashtbl.create 64 in
+    List.iter (fun (c, s) -> Hashtbl.replace table (Cut.counts c) s) sat;
+    let satisfies c = Hashtbl.find table (Cut.counts c) in
+    (* deepest(c): the largest number of b-free steps an adversary can
+       take starting at c (before being forced into b or the top) *)
+    let memo = Hashtbl.create 64 in
+    let rec deepest c =
+      match Hashtbl.find_opt memo (Cut.counts c) with
+      | Some v -> v
+      | None ->
+          let v =
+            if satisfies c then 0
+            else
+              match successors cuts c with
+              | [] -> 0
+              | succs -> 1 + List.fold_left (fun m s -> max m (deepest s)) 0 succs
+          in
+          Hashtbl.add memo (Cut.counts c) v;
+          v
+    in
+    Some (deepest (Cut.bottom ~n))
+  end

@@ -1,0 +1,33 @@
+(** Global-predicate detection over the lattice of consistent cuts
+    (Cooper–Marzullo).
+
+    An observer reconstructing a run can only bracket the truth of a
+    global predicate — exactly the paper's §5 lesson about remote
+    tracking. For a recorded computation [z] and a predicate [b] on
+    global states (sub-computations):
+
+    - [possibly b]: some consistent cut of [z] satisfies [b] — the
+      predicate {e may} have held;
+    - [definitely b]: every observer path (maximal chain of consistent
+      cuts from bottom to top) passes through a cut satisfying [b] —
+      the predicate {e must} have held, whatever the real interleaving.
+
+    [definitely b ⇒ possibly b]; both are decided exactly on the cut
+    lattice (exponential in concurrency — intended for analysis of
+    moderate traces, like every exact tool here). *)
+
+val possibly : n:int -> Trace.t -> (Trace.t -> bool) -> bool
+(** [possibly ~n z b]: some consistent cut's sub-computation satisfies
+    [b]. *)
+
+val definitely : n:int -> Trace.t -> (Trace.t -> bool) -> bool
+(** Every maximal path through the cut lattice (stepping one event at a
+    time) hits a [b]-cut. *)
+
+val witnesses : n:int -> Trace.t -> (Trace.t -> bool) -> Cut.t list
+(** The consistent cuts whose sub-computation satisfies [b]. *)
+
+val first_definite_level : n:int -> Trace.t -> (Trace.t -> bool) -> int option
+(** If [definitely b], the smallest [k] such that every path has hit a
+    [b]-cut within its first [k] steps — a latency measure for
+    detection. [None] when not definite. *)

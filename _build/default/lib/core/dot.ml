@@ -1,0 +1,38 @@
+type node = { id : string; label : string; shape : string option }
+type edge = { src : string; dst : string; label : string; directed : bool }
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let graph ?(name = "g") ~directed nodes edges =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (if directed then "digraph " else "graph ");
+  Buffer.add_string b (escape name);
+  Buffer.add_string b " {\n";
+  List.iter
+    (fun n ->
+      Buffer.add_string b
+        (Printf.sprintf "  \"%s\" [label=\"%s\"%s];\n" (escape n.id)
+           (escape n.label)
+           (match n.shape with
+           | Some s -> Printf.sprintf " shape=%s" s
+           | None -> "")))
+    nodes;
+  List.iter
+    (fun e ->
+      let arrow = if e.directed then "->" else "--" in
+      Buffer.add_string b
+        (Printf.sprintf "  \"%s\" %s \"%s\" [label=\"%s\"];\n" (escape e.src)
+           arrow (escape e.dst) (escape e.label)))
+    edges;
+  Buffer.add_string b "}\n";
+  Buffer.contents b

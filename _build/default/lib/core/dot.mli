@@ -1,0 +1,10 @@
+(** Minimal Graphviz DOT emission, used for isomorphism diagrams. *)
+
+type node = { id : string; label : string; shape : string option }
+type edge = { src : string; dst : string; label : string; directed : bool }
+
+val graph :
+  ?name:string -> directed:bool -> node list -> edge list -> string
+(** Renders a DOT graph. Identifiers and labels are escaped. *)
+
+val escape : string -> string

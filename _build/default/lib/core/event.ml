@@ -1,0 +1,65 @@
+type kind = Send of Msg.t | Receive of Msg.t | Internal of string
+type t = { pid : Pid.t; lseq : int; kind : kind }
+
+let send ~pid ~lseq m =
+  if not (Pid.equal pid m.Msg.src) then invalid_arg "Event.send: pid <> msg.src";
+  { pid; lseq; kind = Send m }
+
+let receive ~pid ~lseq m =
+  if not (Pid.equal pid m.Msg.dst) then invalid_arg "Event.receive: pid <> msg.dst";
+  { pid; lseq; kind = Receive m }
+
+let internal ~pid ~lseq tag = { pid; lseq; kind = Internal tag }
+
+let kind_rank = function Send _ -> 0 | Receive _ -> 1 | Internal _ -> 2
+
+let equal_kind a b =
+  match (a, b) with
+  | Send m, Send m' | Receive m, Receive m' -> Msg.equal m m'
+  | Internal s, Internal s' -> String.equal s s'
+  | (Send _ | Receive _ | Internal _), _ -> false
+
+let compare_kind a b =
+  match (a, b) with
+  | Send m, Send m' | Receive m, Receive m' -> Msg.compare m m'
+  | Internal s, Internal s' -> String.compare s s'
+  | _ -> Int.compare (kind_rank a) (kind_rank b)
+
+let equal a b =
+  Pid.equal a.pid b.pid && Int.equal a.lseq b.lseq && equal_kind a.kind b.kind
+
+let compare a b =
+  let c = Pid.compare a.pid b.pid in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.lseq b.lseq in
+    if c <> 0 then c else compare_kind a.kind b.kind
+
+let hash e =
+  Hashtbl.hash
+    ( Pid.to_int e.pid,
+      e.lseq,
+      match e.kind with
+      | Send m -> (0, Msg.hash m)
+      | Receive m -> (1, Msg.hash m)
+      | Internal s -> (2, Hashtbl.hash s) )
+
+let on e ps = Pset.mem e.pid ps
+let is_send e = match e.kind with Send _ -> true | Receive _ | Internal _ -> false
+
+let is_receive e =
+  match e.kind with Receive _ -> true | Send _ | Internal _ -> false
+
+let is_internal e =
+  match e.kind with Internal _ -> true | Send _ | Receive _ -> false
+
+let message e =
+  match e.kind with Send m | Receive m -> Some m | Internal _ -> None
+
+let pp fmt e =
+  match e.kind with
+  | Send m -> Format.fprintf fmt "%a.%d!%a" Pid.pp e.pid e.lseq Msg.pp m
+  | Receive m -> Format.fprintf fmt "%a.%d?%a" Pid.pp e.pid e.lseq Msg.pp m
+  | Internal s -> Format.fprintf fmt "%a.%d:%s" Pid.pp e.pid e.lseq s
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,52 @@
+(** Events.
+
+    An event on a process is a send, a receive, or an internal event
+    (§2). Every event records the process it is on and its position
+    {!field:lseq} in that process's local computation; this makes events
+    within one computation distinguished (as the paper requires) and
+    makes events {e shared} between computations whenever the process
+    reached them with the same local history — the identity notion that
+    isomorphism is built on. *)
+
+type kind =
+  | Send of Msg.t  (** sending of [msg]; the event is on [msg.src] *)
+  | Receive of Msg.t  (** reception of [msg]; the event is on [msg.dst] *)
+  | Internal of string  (** internal action with a tag; no communication *)
+
+type t = {
+  pid : Pid.t;  (** the process this event is on *)
+  lseq : int;  (** index of this event in [pid]'s local computation *)
+  kind : kind;
+}
+
+val send : pid:Pid.t -> lseq:int -> Msg.t -> t
+(** [send ~pid ~lseq m] is the send event of [m]. Raises
+    [Invalid_argument] if [pid <> m.src]. *)
+
+val receive : pid:Pid.t -> lseq:int -> Msg.t -> t
+(** [receive ~pid ~lseq m] is the receive event of [m]. Raises
+    [Invalid_argument] if [pid <> m.dst]. *)
+
+val internal : pid:Pid.t -> lseq:int -> string -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** A total order on events, used both for canonical linearizations of
+    interleaving-equivalent computations and for deterministic
+    enumeration. *)
+
+val hash : t -> int
+
+val on : t -> Pset.t -> bool
+(** [on e ps] is true iff [e] is an event on some process in [ps]
+    (the paper's "e is on P"). *)
+
+val is_send : t -> bool
+val is_receive : t -> bool
+val is_internal : t -> bool
+
+val message : t -> Msg.t option
+(** The message sent or received, if any. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

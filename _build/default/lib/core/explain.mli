@@ -1,0 +1,57 @@
+(** Human-readable explanations of knowledge changes — a "knowledge
+    debugger" for recorded runs.
+
+    The transfer theorems don't just bound what is possible, they name
+    the mechanism: knowledge moved along a specific chain of events.
+    This module packages the witness extraction of {!Transfer} and
+    {!Chain} into narrated reports: {e who} learned {e what}, {e when},
+    and {e through which messages} — the kind of answer one wants when
+    debugging a distributed trace ("how did the replica find out?").
+
+    Reports are plain data plus a pretty-printer; nothing here adds
+    semantics beyond §4.3. *)
+
+type step = {
+  event : Event.t;
+  position : int;  (** index in the later computation *)
+  role : string;  (** e.g. "receive carrying the fact", "relay send" *)
+}
+
+type report = {
+  subject : string;  (** the learning process set, printed *)
+  fact : string;  (** the predicate learned *)
+  gained : bool;  (** gain (or loss when false) *)
+  steps : step list;  (** the chain, in causal order *)
+  narrative : string list;  (** one line per step, human-oriented *)
+}
+
+val gain :
+  Universe.t ->
+  Pset.t list ->
+  Prop.t ->
+  x:Trace.t ->
+  y:Trace.t ->
+  report option
+(** [gain u \[P1;…;Pn\] b ~x ~y]: if the nested knowledge was gained
+    between [x] and [y], the chain that carried it, narrated. [None]
+    when the premise does not hold (no gain to explain). *)
+
+val loss :
+  Universe.t ->
+  Pset.t list ->
+  Prop.t ->
+  x:Trace.t ->
+  y:Trace.t ->
+  report option
+
+val learning_moments :
+  Universe.t -> Pset.t -> Prop.t -> Trace.t -> (int * bool) list
+(** Replay a computation and list every position at which [P knows b]
+    changes value ([true] = gained). The §4.3 corollaries predict the
+    event kinds at those positions: gains of remote-local facts happen
+    at receives, losses at sends — which {!pp_moments} annotates. *)
+
+val pp : Format.formatter -> report -> unit
+
+val pp_moments :
+  Format.formatter -> Trace.t -> (int * bool) list -> unit

@@ -1,0 +1,55 @@
+let extend s x e =
+  if List.exists (Event.equal e) (Spec.enabled_on s x e.Event.pid) then
+    Some (Trace.snoc x e)
+  else None
+
+let is_computation s z = Spec.valid s z
+
+let check_principle_forward s ~x ~y ~e ~p =
+  let premise =
+    (Event.is_internal e || Event.is_send e)
+    && Event.on e p && Isomorphism.iso x y p
+    && is_computation s (Trace.snoc x e)
+    && is_computation s x && is_computation s y
+  in
+  if not premise then true
+  else
+    let ye = Trace.snoc y e in
+    is_computation s ye && Isomorphism.iso (Trace.snoc x e) ye p
+
+let check_principle_backward s ~x ~y ~e ~p =
+  let xe = Trace.snoc x e in
+  let premise =
+    (Event.is_internal e || Event.is_receive e)
+    && Event.on e p && is_computation s xe && is_computation s y
+    && Isomorphism.iso xe y p && Trace.mem y e
+  in
+  if not premise then true
+  else
+    let y' = Trace.remove y e in
+    is_computation s y' && Isomorphism.iso x y' p
+
+let check_corollary_receive s ~x ~y ~e =
+  match e.Event.kind with
+  | Event.Send _ | Event.Internal _ -> true
+  | Event.Receive m ->
+      let pq = Pset.of_list [ m.Msg.dst; m.Msg.src ] in
+      let premise =
+        Isomorphism.iso x y pq
+        && is_computation s (Trace.snoc x e)
+        && is_computation s x && is_computation s y
+      in
+      if not premise then true else is_computation s (Trace.snoc y e)
+
+let iso_set u p x =
+  let all = Spec.all (Universe.spec u) in
+  Relations.reachable u [ p; Pset.compl ~all p ] (Universe.find_exn u x)
+
+let check_theorem3 u ~p ~x ~e =
+  if not (Event.on e p) then invalid_arg "Extension.check_theorem3: e not on P";
+  let before = iso_set u p x in
+  let after = iso_set u p (Trace.snoc x e) in
+  match e.Event.kind with
+  | Event.Receive _ -> Bitset.subset after before
+  | Event.Send _ -> Bitset.subset before after
+  | Event.Internal _ -> Bitset.equal before after

@@ -1,0 +1,41 @@
+(** The principle of computation extension and Theorem 3 (§3.4).
+
+    A process performs an internal or send event based on its own
+    computation alone, so the event can be replayed after any
+    computation isomorphic w.r.t. that process; dually an internal or
+    receive event can be undone. Theorem 3 casts the consequences as
+    monotonicity of the set of computations isomorphic to the current
+    one w.r.t. [\[P P̄\]]: receives shrink it, sends grow it, internal
+    events preserve it.
+
+    The [check_*] functions verify one instance of each statement;
+    they return [true] when the implication holds (vacuously true if
+    the premise fails). Tests and bench E5 drive them exhaustively. *)
+
+val extend : Spec.t -> Trace.t -> Event.t -> Trace.t option
+(** [extend s x e] is [(x; e)] if that is a computation of [s]. *)
+
+val check_principle_forward :
+  Spec.t -> x:Trace.t -> y:Trace.t -> e:Event.t -> p:Pset.t -> bool
+(** Part 1: [e] internal-or-send on [P], [x \[P\] y], [(x;e)] a
+    computation ⇒ [(y;e)] a computation (and [(x;e) \[P\] (y;e)]). *)
+
+val check_principle_backward :
+  Spec.t -> x:Trace.t -> y:Trace.t -> e:Event.t -> p:Pset.t -> bool
+(** Part 2: [e] internal-or-receive on [P], [(x;e) \[P\] y] ⇒ [(y − e)]
+    a computation (and [x \[P\] (y − e)]). *)
+
+val check_corollary_receive :
+  Spec.t -> x:Trace.t -> y:Trace.t -> e:Event.t -> bool
+(** Corollary: [e] a receive on [P] whose send is on [Q];
+    [x \[P ∪ Q\] y] and [(x;e)] a computation ⇒ [(y;e)] a
+    computation. *)
+
+val iso_set : Universe.t -> Pset.t -> Trace.t -> Bitset.t
+(** [iso_set u p x] is [{z | x \[P P̄\] z}] — the "set of possible
+    computations" of Theorem 3's reading. *)
+
+val check_theorem3 : Universe.t -> p:Pset.t -> x:Trace.t -> e:Event.t -> bool
+(** Verifies the case of Theorem 3 matching [e]'s kind at [(x; e)]:
+    receive ⇒ [iso_set (x;e) ⊆ iso_set x]; send ⇒ [⊇]; internal ⇒ [=].
+    [e] must be on [p] and [(x;e)] must lie within the universe. *)

@@ -1,0 +1,70 @@
+(** An epistemic-temporal formula language.
+
+    Concrete syntax for the paper's knowledge operators combined with
+    branching time, so claims like the §4.1 token-bus assertion can be
+    written down, parsed, and checked:
+
+    {v AG (holds2 -> K p2 (K p1 (~holds0) & K p3 (~holds4))) v}
+
+    Grammar (precedence low→high: [->], [|], [&], prefix):
+
+    {v
+    φ ::= 'true' | 'false' | atom
+        | '~' φ | φ '&' φ | φ '|' φ | φ '->' φ
+        | 'K' pset φ        knowledge        (paper §4.1)
+        | 'sure' pset φ     sure             (paper §4.2)
+        | 'E' pset φ        everyone knows
+        | 'S' pset φ        someone knows
+        | 'CK' φ            common knowledge (greatest fixpoint)
+        | 'AG' φ | 'EF' φ | 'AF' φ | 'EG' φ | 'AX' φ | 'EX' φ
+        | '(' φ ')'
+    pset ::= pid | '{' pid (',' pid)* '}'        pid ::= 'p'? digits
+    atom ::= identifier, resolved in the caller's environment
+    v}
+
+    Parsing is total ([Error] with position); evaluation needs a
+    universe and an atom environment. The printer round-trips
+    ([parse ∘ print = id] up to parentheses — property-tested). *)
+
+type pset_syntax = int list
+
+type t =
+  | True
+  | False
+  | Atom of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Know of pset_syntax * t
+  | Sure of pset_syntax * t
+  | Everyone of pset_syntax * t
+  | Someone of pset_syntax * t
+  | Common of t
+  | Ag of t
+  | Ef of t
+  | Af of t
+  | Eg of t
+  | Ax of t
+  | Ex of t
+
+val parse : string -> (t, string) result
+val print : t -> string
+val pp : Format.formatter -> t -> unit
+
+val atoms : t -> string list
+(** Distinct atom names, in order of first occurrence. *)
+
+val eval :
+  Universe.t -> env:(string -> Prop.t option) -> t -> (Prop.t, string) result
+(** Compile to a predicate over the universe. [Error] names any unbound
+    atom or a process id outside the system. Temporal operators use
+    {!Temporal}'s finite-tree semantics. *)
+
+val check :
+  Universe.t ->
+  env:(string -> Prop.t option) ->
+  t ->
+  ([ `Valid | `Fails_at of Trace.t ], string) result
+(** Evaluate and test at every computation: [`Valid] or a witness
+    computation where the formula fails. *)

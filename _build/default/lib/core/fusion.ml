@@ -1,0 +1,84 @@
+let ( let* ) = Result.bind
+
+let require cond reason = if cond then Ok () else Error reason
+
+let lemma1 ~all ~x ~y ~z ~p ~q =
+  let* () = require (Trace.is_prefix x y) "x not a prefix of y" in
+  let* () = require (Trace.is_prefix x z) "x not a prefix of z" in
+  let* () = require (Pset.equal (Pset.union p q) all) "P ∪ Q ≠ D" in
+  let* () = require (Isomorphism.iso x y p) "¬ x [P] y" in
+  let* () = require (Isomorphism.iso x z q) "¬ x [Q] z" in
+  let w = Trace.append (Trace.append x (Trace.suffix ~prefix:x y)) (Trace.suffix ~prefix:x z) in
+  let* () =
+    require (Trace.well_formed w) "fusion is not a computation (unexpected)"
+  in
+  Ok w
+
+let verify_lemma1 ~all:_ ~x ~y ~z ~p ~q ~w =
+  Trace.is_prefix x w && Trace.well_formed w && Isomorphism.iso y w q
+  && Isomorphism.iso z w p
+
+let theorem2 ~all ~n ~x ~y ~z ~p =
+  let pbar = Pset.compl ~all p in
+  let* () = require (Trace.is_prefix x y) "x not a prefix of y" in
+  let* () = require (Trace.is_prefix x z) "x not a prefix of z" in
+  let* () =
+    require
+      (not (Chain.exists ~n ~x ~z:y [ pbar; p ]))
+      "chain <P̄ P> in (x,y)"
+  in
+  let* () =
+    require (not (Chain.exists ~n ~x ~z [ p; pbar ])) "chain <P P̄> in (x,z)"
+  in
+  let on_p = List.filter (fun e -> Event.on e p) (Trace.suffix ~prefix:x y) in
+  let on_pbar = List.filter (fun e -> Event.on e pbar) (Trace.suffix ~prefix:x z) in
+  let w = Trace.append (Trace.append x on_p) on_pbar in
+  let* () =
+    require (Trace.well_formed w) "fusion is not a computation (unexpected)"
+  in
+  Ok w
+
+let verify_theorem2 ~all ~x ~y ~z ~p ~w =
+  let pbar = Pset.compl ~all p in
+  Trace.is_prefix x w && Trace.well_formed w && Isomorphism.iso y w p
+  && Isomorphism.iso z w pbar
+
+let fuse_many ~all ~n ~x parts =
+  let psets = List.map fst parts in
+  let* () =
+    require
+      (Pset.equal all (List.fold_left Pset.union Pset.empty psets))
+      "parts do not cover D"
+  in
+  let* () =
+    let rec pairwise_disjoint = function
+      | [] -> true
+      | ps :: rest ->
+          List.for_all (Pset.disjoint ps) rest && pairwise_disjoint rest
+    in
+    require (pairwise_disjoint psets) "parts overlap"
+  in
+  let* () =
+    List.fold_left
+      (fun acc (pi, yi) ->
+        let* () = acc in
+        let* () =
+          require (Trace.is_prefix x yi)
+            (Format.asprintf "x not a prefix of the %a part" Pset.pp pi)
+        in
+        require
+          (not (Chain.exists ~n ~x ~z:yi [ Pset.compl ~all pi; pi ]))
+          (Format.asprintf "chain <P̄ P> in (x, y_%a)" Pset.pp pi))
+      (Ok ()) parts
+  in
+  let w =
+    List.fold_left
+      (fun acc (pi, yi) ->
+        Trace.append acc
+          (List.filter (fun e -> Event.on e pi) (Trace.suffix ~prefix:x yi)))
+      x parts
+  in
+  let* () =
+    require (Trace.well_formed w) "fusion is not a computation (unexpected)"
+  in
+  Ok w

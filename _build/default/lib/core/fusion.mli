@@ -1,0 +1,59 @@
+(** Fusing computations (§3.3, Figures 3-2 and 3-3).
+
+    Two computations that extend a common prefix [x] on disjoint
+    process sets can be concatenated into one ({!lemma1}); more
+    generally, {e any} two extensions of [x] can be fused — keeping
+    [P]'s events from one and [P̄]'s from the other — provided no
+    process chain carries information across the cut ({!theorem2}).
+    The paper notes the result generalizes to any number of parts
+    ({!fuse_many}).
+
+    Constructors verify their preconditions and return [Error reason]
+    when they fail, so property tests can drive them blindly. *)
+
+val lemma1 :
+  all:Pset.t ->
+  x:Trace.t ->
+  y:Trace.t ->
+  z:Trace.t ->
+  p:Pset.t ->
+  q:Pset.t ->
+  (Trace.t, string) result
+(** Preconditions: [x ≤ y], [x ≤ z], [P ∪ Q = D], [x \[P\] y],
+    [x \[Q\] z]. Result [w = x;(x,y);(x,z)] satisfies [x ≤ w],
+    [y \[Q\] w], [z \[P\] w], and is well-formed. *)
+
+val theorem2 :
+  all:Pset.t ->
+  n:int ->
+  x:Trace.t ->
+  y:Trace.t ->
+  z:Trace.t ->
+  p:Pset.t ->
+  (Trace.t, string) result
+(** Preconditions: [x ≤ y], [x ≤ z], no chain [<P̄ P>] in [(x,y)], no
+    chain [<P P̄>] in [(x,z)]. Result [w] consists of [x], then all of
+    [(x,y)]'s events on [P], then all of [(x,z)]'s events on [P̄]; it
+    satisfies [y \[P\] w] and [z \[P̄\] w]. *)
+
+val fuse_many :
+  all:Pset.t ->
+  n:int ->
+  x:Trace.t ->
+  (Pset.t * Trace.t) list ->
+  (Trace.t, string) result
+(** [fuse_many ~all ~n ~x parts]: the parts' process sets must
+    partition [D]; each [yi] must extend [x] with no chain
+    [<P̄i Pi>] in [(x, yi)]. The fusion keeps each [Pi]'s events from
+    its [yi]. [theorem2] is the two-part instance. *)
+
+val verify_lemma1 :
+  all:Pset.t -> x:Trace.t -> y:Trace.t -> z:Trace.t -> p:Pset.t -> q:Pset.t ->
+  w:Trace.t -> bool
+(** Checks the conclusion of Lemma 1 ([x ≤ w], [y \[Q\] w],
+    [z \[P\] w], well-formed) for an alleged fusion [w]. *)
+
+val verify_theorem2 :
+  all:Pset.t -> x:Trace.t -> y:Trace.t -> z:Trace.t -> p:Pset.t -> w:Trace.t ->
+  bool
+(** Checks [x ≤ w], [y \[P\] w], [z \[P̄\] w] and well-formedness. *)

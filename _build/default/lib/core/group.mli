@@ -1,0 +1,49 @@
+(** Group knowledge operators.
+
+    The paper's [P knows b] quantifies over [\[P\]] — the {e pooled}
+    indistinguishability of the group, which epistemic logic calls
+    {e distributed knowledge}. Two other group modalities are standard
+    and definable in the same model:
+
+    - [everyone]: each member individually knows ([E_G b = ⋀ p knows b]);
+    - [someone]: at least one member knows ([S_G b = ⋁ p knows b]).
+
+    Their relationships are theorems of the model (checked in the test
+    suite): [someone ⊆ everyone-on-singletons], [everyone ⊆ distributed]
+    (pooling can only help), iterating [everyone] strictly descends to
+    common knowledge ({!Common_knowledge}), and [distributed] knowledge
+    of a group equals the paper's [P knows]. *)
+
+val everyone : Universe.t -> Pset.t -> Prop.t -> Prop.t
+(** [everyone u g b]: every process in [g] knows [b]. For the empty
+    group this is [true] everywhere (empty conjunction). *)
+
+val someone : Universe.t -> Pset.t -> Prop.t -> Prop.t
+(** [someone u g b]: some process in [g] knows [b]. Empty group: [false]. *)
+
+val distributed : Universe.t -> Pset.t -> Prop.t -> Prop.t
+(** [distributed u g b] is exactly {!Knowledge.knows} — exposed under
+    its epistemic-logic name. *)
+
+val everyone_ext : Universe.t -> Pset.t -> Bitset.t -> Bitset.t
+val someone_ext : Universe.t -> Pset.t -> Bitset.t -> Bitset.t
+
+val e_iterate : Universe.t -> Pset.t -> int -> Prop.t -> Prop.t
+(** [e_iterate u g k b] is [E_G^k b] — "everyone knows" iterated [k]
+    times ([k = 0] is [b]). Decreasing in [k]; its limit intersected
+    with [b] is common knowledge restricted to [g = D]. *)
+
+(** Decidable relationships, for tests and bench E6+. *)
+module Laws : sig
+  val everyone_implies_distributed : Universe.t -> Pset.t -> Prop.t -> bool
+  (** [E_G b ⇒ D_G b] (pooling refines). *)
+
+  val someone_of_singleton : Universe.t -> Pid.t -> Prop.t -> bool
+  (** On singletons all three operators coincide. *)
+
+  val distributed_monotone : Universe.t -> Pset.t -> Pset.t -> Prop.t -> bool
+  (** [G ⊆ H ⇒ (D_G b ⇒ D_H b)] — the paper's fact 3. *)
+
+  val e_chain_decreasing : Universe.t -> Pset.t -> int -> Prop.t -> bool
+  (** [E^{k+1} b ⊆ E^k b] for all k below the bound. *)
+end

@@ -1,0 +1,80 @@
+type labelled_edge = { x : string; y : string; label : Pset.t }
+
+type t = {
+  all : Pset.t;
+  named : (string * Trace.t) array;
+  edge_list : labelled_edge list;
+}
+
+let build ~all named =
+  let arr = Array.of_list named in
+  let n = Array.length arr in
+  let edge_list = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let nx, x = arr.(i) and ny, y = arr.(j) in
+      let label = Isomorphism.largest_label all x y in
+      if not (Pset.is_empty label) then
+        edge_list := { x = nx; y = ny; label } :: !edge_list
+    done
+  done;
+  { all; named = arr; edge_list = List.rev !edge_list }
+
+let of_computations ~all named =
+  let names = List.map fst named in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Iso_diagram.of_computations: duplicate names";
+  build ~all named
+
+let of_universe ?(max_size = 200) u =
+  if Universe.size u > max_size then
+    invalid_arg "Iso_diagram.of_universe: universe too large";
+  let named =
+    Universe.fold (fun i z acc -> (string_of_int i, z) :: acc) u []
+    |> List.rev
+  in
+  build ~all:(Spec.all (Universe.spec u)) named
+
+let edges d = d.edge_list
+
+let find d name =
+  match Array.find_opt (fun (n, _) -> String.equal n name) d.named with
+  | Some (_, z) -> z
+  | None -> invalid_arg ("Iso_diagram: unknown vertex " ^ name)
+
+let label d nx ny =
+  let x = find d nx and y = find d ny in
+  let l = Isomorphism.largest_label d.all x y in
+  if Pset.is_empty l then None else Some l
+
+let self_label d = d.all
+let vertices d = Array.to_list (Array.map fst d.named)
+let computation = find
+
+let to_dot d =
+  let nodes =
+    Array.to_list
+      (Array.map
+         (fun (n, _) -> { Dot.id = n; label = n; shape = Some "circle" })
+         d.named)
+  in
+  let edges =
+    List.map
+      (fun e ->
+        {
+          Dot.src = e.x;
+          dst = e.y;
+          label = Format.asprintf "[%a]" Pset.pp e.label;
+          directed = false;
+        })
+      d.edge_list
+  in
+  Dot.graph ~name:"isomorphism" ~directed:false nodes edges
+
+let pp fmt d =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "%s -- %s : [%a]@," e.x e.y Pset.pp e.label)
+    d.edge_list;
+  Format.fprintf fmt "@]"

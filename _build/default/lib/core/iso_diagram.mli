@@ -1,0 +1,48 @@
+(** Isomorphism diagrams (§3, Figure 3-1).
+
+    "An undirected labelled graph whose vertices are computations and
+    there is an edge labelled [\[P\]] between vertices x, y if P is the
+    largest set of processes for which x \[P\] y." Self-loops (always
+    labelled [\[D\]]) are omitted from the edge list but reported by
+    {!self_label}.
+
+    Diagrams are intended for small computation sets — the whole
+    universe of a toy system, or a hand-picked set of computations as
+    in the paper's Example 1. *)
+
+type t
+
+val of_computations : all:Pset.t -> (string * Trace.t) list -> t
+(** [of_computations ~all named] builds the diagram over the given
+    named computations; [all] is the system's process set [D]. *)
+
+val of_universe : ?max_size:int -> Universe.t -> t
+(** Diagram over every computation of a universe (names are indices).
+    Raises [Invalid_argument] if the universe exceeds [max_size]
+    (default 200) — diagrams are quadratic. *)
+
+type labelled_edge = { x : string; y : string; label : Pset.t }
+
+val edges : t -> labelled_edge list
+(** Edges with a non-empty largest label, each unordered pair once. *)
+
+val label : t -> string -> string -> Pset.t option
+(** [label d nx ny] is the largest [P] with [x \[P\] y], [None] when no
+    process relates them (the paper still draws no edge then; indirect
+    relationships go through intermediate vertices). Raises
+    [Invalid_argument] for unknown names. *)
+
+val self_label : t -> Pset.t
+(** The label of every self-loop: [D]. *)
+
+val vertices : t -> string list
+
+val computation : t -> string -> Trace.t
+(** The computation behind a vertex name. Raises [Invalid_argument] for
+    unknown names. *)
+
+val to_dot : t -> string
+(** Graphviz rendering with computations as vertices and largest-label
+    edges, matching Figure 3-1's presentation. *)
+
+val pp : Format.formatter -> t -> unit

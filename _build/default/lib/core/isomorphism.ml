@@ -1,0 +1,70 @@
+let iso_p x y p = List.equal Event.equal (Trace.proj x p) (Trace.proj y p)
+let iso x y ps = Pset.for_all (iso_p x y) ps
+
+let related u ps i j =
+  let ids = Universe.pset_class_ids u ps in
+  ids.(i) = ids.(j)
+
+let class_of u ps i = Universe.class_members u ps i
+
+let largest_label all x y = Pset.filter (iso_p x y) all
+
+module Laws = struct
+  let equivalence u ps =
+    let ids = Universe.pset_class_ids u ps in
+    (* class ids are a partition by construction; verify against the
+       trace-level definition on all pairs *)
+    let ok = ref true in
+    Universe.iter
+      (fun i x ->
+        Universe.iter
+          (fun j y -> if (ids.(i) = ids.(j)) <> iso x y ps then ok := false)
+          u)
+      u;
+    !ok
+
+  let idempotence u ps i j =
+    Relations.related u [ ps; ps ] i j = related u ps i j
+
+  let reflexivity u pss i = Relations.related u pss i i
+
+  let inversion u pss i j =
+    Relations.related u pss i j = Relations.related u (List.rev pss) j i
+
+  let concatenation u alpha beta i k =
+    let via_both = Relations.related u (alpha @ beta) i k in
+    let exists_mid =
+      let mids = Relations.reachable u alpha i in
+      Bitset.exists (fun j -> Relations.related u beta j k) mids
+    in
+    via_both = exists_mid
+
+  let union_inter u p q i j =
+    related u (Pset.union p q) i j = (related u p i j && related u q i j)
+
+  let monotonicity u p q i j =
+    (not (Pset.subset p q)) || not (related u q i j) || related u p i j
+
+  let subsumption u q p i j =
+    (not (Pset.subset p q))
+    || Relations.related u [ q; p ] i j = related u p i j
+       && Relations.related u [ p; q ] i j = related u p i j
+
+  let same_relation u p q =
+    let ip = Universe.pset_class_ids u p and iq = Universe.pset_class_ids u q in
+    let ok = ref true in
+    Array.iteri
+      (fun i _ ->
+        Array.iteri
+          (fun j _ -> if ip.(i) = ip.(j) <> (iq.(i) = iq.(j)) then ok := false)
+          ip)
+      ip;
+    !ok
+
+  let substitution u alpha beta delta gamma i j =
+    (not (same_relation u beta delta))
+    || Relations.related u (alpha @ [ beta ] @ gamma) i j
+       = Relations.related u (alpha @ [ delta ] @ gamma) i j
+
+  let extensionality u p q = Pset.equal p q = same_relation u p q
+end

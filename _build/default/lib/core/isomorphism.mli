@@ -1,0 +1,77 @@
+(** The isomorphism relation [x \[P\] y] (§3).
+
+    [x \[p\] y] holds iff process [p]'s computation is the same in [x]
+    and [y] — [p] cannot distinguish the two system computations.
+    [x \[P\] y] holds iff it holds for every [p ∈ P]. These are
+    equivalence relations; {!module:Relations} composes them into
+    [\[P1 P2 … Pn\]].
+
+    Trace-level tests work on any pair of traces; universe-level
+    queries use the precomputed projection partitions and are O(1)
+    after the first query for a given [P]. *)
+
+val iso_p : Trace.t -> Trace.t -> Pid.t -> bool
+(** [iso_p x y p] is [x \[p\] y]: [xp = yp]. *)
+
+val iso : Trace.t -> Trace.t -> Pset.t -> bool
+(** [iso x y ps] is [x \[P\] y]. [iso x y Pset.empty] is always true
+    ([x \[{}\] y] for all x, y). *)
+
+val related : Universe.t -> Pset.t -> int -> int -> bool
+(** Universe-indexed [x \[P\] y]. *)
+
+val class_of : Universe.t -> Pset.t -> int -> Bitset.t
+(** All computations [P]-isomorphic to the given one. *)
+
+val largest_label : Pset.t -> Trace.t -> Trace.t -> Pset.t
+(** [largest_label all x y] is the largest [P ⊆ all] with [x \[P\] y] —
+    the edge label of the isomorphism diagram. May be empty. *)
+
+(** The ten algebraic properties of §3, as decidable checks over a
+    universe. Each returns [true] when the law holds for the given
+    instance; the test-suite and bench E2 drive them over many random
+    instances. Numbering follows the paper. *)
+module Laws : sig
+  val equivalence : Universe.t -> Pset.t -> bool
+  (** (1) [\[P\]] is reflexive, symmetric and transitive on the
+      universe. *)
+
+  val idempotence : Universe.t -> Pset.t -> int -> int -> bool
+  (** (3) [\[P P\] = \[P\]] at the given pair. *)
+
+  val reflexivity : Universe.t -> Pset.t list -> int -> bool
+  (** (4) [x \[P1 … Pn\] x]. *)
+
+  val inversion : Universe.t -> Pset.t list -> int -> int -> bool
+  (** (5) [x \[P1…Pn\] y = y \[Pn…P1\] x]. *)
+
+  val concatenation : Universe.t -> Pset.t list -> Pset.t list -> int -> int -> bool
+  (** (6) [x \[α β\] z ⟺ ∃y. x \[α\] y ∧ y \[β\] z] — by construction of
+      composition; checked extensionally. *)
+
+  val union_inter : Universe.t -> Pset.t -> Pset.t -> int -> int -> bool
+  (** (7) [\[P ∪ Q\] = \[P\] ∩ \[Q\]] at the given pair. *)
+
+  val monotonicity : Universe.t -> Pset.t -> Pset.t -> int -> int -> bool
+  (** (8) [Q ⊇ P ⇒ \[Q\] ⊆ \[P\]] at the given pair. *)
+
+  val subsumption : Universe.t -> Pset.t -> Pset.t -> int -> int -> bool
+  (** (10) [Q ⊇ P ⇒ \[Q P\] = \[P\] = \[P Q\]] at the given pair —
+      composing with a finer relation collapses. *)
+
+  val same_relation : Universe.t -> Pset.t -> Pset.t -> bool
+  (** [\[P\] = \[Q\]] as relations on the universe (identical
+      partitions). *)
+
+  val substitution :
+    Universe.t -> Pset.t list -> Pset.t -> Pset.t -> Pset.t list -> int -> int -> bool
+  (** (2) [\[β\] = \[δ\] ⇒ \[α β γ\] = \[α δ γ\]] at the given pair
+      (vacuously true when the premise fails). *)
+
+  val extensionality : Universe.t -> Pset.t -> Pset.t -> bool
+  (** (9) [(P = Q) = (\[P\] = \[Q\])]. The interesting direction
+      requires the model's "every process has an event in some
+      computation" clause (§2) — it can fail on universes whose depth
+      is too small for some process to have acted, which the tests
+      exhibit both ways. *)
+end

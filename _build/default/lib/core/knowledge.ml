@@ -1,0 +1,101 @@
+let knows_ext u ps ext =
+  let classes = Universe.classes u ps in
+  let out = Bitset.create (Universe.size u) in
+  Array.iter
+    (fun cls -> if Bitset.subset cls ext then Bitset.union_into out cls)
+    classes;
+  out
+
+let knows_ext_naive u ps ext =
+  let size = Universe.size u in
+  Bitset.of_pred size (fun i ->
+      let x = Universe.comp u i in
+      let ok = ref true in
+      Universe.iter
+        (fun j y ->
+          if Isomorphism.iso x y ps && not (Bitset.mem ext j) then ok := false)
+        u;
+      !ok)
+
+let knows u ps b =
+  let ext = knows_ext u ps (Prop.extent u b) in
+  Prop.of_extent u
+    (Format.asprintf "%a knows %s" Pset.pp ps (Prop.name b))
+    ext
+
+let knows_p u p b = knows u (Pset.singleton p) b
+
+let nested u psets b = List.fold_right (fun ps acc -> knows u ps acc) psets b
+
+let holds_at _u b x = Prop.eval b x
+
+let sure u ps b =
+  let kb = Prop.extent u (knows u ps b) in
+  let knb = Prop.extent u (knows u ps (Prop.not_ b)) in
+  Prop.of_extent u
+    (Format.asprintf "%a sure %s" Pset.pp ps (Prop.name b))
+    (Bitset.union kb knb)
+
+let unsure u ps b = Prop.not_ (sure u ps b)
+
+module Laws = struct
+  let ext_knows u ps b = knows_ext u ps (Prop.extent u b)
+
+  let fact1_class_invariant u ps b =
+    let k = ext_knows u ps b in
+    let ids = Universe.pset_class_ids u ps in
+    let ok = ref true in
+    Universe.iter
+      (fun i _ ->
+        Universe.iter
+          (fun j _ ->
+            if ids.(i) = ids.(j) && Bitset.mem k i <> Bitset.mem k j then
+              ok := false)
+          u)
+      u;
+    !ok
+
+  let fact3_monotone_union u p q b =
+    Bitset.subset (ext_knows u p b) (ext_knows u (Pset.union p q) b)
+
+  let fact4_veridical u ps b = Bitset.subset (ext_knows u ps b) (Prop.extent u b)
+
+  let fact5_total u ps b =
+    let k = ext_knows u ps b in
+    let n = Universe.size u in
+    Bitset.equal (Bitset.create_full n) (Bitset.union k (Bitset.complement k))
+
+  let fact6_conjunction u ps b b' =
+    Bitset.equal
+      (Bitset.inter (ext_knows u ps b) (ext_knows u ps b'))
+      (ext_knows u ps (Prop.and_ b b'))
+
+  let fact7_disjunction u ps b b' =
+    Bitset.subset
+      (Bitset.union (ext_knows u ps b) (ext_knows u ps b'))
+      (ext_knows u ps (Prop.or_ b b'))
+
+  let fact8_consistency u ps b =
+    Bitset.is_empty
+      (Bitset.inter (ext_knows u ps (Prop.not_ b)) (ext_knows u ps b))
+
+  let fact9_closure u ps b b' =
+    let valid_implication =
+      Bitset.subset (Prop.extent u b) (Prop.extent u b')
+    in
+    (not valid_implication)
+    || Bitset.subset (ext_knows u ps b) (ext_knows u ps b')
+
+  let fact10_positive_introspection u ps b =
+    let k = ext_knows u ps b in
+    Bitset.equal (knows_ext u ps k) k
+
+  let fact11_negative_introspection u ps b =
+    let nk = Bitset.complement (ext_knows u ps b) in
+    Bitset.equal (knows_ext u ps nk) nk
+
+  let fact12_constants u ps c =
+    let k = ext_knows u ps (Prop.const c) in
+    if c then Bitset.equal k (Bitset.create_full (Universe.size u))
+    else Bitset.is_empty k
+end

@@ -1,0 +1,81 @@
+(** Knowledge predicates (§4.1).
+
+    [(P knows b) at x ≡ ∀y. x \[P\] y ⇒ b at y]: [P] knows [b] when [b]
+    holds at every computation [P] cannot distinguish from the actual
+    one. Over a bounded universe the quantifier is effective: [knows]
+    is a class-wise AND over the [\[P\]]-partition, computed in
+    O(universe) per application and returned as an ordinary predicate,
+    so nesting ([P knows Q knows b]) is function composition.
+
+    The {!Laws} submodule makes the paper's twelve knowledge facts and
+    Lemma 2 decidable; tests and bench E6 drive them over random
+    universes and predicates. *)
+
+val knows_ext : Universe.t -> Pset.t -> Bitset.t -> Bitset.t
+(** Extensional core: indices whose whole [\[P\]]-class lies in the
+    given extent. *)
+
+val knows_ext_naive : Universe.t -> Pset.t -> Bitset.t -> Bitset.t
+(** Reference implementation scanning all pairs with the trace-level
+    [\[P\]] test — O(size² · |P| · len) against {!knows_ext}'s
+    O(size). Same answers (property-tested); kept for the P1 ablation
+    bench. *)
+
+val knows : Universe.t -> Pset.t -> Prop.t -> Prop.t
+(** [knows u p b] is the predicate "[P] knows [b]". Evaluating it at a
+    computation outside [u] raises [Not_found]. *)
+
+val knows_p : Universe.t -> Pid.t -> Prop.t -> Prop.t
+(** Single-process convenience. *)
+
+val nested : Universe.t -> Pset.t list -> Prop.t -> Prop.t
+(** [nested u \[P1;…;Pn\] b] is "[P1] knows [P2] knows … [Pn] knows
+    [b]"; with the empty list it is [b] itself. *)
+
+val holds_at : Universe.t -> Prop.t -> Trace.t -> bool
+(** [holds_at u b x] evaluates [b] at [x] ("b at x"). *)
+
+val sure : Universe.t -> Pset.t -> Prop.t -> Prop.t
+(** [(P sure b) at x ≡ (P knows b) at x ∨ (P knows ¬b) at x] (§4.2). *)
+
+val unsure : Universe.t -> Pset.t -> Prop.t -> Prop.t
+(** [¬ (P sure b)]. *)
+
+(** The paper's facts about knowledge, each decided over the whole
+    universe for given [P], [Q], [b], [b']. Numbering follows §4.1. *)
+module Laws : sig
+  val fact1_class_invariant : Universe.t -> Pset.t -> Prop.t -> bool
+  (** (1)+(2): the extent of [P knows b] is a union of [\[P\]]-classes. *)
+
+  val fact3_monotone_union : Universe.t -> Pset.t -> Pset.t -> Prop.t -> bool
+  (** (3) [(P knows b) ⇒ (P ∪ Q knows b)]. *)
+
+  val fact4_veridical : Universe.t -> Pset.t -> Prop.t -> bool
+  (** (4) [(P knows b) ⇒ b]. *)
+
+  val fact5_total : Universe.t -> Pset.t -> Prop.t -> bool
+  (** (5) [(P knows b) ∨ ¬(P knows b)] — totality. *)
+
+  val fact6_conjunction : Universe.t -> Pset.t -> Prop.t -> Prop.t -> bool
+  (** (6) [(P knows b) ∧ (P knows b') = P knows (b ∧ b')]. *)
+
+  val fact7_disjunction : Universe.t -> Pset.t -> Prop.t -> Prop.t -> bool
+  (** (7) [(P knows b) ∨ (P knows b') ⇒ P knows (b ∨ b')]. *)
+
+  val fact8_consistency : Universe.t -> Pset.t -> Prop.t -> bool
+  (** (8) [(P knows ¬b) ⇒ ¬(P knows b)]. *)
+
+  val fact9_closure : Universe.t -> Pset.t -> Prop.t -> Prop.t -> bool
+  (** (9) [(P knows b) ∧ (b ⇒ b') ⇒ (P knows b')], premise read as
+      [b ⇒ b'] valid on the universe. *)
+
+  val fact10_positive_introspection : Universe.t -> Pset.t -> Prop.t -> bool
+  (** (10) [P knows P knows b = P knows b]. *)
+
+  val fact11_negative_introspection : Universe.t -> Pset.t -> Prop.t -> bool
+  (** (11, Lemma 2) [P knows ¬(P knows b) = ¬(P knows b)]. *)
+
+  val fact12_constants : Universe.t -> Pset.t -> bool -> bool
+  (** (12) [P knows c] for constant [c = true]; for [c = false] it
+      fails everywhere (classes are nonempty). *)
+end

@@ -1,0 +1,54 @@
+(** Local predicates (§4.2).
+
+    [b] is local to [P] iff [P] is always sure of [b]'s value — the
+    value of [b] is controlled by [P]'s own actions. Local predicates
+    are the paper's bridge between knowledge and protocol facts ("p
+    holds the token" is local to p; "p has crashed" is local to p),
+    and Lemma 3 — a predicate local to two disjoint sets is constant —
+    is the engine behind the impossibility results (common knowledge
+    constancy, failure detection, tracking). *)
+
+val is_local : Universe.t -> Pset.t -> Prop.t -> bool
+(** [is_local u ps b]: [∀x. (P sure b) at x]. *)
+
+val lemma3_constant : Universe.t -> Pset.t -> Pset.t -> Prop.t -> bool
+(** Lemma 3 checker: if [b] is local to [P] and to [Q] with [P], [Q]
+    disjoint, then [b] is constant. Returns [true] when the implication
+    holds (vacuously if the premise fails). *)
+
+(** §4.2's eight facts about local predicates, decidable per
+    instance. *)
+module Facts : sig
+  val fact1_iso_invariant : Universe.t -> Pset.t -> Prop.t -> bool
+  (** (1) [b] local to [P] ∧ [x \[P\] y] ⇒ [b at x = b at y]. *)
+
+  val fact2_known : Universe.t -> Pset.t -> Prop.t -> bool
+  (** (2) [b] local to [P] ⇒ [b = P knows b]. *)
+
+  val fact3_negation : Universe.t -> Pset.t -> Prop.t -> bool
+  (** (3) [b] local to [P] ⟺ [¬b] local to [P]. *)
+
+  val fact4_knowledge_collapse : Universe.t -> Pset.t -> Pset.t -> Prop.t -> bool
+  (** (4) [b] local to [P] ⇒ [Q knows b = Q knows P knows b]. *)
+
+  val fact5_knows_is_local : Universe.t -> Pset.t -> Prop.t -> bool
+  (** (5) [(P knows b)] is local to [P]. *)
+
+  val fact6_disjoint_constant : Universe.t -> Pset.t -> Pset.t -> Prop.t -> bool
+  (** (6) = Lemma 3. *)
+
+  val fact7_constants_local : Universe.t -> Pset.t -> bool -> bool
+  (** (7) constants are local to every [P]. *)
+
+  val fact8_sure_is_local : Universe.t -> Pset.t -> Prop.t -> bool
+  (** (8) [(P sure b)] is local to [P]. *)
+end
+
+(** Identical-knowledge corollaries of Lemma 3. *)
+val identical_knowledge_constant :
+  Universe.t -> Pset.t -> Pset.t -> Prop.t -> bool
+(** If [P], [Q] disjoint and [P knows b = Q knows b] (same extent),
+    then [P knows b] is constant. *)
+
+val identical_sure_constant : Universe.t -> Pset.t -> Pset.t -> Prop.t -> bool
+(** Same with [sure] in place of [knows]. *)

@@ -1,0 +1,25 @@
+type t = { src : Pid.t; dst : Pid.t; seq : int; payload : string }
+
+let make ~src ~dst ~seq ~payload = { src; dst; seq; payload }
+
+let equal a b =
+  Pid.equal a.src b.src && Pid.equal a.dst b.dst && Int.equal a.seq b.seq
+  && String.equal a.payload b.payload
+
+let compare a b =
+  let c = Pid.compare a.src b.src in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.seq b.seq in
+    if c <> 0 then c
+    else
+      let c = Pid.compare a.dst b.dst in
+      if c <> 0 then c else String.compare a.payload b.payload
+
+let hash m = Hashtbl.hash (Pid.to_int m.src, Pid.to_int m.dst, m.seq, m.payload)
+let key m = (m.src, m.seq)
+
+let pp fmt m =
+  Format.fprintf fmt "%a->%a#%d(%s)" Pid.pp m.src Pid.pp m.dst m.seq m.payload
+
+let to_string m = Format.asprintf "%a" pp m

@@ -1,0 +1,29 @@
+(** Messages.
+
+    The paper assumes "all events and all messages are distinguished; for
+    instance, multiple occurrences of the same message are distinguished
+    by affixing sequence numbers to them" (§2). We realize this by
+    stamping every message with the sender's send count {!field:seq} at
+    the moment of sending: within any single system computation the pair
+    [(src, seq)] uniquely identifies a message, and two computations in
+    which the sender has the same local history produce the {e same}
+    message value — exactly what isomorphism ([x \[p\] y], §3) needs. *)
+
+type t = {
+  src : Pid.t;  (** sending process *)
+  dst : Pid.t;  (** destination process *)
+  seq : int;  (** sender's send count when this message was sent *)
+  payload : string;  (** application content *)
+}
+
+val make : src:Pid.t -> dst:Pid.t -> seq:int -> payload:string -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val key : t -> Pid.t * int
+(** [key m] is [(m.src, m.seq)] — unique within a computation. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

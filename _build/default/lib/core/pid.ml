@@ -1,0 +1,22 @@
+type t = int
+
+let names : (int, string) Hashtbl.t = Hashtbl.create 16
+
+let of_int i =
+  if i < 0 then invalid_arg "Pid.of_int: negative index";
+  i
+
+let to_int p = p
+let equal = Int.equal
+let compare = Int.compare
+let hash p = p
+
+let set_name p n = Hashtbl.replace names p n
+let name p = Hashtbl.find_opt names p
+
+let to_string p =
+  match name p with
+  | Some n -> n
+  | None -> "p" ^ string_of_int p
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)

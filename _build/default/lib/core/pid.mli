@@ -1,0 +1,33 @@
+(** Process identifiers.
+
+    The paper's model (§2) is built on a finite set of processes. A
+    {!t} identifies one process; identifiers are small non-negative
+    integers so that they can index arrays (vector clocks, partitions).
+    A human-readable name can be attached for diagrams and logs. *)
+
+type t
+(** A process identifier. *)
+
+val of_int : int -> t
+(** [of_int i] is the process with index [i]. Raises [Invalid_argument]
+    if [i < 0]. *)
+
+val to_int : t -> int
+(** [to_int p] is the integer index of [p]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints [p3] style identifiers, or the registered name if any. *)
+
+val to_string : t -> string
+
+val set_name : t -> string -> unit
+(** [set_name p n] registers [n] as the display name of [p]. Names are
+    global and intended for small, human-facing examples (e.g. the token
+    bus processes p,q,r,s,t of §4.1). *)
+
+val name : t -> string option
+(** [name p] is the registered display name of [p], if any. *)

@@ -1,0 +1,38 @@
+module S = Set.Make (Pid)
+
+type t = S.t
+
+let empty = S.empty
+let singleton = S.singleton
+let of_list = S.of_list
+let to_list = S.elements
+let add = S.add
+let remove = S.remove
+let mem = S.mem
+let cardinal = S.cardinal
+let is_empty = S.is_empty
+let union = S.union
+let inter = S.inter
+let diff = S.diff
+let subset = S.subset
+let disjoint = S.disjoint
+let equal = S.equal
+let compare = S.compare
+let fold = S.fold
+let iter = S.iter
+let for_all = S.for_all
+let exists = S.exists
+let filter = S.filter
+
+let all n =
+  let rec build i acc = if i < 0 then acc else build (i - 1) (S.add (Pid.of_int i) acc) in
+  build (n - 1) S.empty
+
+let compl ~all p = S.diff all p
+
+let pp fmt s =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ",") Pid.pp)
+    (to_list s)
+
+let to_string s = Format.asprintf "%a" pp s

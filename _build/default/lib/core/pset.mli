@@ -1,0 +1,46 @@
+(** Sets of processes.
+
+    Isomorphism ([x \[P\] y], §3) and knowledge ([P knows b], §4) are
+    indexed by {e sets} of processes, so process sets are a first-class
+    value here. The universe of discourse [D] (the set of all processes
+    in the system) is always explicit: complementation ({!compl}) — the
+    paper's [P̄ = D − P] — requires it. *)
+
+type t
+
+val empty : t
+val singleton : Pid.t -> t
+val of_list : Pid.t list -> t
+val to_list : t -> Pid.t list
+
+val add : Pid.t -> t -> t
+val remove : Pid.t -> t -> t
+val mem : Pid.t -> t -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+(** [subset p q] is true iff [p ⊆ q]. *)
+
+val disjoint : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val fold : (Pid.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Pid.t -> unit) -> t -> unit
+val for_all : (Pid.t -> bool) -> t -> bool
+val exists : (Pid.t -> bool) -> t -> bool
+val filter : (Pid.t -> bool) -> t -> t
+
+val all : int -> t
+(** [all n] is the full process set [D] of a system with [n] processes,
+    i.e. [{p0, ..., p(n-1)}]. *)
+
+val compl : all:t -> t -> t
+(** [compl ~all p] is [P̄ = all − p], the paper's complement notation. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

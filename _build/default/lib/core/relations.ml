@@ -1,0 +1,27 @@
+let step u ps s =
+  (* all computations [ps]-isomorphic to some member of [s] *)
+  let ids = Universe.pset_class_ids u ps in
+  let classes = Universe.classes u ps in
+  let out = Bitset.create (Universe.size u) in
+  let seen = Array.make (Array.length classes) false in
+  Bitset.iter
+    (fun i ->
+      let c = ids.(i) in
+      if not seen.(c) then begin
+        seen.(c) <- true;
+        Bitset.union_into out classes.(c)
+      end)
+    s;
+  out
+
+let saturate u pss s = List.fold_left (fun acc ps -> step u ps acc) s pss
+
+let reachable u pss x =
+  let s = Bitset.create (Universe.size u) in
+  Bitset.add s x;
+  saturate u pss s
+
+let related u pss x z = Bitset.mem (reachable u pss x) z
+
+let related_traces u pss x z =
+  related u pss (Universe.find_exn u x) (Universe.find_exn u z)

@@ -1,0 +1,25 @@
+(** Composed isomorphism relations [\[P1 P2 … Pn\]] (§3).
+
+    [x \[P1 … Pn\] z] iff there are computations [y0 = x, y1, …, yn = z]
+    with [y(i-1) \[Pi\] yi] — a path in the isomorphism diagram whose
+    edge labels contain [P1, …, Pn] in order. This is relational
+    composition [\[P1\] ∘ ⋯ ∘ \[Pn\]].
+
+    Within a bounded universe the intermediate computations range over
+    the universe; DESIGN.md §2 discusses why this is exact for the
+    bounded systems we enumerate. *)
+
+val reachable : Universe.t -> Pset.t list -> int -> Bitset.t
+(** [reachable u \[P1;…;Pn\] x] is [{z | x \[P1…Pn\] z}], computed by
+    iterated class saturation — O(size·n). For the empty list it is
+    [{x}] (the identity relation). *)
+
+val related : Universe.t -> Pset.t list -> int -> int -> bool
+(** [related u pss x z] is [x \[P1 … Pn\] z]. *)
+
+val related_traces : Universe.t -> Pset.t list -> Trace.t -> Trace.t -> bool
+(** Trace-level wrapper: locates both traces in the universe first.
+    @raise Not_found if either lies outside the universe. *)
+
+val saturate : Universe.t -> Pset.t list -> Bitset.t -> Bitset.t
+(** [saturate u pss s] extends {!reachable} to a set of sources. *)

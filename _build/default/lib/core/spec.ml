@@ -1,0 +1,79 @@
+type intent =
+  | Send_to of Pid.t * string
+  | Recv_any
+  | Recv_from of Pid.t
+  | Recv_if of string * (Msg.t -> bool)
+  | Do of string
+
+type rule = Event.t list -> intent list
+type t = { n : int; all : Pset.t; rule : Pid.t -> rule }
+
+let make ~n rule =
+  if n < 1 then invalid_arg "Spec.make: need at least one process";
+  { n; all = Pset.all n; rule }
+
+let n s = s.n
+let all s = s.all
+let pids s = Pset.to_list s.all
+let rule_of s p = s.rule p
+
+let local_send_count history =
+  List.fold_left (fun k e -> if Event.is_send e then k + 1 else k) 0 history
+
+let enabled_on s z p =
+  let history = Trace.proj z p in
+  let lseq = List.length history in
+  let sends = local_send_count history in
+  let in_flight = Trace.in_flight z in
+  let here m = Pid.equal m.Msg.dst p in
+  let events_of_intent = function
+    | Send_to (dst, payload) ->
+        [ Event.send ~pid:p ~lseq (Msg.make ~src:p ~dst ~seq:sends ~payload) ]
+    | Recv_any ->
+        List.filter_map
+          (fun m -> if here m then Some (Event.receive ~pid:p ~lseq m) else None)
+          in_flight
+    | Recv_from src ->
+        List.filter_map
+          (fun m ->
+            if here m && Pid.equal m.Msg.src src then
+              Some (Event.receive ~pid:p ~lseq m)
+            else None)
+          in_flight
+    | Recv_if (_, accept) ->
+        List.filter_map
+          (fun m ->
+            if here m && accept m then Some (Event.receive ~pid:p ~lseq m)
+            else None)
+          in_flight
+    | Do tag -> [ Event.internal ~pid:p ~lseq tag ]
+  in
+  s.rule p history
+  |> List.concat_map events_of_intent
+  |> List.sort_uniq Event.compare
+
+let enabled s z =
+  List.concat_map (enabled_on s z) (pids s) |> List.sort_uniq Event.compare
+
+let extensions s z = List.map (Trace.snoc z) (enabled s z)
+
+let validity_error s z =
+  match Trace.well_formed_error z with
+  | Some reason -> Some ("not well-formed: " ^ reason)
+  | None ->
+      let step (prefix, err) e =
+        match err with
+        | Some _ -> (prefix, err)
+        | None ->
+            if List.exists (Event.equal e) (enabled_on s prefix e.Event.pid) then
+              (Trace.snoc prefix e, None)
+            else
+              ( prefix,
+                Some
+                  (Printf.sprintf "event %s not enabled after %d events"
+                     (Event.to_string e) (Trace.length prefix)) )
+      in
+      let _, err = List.fold_left step (Trace.empty, None) (Trace.to_list z) in
+      err
+
+let valid s z = Option.is_none (validity_error s z)

@@ -1,0 +1,59 @@
+(* Shift every pid mentioned in an event by [delta] — used to translate
+   a composite-system local history back into component coordinates. *)
+let shift_msg delta (m : Msg.t) =
+  Msg.make
+    ~src:(Pid.of_int (Pid.to_int m.Msg.src + delta))
+    ~dst:(Pid.of_int (Pid.to_int m.Msg.dst + delta))
+    ~seq:m.Msg.seq ~payload:m.Msg.payload
+
+let shift_event delta (e : Event.t) =
+  let pid = Pid.of_int (Pid.to_int e.Event.pid + delta) in
+  match e.Event.kind with
+  | Event.Send m -> Event.send ~pid ~lseq:e.Event.lseq (shift_msg delta m)
+  | Event.Receive m -> Event.receive ~pid ~lseq:e.Event.lseq (shift_msg delta m)
+  | Event.Internal tag -> Event.internal ~pid ~lseq:e.Event.lseq tag
+
+let shift_intent delta ~limit = function
+  | Spec.Send_to (dst, payload) ->
+      let d = Pid.to_int dst + delta in
+      if d < fst limit || d >= snd limit then
+        invalid_arg "Spec_algebra.parallel: component addresses outside itself";
+      Spec.Send_to (Pid.of_int d, payload)
+  | (Spec.Recv_any | Spec.Recv_from _ | Spec.Recv_if _ | Spec.Do _) as i -> (
+      match i with
+      | Spec.Recv_from src -> Spec.Recv_from (Pid.of_int (Pid.to_int src + delta))
+      | other -> other)
+
+let parallel a b =
+  let na = Spec.n a and nb = Spec.n b in
+  Spec.make ~n:(na + nb) (fun p history ->
+      let i = Pid.to_int p in
+      if i < na then
+        (* histories are already in component coordinates for a *)
+        List.map (shift_intent 0 ~limit:(0, na)) (Spec.rule_of a p history)
+      else
+        let local = List.map (shift_event (-na)) history in
+        Spec.rule_of b (Pid.of_int (i - na)) local
+        |> List.map (shift_intent na ~limit:(na, na + nb)))
+
+let restrict s keep =
+  Spec.make ~n:(Spec.n s) (fun p history ->
+      List.filter (keep p) (Spec.rule_of s p history))
+
+let bound_events s k =
+  Spec.make ~n:(Spec.n s) (fun p history ->
+      if List.length history >= k then [] else Spec.rule_of s p history)
+
+let rename_payloads s f =
+  Spec.make ~n:(Spec.n s) (fun p history ->
+      (* translate the history's send/receive payloads back through f?
+         Renaming is outward-only: the component sees the renamed
+         payloads, so rules that match on their own payloads must be
+         written against the renamed values. We keep the simple
+         semantics: rules receive the raw (renamed) history and their
+         Send_to intents are mapped through [f]. *)
+      List.map
+        (function
+          | Spec.Send_to (dst, payload) -> Spec.Send_to (dst, f payload)
+          | other -> other)
+        (Spec.rule_of s p history))

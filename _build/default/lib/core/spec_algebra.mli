@@ -1,0 +1,38 @@
+(** Composition of system specifications.
+
+    Utilities to build systems out of systems:
+
+    - {!parallel}: two independent systems side by side (process ids of
+      the second are shifted). Since the components share nothing, the
+      canonical universe of the composite is the product of the
+      components' — an equality the tests verify, and the cleanest
+      possible statement of "these processes have nothing to say to
+      each other": every knowledge question about one side is untouched
+      by the other (checked via {!Knowledge} in the suite).
+    - {!restrict}: filter a system's intents (e.g. forbid a process
+      from sending, bound an experiment).
+    - {!bound_events}: cap every process's local computation length —
+      turns any system into an inherently finite one, making bounded
+      universes exact (the horizon-artifact cure used throughout the
+      test-suite, packaged).
+    - {!rename}: apply a payload transformation to all send intents
+      (tagging subsystem traffic). *)
+
+val parallel : Spec.t -> Spec.t -> Spec.t
+(** [parallel a b] has [n a + n b] processes; the first [n a] behave as
+    [a], the rest as [b] with pids shifted. Raises if either component
+    addresses a process outside itself (enforced lazily: a shifted
+    intent addressing across the boundary raises at enumeration
+    time). *)
+
+val restrict : Spec.t -> (Pid.t -> Spec.intent -> bool) -> Spec.t
+(** Keep only the intents the filter accepts. *)
+
+val bound_events : Spec.t -> int -> Spec.t
+(** [bound_events s k]: as [s], but a process with [k] local events
+    enables nothing further. *)
+
+val rename_payloads : Spec.t -> (string -> string) -> Spec.t
+(** Transform the payload of every send intent. The mapping must be
+    injective if the renamed system is to be isomorphic to the
+    original. *)

@@ -1,0 +1,15 @@
+type verdict = { iso : bool; chain : Event.t list option }
+
+let check u ~x ~z psets =
+  if psets = [] then invalid_arg "Theorem1.check: empty process-set list";
+  if not (Trace.is_prefix x z) then invalid_arg "Theorem1.check: x not a prefix";
+  let n = Spec.n (Universe.spec u) in
+  let iso =
+    Relations.related u psets (Universe.find_exn u x) (Universe.find_exn u z)
+  in
+  let chain = Chain.find ~n ~x ~z psets in
+  { iso; chain }
+
+let dichotomy_holds u ~x ~z psets =
+  let v = check u ~x ~z psets in
+  v.iso || v.chain <> None

@@ -1,0 +1,24 @@
+(** The Fundamental Theorem of Process Chains (Theorem 1, §3.2).
+
+    For a computation [z], a prefix [x] of [z] and process sets
+    [P1 … Pn] (n ≥ 1):
+
+    {v x [P1 P2 … Pn] z   or   there is a chain <P1 P2 … Pn> in (x,z) v}
+
+    This module decides both disjuncts on a bounded universe and
+    reports which hold — the test-suite and bench E3 drive it over
+    random instances and assert the dichotomy (in the contrapositive
+    form: no isomorphism ⇒ a chain witness exists). *)
+
+type verdict = {
+  iso : bool;  (** [x \[P1…Pn\] z] within the universe *)
+  chain : Event.t list option;  (** a witness chain, if one exists *)
+}
+
+val check : Universe.t -> x:Trace.t -> z:Trace.t -> Pset.t list -> verdict
+(** Raises [Invalid_argument] if [x] is not a prefix of [z] or the
+    process-set list is empty; raises [Not_found] if [x] or [z] lies
+    outside the universe. *)
+
+val dichotomy_holds : Universe.t -> x:Trace.t -> z:Trace.t -> Pset.t list -> bool
+(** At least one disjunct holds. *)

@@ -1,0 +1,69 @@
+let event_line e =
+  match e.Event.kind with
+  | Event.Send m ->
+      Printf.sprintf "S %d %d %d %d %S" (Pid.to_int e.Event.pid) e.Event.lseq
+        (Pid.to_int m.Msg.dst) m.Msg.seq m.Msg.payload
+  | Event.Receive m ->
+      Printf.sprintf "R %d %d %d %d %S" (Pid.to_int e.Event.pid) e.Event.lseq
+        (Pid.to_int m.Msg.src) m.Msg.seq m.Msg.payload
+  | Event.Internal tag ->
+      Printf.sprintf "I %d %d %S" (Pid.to_int e.Event.pid) e.Event.lseq tag
+
+let to_string z =
+  String.concat "\n" (List.map event_line (Trace.to_list z)) ^ "\n"
+
+let parse_line line =
+  let fail () = Error (Printf.sprintf "malformed line: %s" line) in
+  try
+    match line.[0] with
+    | 'S' ->
+        Scanf.sscanf line "S %d %d %d %d %S" (fun pid lseq dst seq payload ->
+            Ok
+              (Event.send ~pid:(Pid.of_int pid) ~lseq
+                 (Msg.make ~src:(Pid.of_int pid) ~dst:(Pid.of_int dst) ~seq
+                    ~payload)))
+    | 'R' ->
+        Scanf.sscanf line "R %d %d %d %d %S" (fun pid lseq src seq payload ->
+            Ok
+              (Event.receive ~pid:(Pid.of_int pid) ~lseq
+                 (Msg.make ~src:(Pid.of_int src) ~dst:(Pid.of_int pid) ~seq
+                    ~payload)))
+    | 'I' ->
+        Scanf.sscanf line "I %d %d %S" (fun pid lseq tag ->
+            Ok (Event.internal ~pid:(Pid.of_int pid) ~lseq tag))
+    | _ -> fail ()
+  with Scanf.Scan_failure _ | Failure _ | End_of_file | Invalid_argument _ ->
+    fail ()
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+  in
+  let rec go acc lineno = function
+    | [] -> (
+        let z = Trace.of_list (List.rev acc) in
+        match Trace.well_formed_error z with
+        | None -> Ok z
+        | Some reason -> Error ("parsed trace not well-formed: " ^ reason))
+    | line :: rest -> (
+        match parse_line line with
+        | Ok e -> go (e :: acc) (lineno + 1) rest
+        | Error reason -> Error (Printf.sprintf "line %d: %s" lineno reason))
+  in
+  go [] 1 lines
+
+let save path z =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string z))
+
+let load path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        of_string (really_input_string ic len))
+  with Sys_error reason -> Error reason

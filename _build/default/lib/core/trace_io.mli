@@ -1,0 +1,25 @@
+(** Trace serialization.
+
+    A line-oriented format so recorded runs can be saved, shipped, and
+    re-analyzed (the CLI's [dump]/[analyze] commands):
+
+    {v
+    S <pid> <lseq> <dst> <seq> <payload>     send
+    R <pid> <lseq> <src> <seq> <payload>     receive
+    I <pid> <lseq> <tag>                     internal
+    v}
+
+    Payloads and tags are written with OCaml's [%S] escaping, so they
+    may contain spaces and newlines. Parsing is total: [of_string]
+    reports the offending line on failure. Round-tripping is
+    property-tested against randomly generated computations. *)
+
+val to_string : Trace.t -> string
+val of_string : string -> (Trace.t, string) result
+(** Parses; checks well-formedness. [Error] carries a line-numbered
+    reason. *)
+
+val save : string -> Trace.t -> unit
+(** [save path z] writes the trace to a file. *)
+
+val load : string -> (Trace.t, string) result

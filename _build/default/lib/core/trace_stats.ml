@@ -1,0 +1,112 @@
+type t = {
+  events : int;
+  sends : int;
+  receives : int;
+  internals : int;
+  per_process : (int * int) list;
+  by_tag : (string * int) list;
+  in_flight_at_end : int;
+  causal_depth : int;
+  concurrency_ratio : float;
+}
+
+let tag_of payload =
+  match String.index_opt payload ':' with
+  | Some i -> String.sub payload 0 i
+  | None -> payload
+
+(* longest chain via DP over positions in trace order: depth(j) =
+   1 + max over direct predecessors; direct preds suffice because the
+   trace order is a linear extension *)
+let depths ts =
+  let len = Causality.length ts in
+  let depth = Array.make len 1 in
+  let back = Array.make len (-1) in
+  for j = 0 to len - 1 do
+    for i = 0 to j - 1 do
+      if Causality.hb ts i j && depth.(i) + 1 > depth.(j) then begin
+        depth.(j) <- depth.(i) + 1;
+        back.(j) <- i
+      end
+    done
+  done;
+  (depth, back)
+
+let critical_path ~n z =
+  if Trace.is_empty z then []
+  else begin
+    let ts = Causality.compute ~n z in
+    let depth, back = depths ts in
+    let best = ref 0 in
+    Array.iteri (fun j d -> if d > depth.(!best) then best := j) depth;
+    let rec walk j acc =
+      let acc = Causality.event_at ts j :: acc in
+      if back.(j) < 0 then acc else walk back.(j) acc
+    in
+    walk !best []
+  end
+
+let compute ~n z =
+  let events = Trace.to_list z in
+  let count p = List.length (List.filter p events) in
+  let sends = count Event.is_send in
+  let receives = count Event.is_receive in
+  let internals = count Event.is_internal in
+  let per_process =
+    List.init n (fun i -> (i, Trace.local_length z (Pid.of_int i)))
+    |> List.filter (fun (_, c) -> c > 0)
+  in
+  let by_tag =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun m ->
+        let t = tag_of m.Msg.payload in
+        Hashtbl.replace tbl t (1 + Option.value ~default:0 (Hashtbl.find_opt tbl t)))
+      (Trace.sent z);
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let len = List.length events in
+  let causal_depth, concurrency_ratio =
+    if len = 0 then (0, 0.0)
+    else begin
+      let ts = Causality.compute ~n z in
+      let depth, _ = depths ts in
+      let max_depth = Array.fold_left max 1 depth in
+      let unordered = ref 0 in
+      for i = 0 to len - 1 do
+        for j = i + 1 to len - 1 do
+          if Causality.concurrent ts i j then incr unordered
+        done
+      done;
+      let pairs = len * (len - 1) / 2 in
+      ( max_depth,
+        if pairs = 0 then 0.0 else float_of_int !unordered /. float_of_int pairs )
+    end
+  in
+  {
+    events = len;
+    sends;
+    receives;
+    internals;
+    per_process;
+    by_tag;
+    in_flight_at_end = List.length (Trace.in_flight z);
+    causal_depth;
+    concurrency_ratio;
+  }
+
+let pp fmt s =
+  Format.fprintf fmt "@[<v>";
+  Format.fprintf fmt "events:            %d (%d sends, %d receives, %d internal)@,"
+    s.events s.sends s.receives s.internals;
+  List.iter
+    (fun (p, c) -> Format.fprintf fmt "  p%d: %d events@," p c)
+    s.per_process;
+  List.iter
+    (fun (tag, c) -> Format.fprintf fmt "  tag %-12s %d messages@," tag c)
+    s.by_tag;
+  Format.fprintf fmt "in flight at end:  %d@," s.in_flight_at_end;
+  Format.fprintf fmt "causal depth:      %d@," s.causal_depth;
+  Format.fprintf fmt "concurrency ratio: %.2f@," s.concurrency_ratio;
+  Format.fprintf fmt "@]"

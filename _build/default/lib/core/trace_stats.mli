@@ -1,0 +1,33 @@
+(** Trace profiling.
+
+    Summary metrics of a recorded computation, centered on the numbers
+    the paper makes meaningful:
+
+    - {b causal depth} — the longest happened-before chain. By
+      Theorem 5 this bounds the deepest nested knowledge any process
+      can have gained during the run, and it is the run's critical
+      path: no scheduler can finish the same partial order in fewer
+      sequential steps.
+    - {b concurrency ratio} — the fraction of event pairs that are
+      causally unordered: 0 for a pure relay chain, approaching 1 for
+      independent processes. The width of the cut lattice grows with
+      it (E14).
+    - counts per kind / process / payload tag, for orientation. *)
+
+type t = {
+  events : int;
+  sends : int;
+  receives : int;
+  internals : int;
+  per_process : (int * int) list;  (** (pid, events) sorted by pid *)
+  by_tag : (string * int) list;  (** message payload tag → sends *)
+  in_flight_at_end : int;
+  causal_depth : int;  (** longest ⤳-chain (0 for the empty trace) *)
+  concurrency_ratio : float;  (** unordered pairs / all pairs; 0 if < 2 events *)
+}
+
+val compute : n:int -> Trace.t -> t
+val pp : Format.formatter -> t -> unit
+
+val critical_path : n:int -> Trace.t -> Event.t list
+(** A longest happened-before chain, as events in causal order. *)

@@ -1,0 +1,234 @@
+type mode = [ `Full | `Canonical ]
+
+module TraceTbl = Hashtbl.Make (struct
+  type t = Trace.t
+
+  let equal = Trace.equal
+  let hash = Trace.hash
+end)
+
+module ProjTbl = Hashtbl.Make (struct
+  type t = Event.t list
+
+  let equal = List.equal Event.equal
+  let hash l = Hashtbl.hash (List.map Event.hash l)
+end)
+
+type t = {
+  spec : Spec.t;
+  mode : mode;
+  depth : int;
+  comps : Trace.t array;
+  idx : int TraceTbl.t;
+  class_ids_by_pid : int array array; (* pid index -> comp index -> class id *)
+  pset_ids_memo : (int list, int array) Hashtbl.t;
+  classes_memo : (int list, Bitset.t array) Hashtbl.t;
+}
+
+(* --- canonical linearizations ------------------------------------- *)
+
+(* Direct predecessors of [e] within a fixed event set: the previous
+   event on the same process, and the corresponding send if [e] is a
+   receive. All other causal ordering is their transitive closure. *)
+let is_direct_pred ~of_:e c =
+  (Pid.equal c.Event.pid e.Event.pid && c.Event.lseq = e.Event.lseq - 1)
+  ||
+  match e.Event.kind with
+  | Event.Receive m -> (
+      match c.Event.kind with Event.Send m' -> Msg.equal m m' | _ -> false)
+  | Event.Send _ | Event.Internal _ -> false
+
+(* Greedy least linearization: repeatedly emit the Event.compare-least
+   event whose direct predecessors have all been emitted. For a valid
+   computation this is exactly the lexicographically least interleaving
+   of its [\[D\]]-class. *)
+let canon_trace z =
+  let rec go remaining acc =
+    match remaining with
+    | [] -> Trace.of_list (List.rev acc)
+    | _ ->
+        let ready =
+          List.filter
+            (fun e ->
+              not
+                (List.exists
+                   (fun c -> (not (Event.equal c e)) && is_direct_pred ~of_:e c)
+                   remaining))
+            remaining
+        in
+        let least =
+          match ready with
+          | [] -> invalid_arg "Universe.canon: cyclic or ill-formed trace"
+          | e :: rest -> List.fold_left (fun m c -> if Event.compare c m < 0 then c else m) e rest
+        in
+        go (List.filter (fun e -> not (Event.equal e least)) remaining) (least :: acc)
+  in
+  go (Trace.to_list z) []
+
+(* [z] canonical, [e] enabled after [z]: is [(z;e)] canonical?  [e]
+   becomes available right after its last direct predecessor; canonical
+   means no later-placed event exceeds [e]. *)
+let snoc_is_canonical z e =
+  let events = Trace.to_list z in
+  let _, avail =
+    List.fold_left
+      (fun (i, avail) c ->
+        (i + 1, if is_direct_pred ~of_:e c then i + 1 else avail))
+      (0, 0) events
+  in
+  let rec check i = function
+    | [] -> true
+    | c :: rest ->
+        if i < avail then check (i + 1) rest
+        else Event.compare c e < 0 && check (i + 1) rest
+  in
+  check 0 events
+
+(* --- enumeration --------------------------------------------------- *)
+
+let enumerate ?(mode = `Canonical) spec ~depth =
+  if depth < 0 then invalid_arg "Universe.enumerate: negative depth";
+  let acc = ref [ Trace.empty ] and count = ref 1 in
+  let keep z e =
+    match mode with `Full -> true | `Canonical -> snoc_is_canonical z e
+  in
+  let rec level frontier d =
+    if d >= depth || frontier = [] then ()
+    else begin
+      let next =
+        List.concat_map
+          (fun z ->
+            List.filter_map
+              (fun e -> if keep z e then Some (Trace.snoc z e) else None)
+              (Spec.enabled spec z))
+          frontier
+      in
+      List.iter
+        (fun z ->
+          acc := z :: !acc;
+          incr count)
+        next;
+      level next (d + 1)
+    end
+  in
+  level [ Trace.empty ] 0;
+  let comps = Array.make !count Trace.empty in
+  (* [!acc] holds computations in reverse discovery order *)
+  List.iteri (fun k z -> comps.(!count - 1 - k) <- z) !acc;
+  let idx = TraceTbl.create (2 * !count) in
+  Array.iteri (fun i z -> TraceTbl.replace idx z i) comps;
+  let class_ids_by_pid =
+    Array.init (Spec.n spec) (fun pi ->
+        let p = Pid.of_int pi in
+        let tbl = ProjTbl.create (2 * !count) in
+        let next = ref 0 in
+        Array.map
+          (fun z ->
+            let key = Trace.proj z p in
+            match ProjTbl.find_opt tbl key with
+            | Some id -> id
+            | None ->
+                let id = !next in
+                incr next;
+                ProjTbl.add tbl key id;
+                id)
+          comps)
+  in
+  {
+    spec;
+    mode;
+    depth;
+    comps;
+    idx;
+    class_ids_by_pid;
+    pset_ids_memo = Hashtbl.create 16;
+    classes_memo = Hashtbl.create 16;
+  }
+
+let spec u = u.spec
+let mode u = u.mode
+let depth u = u.depth
+let size u = Array.length u.comps
+let comp u i = u.comps.(i)
+let index u z = TraceTbl.find_opt u.idx z
+let canon _u z = canon_trace z
+
+let find u z =
+  match u.mode with
+  | `Full -> index u z
+  | `Canonical -> (
+      match index u z with Some i -> Some i | None -> index u (canon_trace z))
+
+let find_exn u z = match find u z with Some i -> i | None -> raise Not_found
+let iter f u = Array.iteri f u.comps
+
+let fold f u init =
+  let acc = ref init in
+  Array.iteri (fun i z -> acc := f i z !acc) u.comps;
+  !acc
+
+let class_ids u p = u.class_ids_by_pid.(Pid.to_int p)
+let pset_key ps = List.map Pid.to_int (Pset.to_list ps)
+
+let pset_class_ids u ps =
+  let key = pset_key ps in
+  match Hashtbl.find_opt u.pset_ids_memo key with
+  | Some ids -> ids
+  | None ->
+      let n = size u in
+      let ids =
+        if Pset.is_empty ps then Array.make n 0
+        else begin
+          (* combine per-process class ids into fresh ids *)
+          let tbl : (int list, int) Hashtbl.t = Hashtbl.create (2 * n) in
+          let next = ref 0 in
+          Array.init n (fun i ->
+              let combined =
+                List.map (fun p -> (class_ids u p).(i)) (Pset.to_list ps)
+              in
+              match Hashtbl.find_opt tbl combined with
+              | Some id -> id
+              | None ->
+                  let id = !next in
+                  incr next;
+                  Hashtbl.add tbl combined id;
+                  id)
+        end
+      in
+      Hashtbl.add u.pset_ids_memo key ids;
+      ids
+
+let classes u ps =
+  let key = pset_key ps in
+  match Hashtbl.find_opt u.classes_memo key with
+  | Some cs -> cs
+  | None ->
+      let ids = pset_class_ids u ps in
+      let n = size u in
+      let nclasses = Array.fold_left (fun m id -> max m (id + 1)) 0 ids in
+      let cs = Array.init nclasses (fun _ -> Bitset.create n) in
+      Array.iteri (fun i id -> Bitset.add cs.(id) i) ids;
+      Hashtbl.add u.classes_memo key cs;
+      cs
+
+let class_members u ps i =
+  let ids = pset_class_ids u ps in
+  (classes u ps).(ids.(i))
+
+let prefixes_of u i =
+  let z = comp u i in
+  let rec go prefix events acc =
+    let acc =
+      match find u prefix with Some j -> j :: acc | None -> acc
+    in
+    match events with
+    | [] -> acc
+    | e :: rest -> go (Trace.snoc prefix e) rest acc
+  in
+  List.rev (go Trace.empty (Trace.to_list z) [])
+
+let pp_stats fmt u =
+  Format.fprintf fmt "universe: %d computations, depth %d, mode %s, %d processes"
+    (size u) u.depth
+    (match u.mode with `Full -> "full" | `Canonical -> "canonical")
+    (Spec.n u.spec)

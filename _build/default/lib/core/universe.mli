@@ -1,0 +1,80 @@
+(** Bounded computation universes.
+
+    The paper's definitions quantify over all system computations ("for
+    all y: x \[P\] y : b at y"). For a finite system we make those
+    quantifiers executable by enumerating every computation up to a
+    depth bound.
+
+    Two modes:
+    - [`Full] enumerates every computation (every interleaving);
+    - [`Canonical] enumerates one representative per [\[D\]]-equivalence
+      class — the lexicographically least linearization of the induced
+      event partial order. Since predicates are required to be
+      interleaving-invariant ([x \[D\] y ⇒ b at x = b at y], §4.1) and
+      [x \[P\] y] depends only on projections, evaluating knowledge over
+      canonical representatives is exact while the universe is usually
+      exponentially smaller (ablation P2 in DESIGN.md).
+
+    A universe indexes its computations [0 .. size-1] and precomputes,
+    per process, the partition of indices by local computation; this
+    is what makes [knows] evaluation linear in the universe size. *)
+
+type mode = [ `Full | `Canonical ]
+
+type t
+
+val enumerate : ?mode:mode -> Spec.t -> depth:int -> t
+(** [enumerate spec ~depth] explores breadth-first from the empty
+    computation. Default mode is [`Canonical]. *)
+
+val spec : t -> Spec.t
+val mode : t -> mode
+val depth : t -> int
+val size : t -> int
+
+val comp : t -> int -> Trace.t
+(** [comp u i] is computation number [i]. *)
+
+val index : t -> Trace.t -> int option
+(** Exact lookup of a trace (as stored — canonical form in
+    [`Canonical] mode). *)
+
+val find : t -> Trace.t -> int option
+(** Like {!index} but canonicalizes first in [`Canonical] mode, so any
+    valid interleaving of a stored class is found. *)
+
+val find_exn : t -> Trace.t -> int
+(** @raise Not_found when the trace's class is outside the universe
+    (e.g. longer than [depth]). *)
+
+val canon : t -> Trace.t -> Trace.t
+(** [canon u z] is the canonical (lexicographically least) linearization
+    of [z]'s event partial order. Identity in [`Full] mode semantics:
+    still computes the canonical form, callers in full mode rarely need
+    it. *)
+
+val iter : (int -> Trace.t -> unit) -> t -> unit
+val fold : (int -> Trace.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val class_ids : t -> Pid.t -> int array
+(** [class_ids u p] assigns to each computation index the id of its
+    [\[p\]]-class: [x \[p\] y ⟺ ids.(ix) = ids.(iy)]. *)
+
+val pset_class_ids : t -> Pset.t -> int array
+(** Same for a process set [P] (intersection of the per-process
+    partitions); memoized per set. For the empty set all computations
+    share class 0, matching [x \[{}\] y] for all x, y. *)
+
+val class_members : t -> Pset.t -> int -> Bitset.t
+(** [class_members u ps i] is the set of indices [\[P\]]-equivalent to
+    [i] (always contains [i]). *)
+
+val classes : t -> Pset.t -> Bitset.t array
+(** All [\[P\]]-classes, indexed by class id; memoized. *)
+
+val prefixes_of : t -> int -> int list
+(** Indices of all stored computations that are prefixes of computation
+    [i] (in [`Canonical] mode: whose class representative is a prefix). *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line summary: size, depth, mode. *)

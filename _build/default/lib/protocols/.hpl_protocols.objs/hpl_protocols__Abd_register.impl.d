@@ -1,0 +1,1 @@
+lib/protocols/abd_register.ml: Engine Event Hashtbl Hpl_core Hpl_sim Int List Option Pid Printf String Trace Wire

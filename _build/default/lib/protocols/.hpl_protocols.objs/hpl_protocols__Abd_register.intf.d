@@ -1,0 +1,1 @@
+lib/protocols/abd_register.mli: Hpl_core Hpl_sim

@@ -1,0 +1,1 @@
+lib/protocols/bully.ml: Array Engine Hpl_core Hpl_sim List Pid String Trace Wire

@@ -1,0 +1,1 @@
+lib/protocols/bully.mli: Hpl_core Hpl_sim

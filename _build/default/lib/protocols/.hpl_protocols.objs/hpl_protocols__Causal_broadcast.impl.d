@@ -1,0 +1,1 @@
+lib/protocols/causal_broadcast.ml: Array Engine Hpl_core Hpl_sim List Pid Printf String Trace Wire

@@ -1,0 +1,1 @@
+lib/protocols/causal_broadcast.mli: Hpl_core Hpl_sim

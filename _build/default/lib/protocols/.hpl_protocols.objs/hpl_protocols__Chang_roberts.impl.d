@@ -1,0 +1,1 @@
+lib/protocols/chang_roberts.ml: Array Chain Engine Hpl_core Hpl_sim List Msg Pid Pset Rng String Trace Wire

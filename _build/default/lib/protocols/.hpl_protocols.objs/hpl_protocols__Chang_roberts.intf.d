@@ -1,0 +1,1 @@
+lib/protocols/chang_roberts.mli: Hpl_core Hpl_sim

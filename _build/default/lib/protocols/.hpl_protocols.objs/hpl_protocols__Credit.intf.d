@@ -1,0 +1,1 @@
+lib/protocols/credit.mli: Hpl_core Hpl_sim Termination Underlying

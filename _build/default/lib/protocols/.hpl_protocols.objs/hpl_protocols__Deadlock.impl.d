@@ -1,0 +1,1 @@
+lib/protocols/deadlock.ml: Array Bool Engine Hpl_core Hpl_sim List Pid String Trace Wire

@@ -1,0 +1,1 @@
+lib/protocols/deadlock.mli: Hpl_core Hpl_sim

@@ -1,0 +1,1 @@
+lib/protocols/dijkstra_scholten.ml: Engine Hpl_core Hpl_sim List Pid Termination Underlying Wire

@@ -1,0 +1,1 @@
+lib/protocols/dijkstra_scholten.mli: Hpl_core Hpl_sim Termination Underlying

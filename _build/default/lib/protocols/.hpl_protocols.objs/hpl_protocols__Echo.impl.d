@@ -1,0 +1,1 @@
+lib/protocols/echo.ml: Chain Engine Event Hpl_core Hpl_sim List Msg Pid Pset String Trace Wire

@@ -1,0 +1,1 @@
+lib/protocols/echo.mli: Hpl_core Hpl_sim

@@ -1,0 +1,1 @@
+lib/protocols/failure_detector.ml: Array Engine Event Hpl_core Hpl_sim Knowledge List Pid Printf Prop Pset Spec String Trace Universe Wire

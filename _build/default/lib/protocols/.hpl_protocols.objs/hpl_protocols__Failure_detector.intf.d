@@ -1,0 +1,1 @@
+lib/protocols/failure_detector.mli: Hpl_core Hpl_sim

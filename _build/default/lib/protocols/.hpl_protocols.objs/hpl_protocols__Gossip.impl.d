@@ -1,0 +1,1 @@
+lib/protocols/gossip.ml: Array Engine Event Hpl_core Hpl_sim Int64 List Msg Pid Rng String Trace Wire

@@ -1,0 +1,1 @@
+lib/protocols/gossip.mli: Hpl_core Hpl_sim

@@ -1,0 +1,1 @@
+lib/protocols/lamport_mutex.ml: Array Engine Event Hpl_core Hpl_sim List Msg Pid String Trace Wire

@@ -1,0 +1,1 @@
+lib/protocols/lamport_mutex.mli: Hpl_core Hpl_sim

@@ -1,0 +1,1 @@
+lib/protocols/paxos.ml: Engine Event Hpl_core Hpl_sim Int List Msg Option Pid Printf String Trace Wire

@@ -1,0 +1,1 @@
+lib/protocols/paxos.mli: Hpl_core Hpl_sim

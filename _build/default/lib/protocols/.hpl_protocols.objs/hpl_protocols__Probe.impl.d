@@ -1,0 +1,1 @@
+lib/protocols/probe.ml: Engine Hpl_core Hpl_sim List Pid String Termination Underlying Wire

@@ -1,0 +1,1 @@
+lib/protocols/probe.mli: Hpl_core Hpl_sim Termination Underlying

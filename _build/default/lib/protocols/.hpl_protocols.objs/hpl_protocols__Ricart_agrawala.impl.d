@@ -1,0 +1,1 @@
+lib/protocols/ricart_agrawala.ml: Array Engine Event Hpl_core Hpl_sim List Pid String Trace Wire

@@ -1,0 +1,1 @@
+lib/protocols/ricart_agrawala.mli: Hpl_core Hpl_sim

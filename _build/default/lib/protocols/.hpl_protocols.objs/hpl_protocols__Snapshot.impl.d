@@ -1,0 +1,1 @@
+lib/protocols/snapshot.ml: Array Engine Event Hashtbl Hpl_core Hpl_sim Int64 List Msg Option Pid Rng String Trace Wire

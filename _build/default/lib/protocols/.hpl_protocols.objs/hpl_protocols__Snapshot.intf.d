@@ -1,0 +1,1 @@
+lib/protocols/snapshot.mli: Hpl_core Hpl_sim

@@ -1,0 +1,1 @@
+lib/protocols/snapshot_term.ml: Array Engine Hpl_core Hpl_sim List Pid String Termination Underlying Wire

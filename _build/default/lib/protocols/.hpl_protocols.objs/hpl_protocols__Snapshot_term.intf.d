@@ -1,0 +1,1 @@
+lib/protocols/snapshot_term.mli: Hpl_core Hpl_sim Termination Underlying

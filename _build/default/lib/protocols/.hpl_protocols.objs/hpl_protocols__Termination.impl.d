@@ -1,0 +1,1 @@
+lib/protocols/termination.ml: Event Format Hpl_core List Msg Printf String Trace Underlying

@@ -1,0 +1,1 @@
+lib/protocols/termination.mli: Format Hpl_core

@@ -1,0 +1,1 @@
+lib/protocols/token_bus.ml: Event Hpl_core Knowledge List Pid Printf Prop Pset Spec Trace Universe

@@ -1,0 +1,1 @@
+lib/protocols/token_bus.mli: Hpl_core

@@ -1,0 +1,1 @@
+lib/protocols/token_ring.ml: Array Engine Event Hashtbl Hpl_core Hpl_sim Int64 List Msg Pid Rng String Trace Wire

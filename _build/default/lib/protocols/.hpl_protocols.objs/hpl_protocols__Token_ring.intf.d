@@ -1,0 +1,1 @@
+lib/protocols/token_ring.mli: Hpl_core Hpl_sim

@@ -1,0 +1,1 @@
+lib/protocols/total_order.ml: Array Engine Hpl_core Hpl_sim List Pid Printf String Trace Wire

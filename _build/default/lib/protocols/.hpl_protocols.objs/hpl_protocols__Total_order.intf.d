@@ -1,0 +1,1 @@
+lib/protocols/total_order.mli: Hpl_core Hpl_sim

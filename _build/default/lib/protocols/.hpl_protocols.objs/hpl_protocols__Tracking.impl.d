@@ -1,0 +1,1 @@
+lib/protocols/tracking.ml: Event Hpl_core Knowledge List Pid Prop Pset Spec String Trace Universe

@@ -1,0 +1,1 @@
+lib/protocols/tracking.mli: Hpl_core

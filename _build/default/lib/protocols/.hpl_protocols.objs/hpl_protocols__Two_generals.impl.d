@@ -1,0 +1,1 @@
+lib/protocols/two_generals.ml: Common_knowledge Event Hpl_core Knowledge List Msg Pid Prop Pset Spec String Trace Universe

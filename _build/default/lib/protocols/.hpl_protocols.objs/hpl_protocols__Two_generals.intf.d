@@ -1,0 +1,1 @@
+lib/protocols/two_generals.mli: Hpl_core

@@ -1,0 +1,1 @@
+lib/protocols/two_phase_commit.ml: Array Engine Event Fun Hpl_core Hpl_sim Knowledge List Msg Pid Prop Pset Spec String Trace Universe Wire

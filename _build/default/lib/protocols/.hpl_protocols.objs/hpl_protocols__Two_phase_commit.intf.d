@@ -1,0 +1,1 @@
+lib/protocols/two_phase_commit.mli: Hpl_core Hpl_sim

@@ -1,0 +1,1 @@
+lib/protocols/underlying.ml: Engine Event Hpl_core Hpl_sim Int64 List Msg Pid Rng Trace Wire

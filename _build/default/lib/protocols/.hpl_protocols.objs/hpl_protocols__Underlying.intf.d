@@ -1,0 +1,1 @@
+lib/protocols/underlying.mli: Hpl_core Hpl_sim

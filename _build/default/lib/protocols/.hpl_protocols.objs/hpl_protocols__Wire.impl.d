@@ -1,0 +1,1 @@
+lib/protocols/wire.ml: List Option String

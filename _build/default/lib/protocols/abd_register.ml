@@ -1,0 +1,275 @@
+open Hpl_core
+open Hpl_sim
+
+type params = {
+  n : int;
+  writes : int;
+  reads_per_reader : int;
+  op_period : float;
+  crash : (float * int) list;
+  horizon : float;
+  seed : int64;
+}
+
+let default =
+  {
+    n = 5;
+    writes = 4;
+    reads_per_reader = 2;
+    op_period = 12.0;
+    crash = [];
+    horizon = 400.0;
+    seed = 47L;
+  }
+
+(* wire *)
+let store_tag = "abd-store"  (* (tag, value) replica write *)
+let store_ack = "abd-store-ack"  (* (tag) *)
+let query_tag = "abd-query"  (* (read id) *)
+let query_reply = "abd-reply"  (* (read id, tag, value) *)
+
+(* trace markers: inv/resp per op; tags ride along *)
+let inv_write = "inv-write"  (* inv-write:tag *)
+let resp_write = "resp-write"
+let inv_read = "inv-read"
+let resp_read = "resp-read"  (* resp-read:tag *)
+
+type phase =
+  | Idle
+  | Writing of { tag : int; acks : int }
+  | Reading of { id : int; replies : (int * int) list }
+  | Writing_back of { tag : int; value : int; acks : int }
+
+type state = {
+  params : params;
+  me : int;
+  (* replica *)
+  stored_tag : int;
+  stored_val : int;
+  (* client *)
+  phase : phase;
+  writes_done : int;
+  reads_done : int;
+  next_read_id : int;
+}
+
+type op = {
+  kind : [ `Read | `Write ];
+  owner : int;
+  tag : int;
+  invoked : int;
+  responded : int option;
+}
+
+type outcome = {
+  trace : Trace.t;
+  ops : op list;
+  atomic : bool;
+  completed_ops : int;
+  blocked_ops : int;
+  messages : int;
+}
+
+let majority st = (st.params.n / 2) + 1
+let everyone st = List.init st.params.n (fun i -> i)
+let op_timer = "abd-op"
+
+let broadcast st tag ints =
+  List.map (fun i -> Engine.Send (Pid.of_int i, Wire.enc tag ints)) (everyone st)
+
+let init params p =
+  let me = Pid.to_int p in
+  let st =
+    {
+      params;
+      me;
+      stored_tag = 0;
+      stored_val = 0;
+      phase = Idle;
+      writes_done = 0;
+      reads_done = 0;
+      next_read_id = 0;
+    }
+  in
+  (st, [ Engine.Set_timer (params.op_period *. float_of_int (me + 1), op_timer) ])
+
+let start_op st ~now =
+  if now > st.params.horizon || st.phase <> Idle then (st, [])
+  else if st.me = 0 && st.writes_done < st.params.writes then begin
+    let tag = st.writes_done + 1 in
+    let value = 100 + tag in
+    let st = { st with phase = Writing { tag; acks = 0 } } in
+    ( st,
+      Engine.Log_internal (Printf.sprintf "%s:%d" inv_write tag)
+      :: broadcast st store_tag [ tag; value ] )
+  end
+  else if st.me > 0 && st.reads_done < st.params.reads_per_reader then begin
+    let id = st.next_read_id in
+    let st = { st with phase = Reading { id; replies = [] }; next_read_id = id + 1 } in
+    ( st,
+      Engine.Log_internal inv_read :: broadcast st query_tag [ id ] )
+  end
+  else (st, [])
+
+let on_message st ~self:_ ~src ~payload ~now:_ =
+  match Wire.dec payload with
+  | Some (t, [ tag; value ]) when String.equal t store_tag ->
+      (* replica write: adopt if newer, ack with the tag *)
+      let st =
+        if tag > st.stored_tag then { st with stored_tag = tag; stored_val = value }
+        else st
+      in
+      (st, [ Engine.Send (src, Wire.enc store_ack [ tag ]) ])
+  | Some (t, [ tag ]) when String.equal t store_ack -> (
+      match st.phase with
+      | Writing w when tag = w.tag ->
+          let acks = w.acks + 1 in
+          if acks >= majority st then
+            ( { st with phase = Idle; writes_done = st.writes_done + 1 },
+              [
+                Engine.Log_internal (Printf.sprintf "%s:%d" resp_write tag);
+                Engine.Set_timer (st.params.op_period, op_timer);
+              ] )
+          else ({ st with phase = Writing { w with acks } }, [])
+      | Writing_back wb when tag = wb.tag ->
+          let acks = wb.acks + 1 in
+          if acks >= majority st then
+            ( { st with phase = Idle; reads_done = st.reads_done + 1 },
+              [
+                Engine.Log_internal (Printf.sprintf "%s:%d" resp_read wb.tag);
+                Engine.Set_timer (st.params.op_period, op_timer);
+              ] )
+          else ({ st with phase = Writing_back { wb with acks } }, [])
+      | _ -> (st, []))
+  | Some (t, [ id ]) when String.equal t query_tag ->
+      (st, [ Engine.Send (src, Wire.enc query_reply [ id; st.stored_tag; st.stored_val ]) ])
+  | Some (t, [ id; tag; value ]) when String.equal t query_reply -> (
+      match st.phase with
+      | Reading r when id = r.id ->
+          let replies = (tag, value) :: r.replies in
+          if List.length replies >= majority st then begin
+            let best_tag, best_val =
+              List.fold_left
+                (fun (bt, bv) (t', v') -> if t' > bt then (t', v') else (bt, bv))
+                (-1, 0) replies
+            in
+            (* ABD phase 2: write back before returning *)
+            let st = { st with phase = Writing_back { tag = best_tag; value = best_val; acks = 0 } } in
+            (st, broadcast st store_tag [ best_tag; best_val ])
+          end
+          else ({ st with phase = Reading { r with replies } }, [])
+      | _ -> (st, []))
+  | _ -> (st, [])
+
+let on_timer st ~self:_ ~tag ~now =
+  if String.equal tag op_timer then start_op st ~now else (st, [])
+
+(* -- trace analysis -------------------------------------------------------- *)
+
+let parse_marker tag =
+  match String.split_on_char ':' tag with
+  | [ m ] -> Some (m, None)
+  | [ m; t ] -> (
+      match int_of_string_opt t with Some t -> Some (m, Some t) | None -> None)
+  | _ -> None
+
+let extract_ops z =
+  let open_op : (int, [ `Read | `Write ] * int) Hashtbl.t = Hashtbl.create 8 in
+  let ops = ref [] in
+  List.iteri
+    (fun i e ->
+      match e.Event.kind with
+      | Event.Internal tag -> (
+          match parse_marker tag with
+          | Some (m, Some t) when m = inv_write ->
+              Hashtbl.replace open_op (Pid.to_int e.Event.pid) (`Write, i);
+              ops := (`Write, Pid.to_int e.Event.pid, t, i, ref None) :: !ops
+          | Some (m, None) when m = inv_read ->
+              Hashtbl.replace open_op (Pid.to_int e.Event.pid) (`Read, i)
+          | Some (m, Some t) when m = resp_write ->
+              (* close the writer's open op *)
+              List.iter
+                (fun (k, owner, tag', _inv, resp) ->
+                  if k = `Write && owner = Pid.to_int e.Event.pid && tag' = t && !resp = None
+                  then resp := Some i)
+                !ops
+          | Some (m, Some t) when m = resp_read -> (
+              match Hashtbl.find_opt open_op (Pid.to_int e.Event.pid) with
+              | Some (`Read, inv) ->
+                  Hashtbl.remove open_op (Pid.to_int e.Event.pid);
+                  ops := (`Read, Pid.to_int e.Event.pid, t, inv, ref (Some i)) :: !ops
+              | _ -> ())
+          | _ -> ())
+      | _ -> ())
+    (Trace.to_list z);
+  (* reads that never responded *)
+  Hashtbl.iter
+    (fun owner (k, inv) ->
+      if k = `Read then ops := (`Read, owner, -1, inv, ref None) :: !ops)
+    open_op;
+  List.rev_map
+    (fun (kind, owner, tag, invoked, resp) ->
+      { kind; owner; tag; invoked; responded = !resp })
+    !ops
+  |> List.sort (fun a b -> Int.compare a.invoked b.invoked)
+
+let check_atomicity ops =
+  let completed = List.filter (fun o -> o.responded <> None) ops in
+  let reads = List.filter (fun o -> o.kind = `Read) completed in
+  let writes = List.filter (fun o -> o.kind = `Write) completed in
+  let resp o = Option.get o.responded in
+  let written_tags = 0 :: List.map (fun w -> w.tag) writes in
+  let c1 =
+    List.for_all (fun r -> List.mem r.tag written_tags) reads
+  in
+  let c2 =
+    (* a read invoked after a write responded returns tag >= it *)
+    List.for_all
+      (fun r ->
+        List.for_all
+          (fun w -> not (resp w < r.invoked) || r.tag >= w.tag)
+          writes)
+      reads
+  in
+  let c3 =
+    List.for_all
+      (fun r1 ->
+        List.for_all
+          (fun r2 -> not (resp r1 < r2.invoked) || r2.tag >= r1.tag)
+          reads)
+      reads
+  in
+  let c4 =
+    (* no read returns a tag whose write started after the read ended *)
+    List.for_all
+      (fun r ->
+        List.for_all
+          (fun w -> not (w.tag = r.tag && w.invoked > resp r))
+          writes)
+      reads
+  in
+  c1 && c2 && c3 && c4
+
+let run ?config params =
+  let config =
+    match config with
+    | Some c -> { c with Engine.n = params.n }
+    | None -> { Engine.default with Engine.n = params.n; seed = params.seed }
+  in
+  let config =
+    { config with Engine.crashes = params.crash @ config.Engine.crashes }
+  in
+  let result =
+    Engine.run config { Engine.init = init params; on_message; on_timer }
+  in
+  let z = result.Engine.trace in
+  let ops = extract_ops z in
+  let completed_ops = List.length (List.filter (fun o -> o.responded <> None) ops) in
+  {
+    trace = z;
+    ops;
+    atomic = check_atomicity ops;
+    completed_ops;
+    blocked_ops = List.length ops - completed_ops;
+    messages = result.Engine.stats.Engine.sent;
+  }

@@ -1,0 +1,55 @@
+(** A fault-tolerant read/write register (single-writer ABD).
+
+    The writer stamps each value with an increasing tag and writes to a
+    majority; a reader queries a majority, adopts the largest tag, and
+    — the ABD trick — writes it back to a majority before returning, so
+    that a later reader cannot see an older value. Quorum intersection
+    is the knowledge mechanism: any two majorities share a replica, so
+    the second operation's quorum {e must} contain a process that knows
+    the first one's outcome — a process-chain guarantee by
+    construction, crash-tolerant up to a minority.
+
+    The verifier checks single-writer atomicity on the recorded trace
+    via tag discipline (write values are unique, so this is sound and
+    complete for SWMR):
+    + every read returns a written (or the initial) tag;
+    + a read invoked after a write completed returns a tag ≥ it;
+    + reads never go backwards (read₂ invoked after read₁ responded
+      returns a tag ≥ read₁'s);
+    + a read never returns a tag whose write was invoked after the
+      read responded.
+
+    Run it with a minority of replica crashes and everything still
+    holds; crash a majority and operations block (reported, not
+    failed — unavailability, not inconsistency). *)
+
+type params = {
+  n : int;  (** process 0 writes; everyone replicates; readers 1..n-1 *)
+  writes : int;  (** total writes issued *)
+  reads_per_reader : int;
+  op_period : float;
+  crash : (float * int) list;  (** replica crash schedule *)
+  horizon : float;
+  seed : int64;
+}
+
+val default : params
+
+type op = {
+  kind : [ `Read | `Write ];
+  owner : int;
+  tag : int;  (** written tag, or the tag the read returned *)
+  invoked : int;  (** trace position of the invocation event *)
+  responded : int option;  (** trace position of the response, if any *)
+}
+
+type outcome = {
+  trace : Hpl_core.Trace.t;
+  ops : op list;
+  atomic : bool;  (** the four conditions above *)
+  completed_ops : int;
+  blocked_ops : int;  (** invoked but never responded (e.g. majority lost) *)
+  messages : int;
+}
+
+val run : ?config:Hpl_sim.Engine.config -> params -> outcome

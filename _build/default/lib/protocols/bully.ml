@@ -1,0 +1,116 @@
+open Hpl_core
+open Hpl_sim
+
+type params = { n : int; ok_timeout : float; crash : int option; seed : int64 }
+
+let default = { n = 5; ok_timeout = 30.0; crash = None; seed = 29L }
+
+let election_tag = "bl-election"
+let ok_tag = "bl-ok"
+let coordinator_tag = "bl-coord"
+let wait_timer = "bl-wait"
+let declare_tag = "bl-i-am-coordinator"
+
+type state = {
+  params : params;
+  me : int;
+  got_ok : bool;
+  declared : bool;
+  leader : int option;
+}
+
+type outcome = {
+  trace : Trace.t;
+  coordinators : int list;
+  agreed_on : int option;
+  safe : bool;
+  messages : int;
+}
+
+let higher st = List.init (st.params.n - 1 - st.me) (fun k -> st.me + 1 + k)
+let all_but st = List.filter (fun i -> i <> st.me) (List.init st.params.n (fun i -> i))
+
+let declare st =
+  if st.declared then (st, [])
+  else
+    ( { st with declared = true; leader = Some st.me },
+      Engine.Log_internal declare_tag
+      :: List.map
+           (fun i -> Engine.Send (Pid.of_int i, Wire.enc coordinator_tag [ st.me ]))
+           (all_but st) )
+
+let start_timer = "bl-start"
+
+(* the election starts at t = 1 so that crash injection at t = 0.5 can
+   remove a process before it acts (the classic "coordinator already
+   down" scenario) *)
+let init params p =
+  let me = Pid.to_int p in
+  let st = { params; me; got_ok = false; declared = false; leader = None } in
+  (st, [ Engine.Set_timer (1.0, start_timer) ])
+
+let on_message st ~self:_ ~src ~payload ~now:_ =
+  match Wire.dec payload with
+  | Some (tag, [ challenger ]) when String.equal tag election_tag ->
+      ignore challenger;
+      (* a lower process challenged: suppress it; (we are alive and
+         already challenging everyone above us from init) *)
+      (st, [ Engine.Send (src, Wire.enc ok_tag []) ])
+  | Some (tag, []) when String.equal tag ok_tag ->
+      ({ st with got_ok = true }, [])
+  | Some (tag, [ c ]) when String.equal tag coordinator_tag ->
+      ({ st with leader = Some c }, [])
+  | _ -> (st, [])
+
+let on_timer st ~self:_ ~tag ~now:_ =
+  if String.equal tag start_timer then
+    if higher st = [] then declare st
+    else
+      ( st,
+        List.map
+          (fun i -> Engine.Send (Pid.of_int i, Wire.enc election_tag [ st.me ]))
+          (higher st)
+        @ [ Engine.Set_timer (st.params.ok_timeout, wait_timer) ] )
+  else if String.equal tag wait_timer && (not st.got_ok) && st.leader = None then
+    declare st
+  else (st, [])
+
+let run ?config params =
+  let config =
+    match config with
+    | Some c -> { c with Engine.n = params.n }
+    | None -> { Engine.default with Engine.n = params.n; seed = params.seed }
+  in
+  let config =
+    match params.crash with
+    | Some i -> { config with Engine.crashes = (0.5, i) :: config.Engine.crashes }
+    | None -> config
+  in
+  let result =
+    Engine.run config { Engine.init = init params; on_message; on_timer }
+  in
+  let coordinators =
+    Array.to_list result.Engine.states
+    |> List.filter_map (fun st -> if st.declared then Some st.me else None)
+  in
+  let live = Array.to_list (Array.mapi (fun i c -> (i, not c)) result.Engine.crashed) in
+  let agreed_on =
+    match coordinators with
+    | [ c ] ->
+        if
+          List.for_all
+            (fun (i, alive) ->
+              (not alive) || i = c
+              || result.Engine.states.(i).leader = Some c)
+            live
+        then Some c
+        else None
+    | _ -> None
+  in
+  {
+    trace = result.Engine.trace;
+    coordinators;
+    agreed_on;
+    safe = List.length coordinators <= 1;
+    messages = result.Engine.stats.Engine.sent;
+  }

@@ -1,0 +1,32 @@
+(** Bully leader election.
+
+    Every process challenges all higher-identified processes; one that
+    hears no OK within a timeout declares itself coordinator and
+    broadcasts the result; one that receives an OK stands down and
+    waits. Crash the top process and the next one inherits — but only
+    thanks to the timeout: §5's failure-detection impossibility means
+    silence can never be {e known} to be a crash, so bully's
+    correctness, like the heartbeat detector's, is bought entirely with
+    the synchrony assumption. Run it with delays above the timeout and
+    it elects two coordinators — a measurable safety violation the
+    tests exhibit. *)
+
+type params = {
+  n : int;  (** identifiers are the indices; higher wins *)
+  ok_timeout : float;  (** how long a challenger waits for an OK *)
+  crash : int option;  (** crash this process at t = 0 *)
+  seed : int64;
+}
+
+val default : params
+
+type outcome = {
+  trace : Hpl_core.Trace.t;
+  coordinators : int list;  (** processes that declared themselves *)
+  agreed_on : int option;
+      (** the coordinator every live process accepted, if unanimous *)
+  safe : bool;  (** at most one self-declared coordinator *)
+  messages : int;
+}
+
+val run : ?config:Hpl_sim.Engine.config -> params -> outcome

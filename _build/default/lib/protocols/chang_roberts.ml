@@ -1,0 +1,116 @@
+open Hpl_core
+open Hpl_sim
+
+type params = { n : int; ids : int array option; seed : int64 }
+
+let default = { n = 6; ids = None; seed = 19L }
+
+let elect_tag = "elect"
+let leader_tag = "leader"
+let won_tag = "i-won"
+
+type state = {
+  params : params;
+  me : int;
+  my_id : int;
+  leader : int option;
+  won : bool;
+}
+
+type outcome = {
+  trace : Trace.t;
+  leader : int option;
+  agreed : bool;
+  messages : int;
+  election_messages : int;
+  announcement_chain : bool;
+}
+
+let shuffled_ids n seed =
+  let rng = Rng.create seed in
+  let ids = Array.init n (fun i -> i + 1) in
+  for i = n - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = ids.(i) in
+    ids.(i) <- ids.(j);
+    ids.(j) <- tmp
+  done;
+  ids
+
+let next st = Pid.of_int ((st.me + 1) mod st.params.n)
+
+let init ids params p =
+  let me = Pid.to_int p in
+  let st = { params; me; my_id = ids.(me); leader = None; won = false } in
+  (st, [ Engine.Send (next st, Wire.enc elect_tag [ st.my_id ]) ])
+
+let on_message st ~self:_ ~src:_ ~payload ~now:_ =
+  match Wire.dec payload with
+  | Some (tag, [ id ]) when String.equal tag elect_tag ->
+      if id > st.my_id then (st, [ Engine.Send (next st, Wire.enc elect_tag [ id ]) ])
+      else if id = st.my_id then
+        (* our own id came all the way around: we win *)
+        ( { st with won = true; leader = Some st.me },
+          [
+            Engine.Log_internal won_tag;
+            Engine.Send (next st, Wire.enc leader_tag [ st.me ]);
+          ] )
+      else (* swallow smaller ids *) (st, [])
+  | Some (tag, [ leader ]) when String.equal tag leader_tag ->
+      if st.won then (st, []) (* announcement returned to the winner *)
+      else
+        ( { st with leader = Some leader },
+          [ Engine.Send (next st, Wire.enc leader_tag [ leader ]) ] )
+  | _ -> (st, [])
+
+let run ?config params =
+  let ids =
+    match params.ids with
+    | Some ids ->
+        if Array.length ids <> params.n then
+          invalid_arg "Chang_roberts.run: ids length mismatch";
+        ids
+    | None -> shuffled_ids params.n params.seed
+  in
+  let config =
+    match config with
+    | Some c -> { c with Engine.n = params.n }
+    | None -> { Engine.default with Engine.n = params.n; seed = params.seed }
+  in
+  let result =
+    Engine.run config
+      {
+        Engine.init = init ids params;
+        on_message;
+        on_timer = (fun st ~self:_ ~tag:_ ~now:_ -> (st, []));
+      }
+  in
+  let z = result.Engine.trace in
+  let winners =
+    Array.to_list result.Engine.states
+    |> List.filter_map (fun st -> if st.won then Some st.me else None)
+  in
+  let leader = match winners with [ w ] -> Some w | _ -> None in
+  let agreed =
+    match leader with
+    | None -> false
+    | Some w ->
+        Array.for_all (fun (st : state) -> st.leader = Some w) result.Engine.states
+  in
+  let sent = Trace.sent z in
+  let messages = List.length sent in
+  let election_messages =
+    List.length (List.filter (fun m -> Wire.is elect_tag m.Msg.payload) sent)
+  in
+  let announcement_chain =
+    match leader with
+    | None -> false
+    | Some w ->
+        List.for_all
+          (fun i ->
+            i = w
+            || Chain.exists ~n:params.n ~z
+                 [ Pset.singleton (Pid.of_int w); Pset.singleton (Pid.of_int i) ])
+          (List.init params.n (fun i -> i))
+  in
+  { trace = z; leader; agreed; messages; election_messages; announcement_chain }

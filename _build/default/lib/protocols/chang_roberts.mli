@@ -1,0 +1,35 @@
+(** Chang–Roberts leader election on a unidirectional ring.
+
+    Every process starts as a candidate and forwards the largest
+    identifier it has seen; a process receiving its own identifier wins
+    and circulates an announcement. Knowledge reading: election ends
+    when the winner {e knows} it has the largest id — which takes a
+    full circulation, i.e. a process chain through every ring member —
+    and everyone else learns the leader only through the announcement
+    chain. The verifier checks uniqueness, agreement, and the chain
+    property on the trace.
+
+    Message complexity: between [2n − 1] (best case, announcement
+    included) and [O(n²)] (worst), [O(n log n)] on average over random
+    id placements — reported by bench E13. *)
+
+type params = {
+  n : int;
+  ids : int array option;  (** ring identifiers; default a seeded shuffle *)
+  seed : int64;
+}
+
+val default : params
+
+type outcome = {
+  trace : Hpl_core.Trace.t;
+  leader : int option;  (** elected process index (not its ring id) *)
+  agreed : bool;  (** every process learned the same leader *)
+  messages : int;
+  election_messages : int;  (** excluding the announcement round *)
+  announcement_chain : bool;
+      (** every process's knowledge of the leader traces back to the
+          winner's decision by a process chain *)
+}
+
+val run : ?config:Hpl_sim.Engine.config -> params -> outcome

@@ -1,0 +1,76 @@
+open Hpl_core
+open Hpl_sim
+
+let name = "credit"
+let detect_tag = Termination.detect_tag_of name
+let report = "credit-report"
+
+type state = {
+  logic : Underlying.Logic.t;
+  params : Underlying.params;
+  is_root : bool;
+  outstanding : int;  (** root only: unreturned credits *)
+  announced : bool;
+}
+
+let send_work sends = List.map (fun (dst, payload) -> Engine.Send (dst, payload)) sends
+
+let root_pid params = Pid.of_int params.Underlying.root
+
+let settle_root st =
+  if st.is_root && st.outstanding = 0 && not st.announced then
+    ({ st with announced = true }, [ Engine.Log_internal detect_tag ])
+  else (st, [])
+
+let init params p =
+  let logic = Underlying.Logic.create params p in
+  let is_root = Pid.to_int p = params.Underlying.root in
+  let logic, sends =
+    if is_root then Underlying.Logic.initial_spawns params logic else (logic, [])
+  in
+  let st =
+    { logic; params; is_root; outstanding = List.length sends; announced = false }
+  in
+  let st, announce = settle_root st in
+  (st, send_work sends @ announce)
+
+let on_message st ~self:_ ~src:_ ~payload ~now:_ =
+  if Underlying.is_work payload then begin
+    let logic, sends = Underlying.Logic.on_work st.params st.logic ~payload in
+    let spawned = List.length sends in
+    let st = { st with logic } in
+    if st.is_root then begin
+      (* the coordinator settles its own credits without a message *)
+      let st = { st with outstanding = st.outstanding + spawned - 1 } in
+      let st, announce = settle_root st in
+      (st, send_work sends @ announce)
+    end
+    else
+      ( st,
+        send_work sends
+        @ [ Engine.Send (root_pid st.params, Wire.enc report [ spawned ]) ] )
+  end
+  else
+    match Wire.dec payload with
+    | Some (tag, [ spawned ]) when String.equal tag report ->
+        let st = { st with outstanding = st.outstanding + spawned - 1 } in
+        let st, announce = settle_root st in
+        (st, announce)
+    | _ -> (st, [])
+
+let handlers params =
+  {
+    Engine.init = init params;
+    on_message;
+    on_timer = (fun st ~self:_ ~tag:_ ~now:_ -> (st, []));
+  }
+
+let run_raw ?(config = Engine.default) params =
+  let result =
+    Engine.run { config with Engine.n = params.Underlying.n } (handlers params)
+  in
+  (result.Engine.stats, result.Engine.trace)
+
+let run ?config params =
+  let _, trace = run_raw ?config params in
+  Termination.score ~detector:name ~detect_tag trace

@@ -1,0 +1,25 @@
+(** Credit-counting termination detection (coordinator variant of
+    weight-throwing).
+
+    Every work message carries one unit of credit minted by the
+    coordinator's outstanding counter. A node that finishes handling a
+    work message returns its unit — together with the number of new
+    work messages it spawned — straight to the coordinator, which
+    adjusts its outstanding count ([+spawned − 1]) and announces
+    termination when the count reaches zero.
+
+    Overhead is one report per work message handled away from the
+    coordinator: like Dijkstra–Scholten it meets the paper's lower
+    bound up to the coordinator's own deliveries, but concentrates all
+    control traffic on one hot spot instead of the engagement tree. *)
+
+val name : string
+val detect_tag : string
+
+val run :
+  ?config:Hpl_sim.Engine.config -> Underlying.params -> Termination.report
+
+val run_raw :
+  ?config:Hpl_sim.Engine.config ->
+  Underlying.params ->
+  Hpl_sim.Engine.stats * Hpl_core.Trace.t

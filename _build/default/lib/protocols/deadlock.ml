@@ -1,0 +1,108 @@
+open Hpl_core
+open Hpl_sim
+
+type params = { n : int; wait_for : int -> int list; seed : int64 }
+
+let ring_deadlock ~n =
+  { n; wait_for = (fun i -> [ (i + 1) mod n ]); seed = 5L }
+
+let chain_no_deadlock ~n =
+  { n; wait_for = (fun i -> if i + 1 < n then [ i + 1 ] else []); seed = 5L }
+
+let of_edges ~n edges =
+  {
+    n;
+    wait_for = (fun i -> List.filter_map (fun (a, b) -> if a = i then Some b else None) edges);
+    seed = 5L;
+  }
+
+let probe_tag = "probe"
+let declares_tag = "deadlocked"
+
+type state = {
+  params : params;
+  me : int;
+  blocked : bool;
+  forwarded : bool array;  (** per initiator *)
+  declared : bool;
+}
+
+type outcome = {
+  trace : Trace.t;
+  declared : bool array;
+  on_cycle : bool array;
+  correct : bool;
+  probes : int;
+}
+
+let init params p =
+  let me = Pid.to_int p in
+  let deps = params.wait_for me in
+  let blocked = deps <> [] in
+  let st =
+    { params; me; blocked; forwarded = Array.make params.n false; declared = false }
+  in
+  (* every blocked process initiates a probe along its dependencies *)
+  let actions =
+    if blocked then
+      List.map (fun d -> Engine.Send (Pid.of_int d, Wire.enc probe_tag [ me ])) deps
+    else []
+  in
+  (st, actions)
+
+let on_message st ~self:_ ~src:_ ~payload ~now:_ =
+  match Wire.dec payload with
+  | Some (tag, [ initiator ]) when String.equal tag probe_tag ->
+      if initiator = st.me then
+        if st.declared then (st, [])
+        else ({ st with declared = true }, [ Engine.Log_internal declares_tag ])
+      else if st.blocked && not st.forwarded.(initiator) then begin
+        st.forwarded.(initiator) <- true;
+        ( st,
+          List.map
+            (fun d -> Engine.Send (Pid.of_int d, Wire.enc probe_tag [ initiator ]))
+            (st.params.wait_for st.me) )
+      end
+      else (st, [])
+  | _ -> (st, [])
+
+let cycle_membership params =
+  (* i is on a cycle iff i is reachable from some successor of i *)
+  let n = params.n in
+  let reach = Array.make_matrix n n false in
+  List.iter
+    (fun i -> List.iter (fun j -> reach.(i).(j) <- true) (params.wait_for i))
+    (List.init n (fun i -> i));
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if reach.(i).(k) then
+        for j = 0 to n - 1 do
+          if reach.(k).(j) then reach.(i).(j) <- true
+        done
+    done
+  done;
+  Array.init n (fun i -> reach.(i).(i))
+
+let run ?config params =
+  let config =
+    match config with
+    | Some c -> { c with Engine.n = params.n }
+    | None -> { Engine.default with Engine.n = params.n; seed = params.seed }
+  in
+  let result =
+    Engine.run config
+      {
+        Engine.init = init params;
+        on_message;
+        on_timer = (fun st ~self:_ ~tag:_ ~now:_ -> (st, []));
+      }
+  in
+  let declared = Array.map (fun (st : state) -> st.declared) result.Engine.states in
+  let on_cycle = cycle_membership params in
+  {
+    trace = result.Engine.trace;
+    declared;
+    on_cycle;
+    correct = Array.for_all2 Bool.equal declared on_cycle;
+    probes = result.Engine.stats.Engine.sent;
+  }

@@ -1,0 +1,42 @@
+(** Chandy–Misra–Haas deadlock detection (AND model).
+
+    The same authors' companion algorithm, and another instance of the
+    paper's thesis: a blocked process can only {e learn} that it is
+    deadlocked through a chain of messages that traverses the very
+    cycle it is stuck in. A blocked process sends a probe to every
+    process it waits for; blocked receivers forward (once per
+    initiator); a probe arriving back at its initiator proves a cycle
+    through it.
+
+    Soundness/completeness (verified against graph ground truth): an
+    initiator declares deadlock iff it lies on a wait-for cycle. The
+    probe that proves it is a process chain around the cycle —
+    extracted via {!Hpl_core.Chain} in the tests. *)
+
+type params = {
+  n : int;
+  wait_for : int -> int list;
+      (** static wait-for edges; a process with no outgoing edge is
+          active, all others are blocked *)
+  seed : int64;
+}
+
+val ring_deadlock : n:int -> params
+(** Everyone waits for the next process: one big cycle. *)
+
+val chain_no_deadlock : n:int -> params
+(** p0 ← p1 ← … ← p(n-1), acyclic: nobody deadlocked. *)
+
+val of_edges : n:int -> (int * int) list -> params
+
+type outcome = {
+  trace : Hpl_core.Trace.t;
+  declared : bool array;  (** per process: declared itself deadlocked *)
+  on_cycle : bool array;  (** ground truth from the wait-for graph *)
+  correct : bool;  (** declared = on_cycle pointwise *)
+  probes : int;
+}
+
+val run : ?config:Hpl_sim.Engine.config -> params -> outcome
+
+val declares_tag : string

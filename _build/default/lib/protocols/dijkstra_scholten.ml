@@ -1,0 +1,79 @@
+open Hpl_core
+open Hpl_sim
+
+let name = "ds"
+let detect_tag = Termination.detect_tag_of name
+let ack = "ds-ack"
+
+type state = {
+  logic : Underlying.Logic.t;
+  params : Underlying.params;
+  is_root : bool;
+  parent : Pid.t option;
+  deficit : int;
+  announced : bool;
+}
+
+let send_work sends = List.map (fun (dst, payload) -> Engine.Send (dst, payload)) sends
+
+(* After any state change, an engaged non-root node with zero deficit
+   signals its parent and detaches; the root announces at zero deficit. *)
+let settle st =
+  if st.deficit > 0 then (st, [])
+  else if st.is_root then
+    if st.announced then (st, [])
+    else ({ st with announced = true }, [ Engine.Log_internal detect_tag ])
+  else
+    match st.parent with
+    | Some parent -> ({ st with parent = None }, [ Engine.Send (parent, Wire.enc ack []) ])
+    | None -> (st, [])
+
+let init params p =
+  let logic = Underlying.Logic.create params p in
+  let is_root = Pid.to_int p = params.root in
+  let logic, sends =
+    if is_root then Underlying.Logic.initial_spawns params logic else (logic, [])
+  in
+  let st =
+    { logic; params; is_root; parent = None; deficit = List.length sends; announced = false }
+  in
+  let st, settle_actions = settle st in
+  (st, send_work sends @ settle_actions)
+
+let on_message st ~self:_ ~src ~payload ~now:_ =
+  if Underlying.is_work payload then begin
+    let was_detached = (not st.is_root) && st.parent = None && st.deficit = 0 in
+    let logic, sends = Underlying.Logic.on_work st.params st.logic ~payload in
+    let st = { st with logic; deficit = st.deficit + List.length sends } in
+    (* engagement: a detached node adopts the sender as parent; an
+       already-engaged node (or the root) acknowledges right away *)
+    let st, ack_now =
+      if was_detached then ({ st with parent = Some src }, [])
+      else (st, [ Engine.Send (src, Wire.enc ack []) ])
+    in
+    let st, settle_actions = settle st in
+    (st, send_work sends @ ack_now @ settle_actions)
+  end
+  else if Wire.is ack payload then begin
+    let st = { st with deficit = st.deficit - 1 } in
+    let st, settle_actions = settle st in
+    (st, settle_actions)
+  end
+  else (st, [])
+
+let handlers params =
+  {
+    Engine.init = init params;
+    on_message;
+    on_timer = (fun st ~self:_ ~tag:_ ~now:_ -> (st, []));
+  }
+
+let run_raw ?(config = Engine.default) params =
+  let result =
+    Engine.run { config with Engine.n = params.Underlying.n } (handlers params)
+  in
+  (result.Engine.stats, result.Engine.trace)
+
+let run ?config params =
+  let _, trace = run_raw ?config params in
+  Termination.score ~detector:name ~detect_tag trace

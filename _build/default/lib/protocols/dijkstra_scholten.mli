@@ -1,0 +1,24 @@
+(** Dijkstra–Scholten termination detection for diffusing computations.
+
+    Every work message is eventually acknowledged by a signal; a node
+    stays engaged (with the sender of its first unacknowledged work
+    message as parent) until its own deficit — work sent but not yet
+    signalled — returns to zero, then signals its parent. The root
+    announces termination when its deficit reaches zero.
+
+    Overhead is exactly one signal per work message, which matches the
+    paper's lower bound tightly: detecting termination costs as many
+    control messages as the underlying computation used. *)
+
+val name : string
+val detect_tag : string
+
+val run :
+  ?config:Hpl_sim.Engine.config -> Underlying.params -> Termination.report
+(** Runs the workload under DS instrumentation and scores it. *)
+
+val run_raw :
+  ?config:Hpl_sim.Engine.config ->
+  Underlying.params ->
+  Hpl_sim.Engine.stats * Hpl_core.Trace.t
+(** The raw run, for tests that inspect the trace. *)

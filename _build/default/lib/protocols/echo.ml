@@ -1,0 +1,128 @@
+open Hpl_core
+open Hpl_sim
+
+type params = { n : int; seed : int64 }
+
+let default = { n = 6; seed = 3L }
+
+let wave_tag = "wave"
+let echo_tag = "echo"
+let done_tag = "pif-done"
+
+type state = {
+  params : params;
+  me : int;
+  parent : int option;
+  seen : bool;
+  pending : int;  (** outstanding answers (wave or echo) expected *)
+  is_root : bool;
+  completed : bool;
+}
+
+type outcome = {
+  trace : Trace.t;
+  completed : bool;
+  messages : int;
+  all_informed : bool;
+  completion_knows_all : bool;
+}
+
+let others st = List.filter (fun i -> i <> st.me) (List.init st.params.n (fun i -> i))
+
+let send_to targets tag = List.map (fun i -> Engine.Send (Pid.of_int i, Wire.enc tag [])) targets
+
+let init params p =
+  let me = Pid.to_int p in
+  let is_root = me = 0 in
+  let st =
+    { params; me; parent = None; seen = is_root; pending = 0; is_root; completed = false }
+  in
+  if is_root then
+    let targets = others st in
+    ({ st with pending = List.length targets }, send_to targets wave_tag)
+  else (st, [])
+
+let finish st =
+  if st.pending > 0 then (st, [])
+  else if st.is_root then
+    if st.completed then (st, [])
+    else ({ st with completed = true }, [ Engine.Log_internal done_tag ])
+  else
+    match st.parent with
+    | Some parent -> ({ st with parent = None }, [ Engine.Send (Pid.of_int parent, Wire.enc echo_tag []) ])
+    | None -> (st, [])
+
+let on_message st ~self:_ ~src ~payload ~now:_ =
+  let s = Pid.to_int src in
+  if Wire.is wave_tag payload then begin
+    if not st.seen then begin
+      (* first contact: adopt parent, flood to everyone else *)
+      let targets = List.filter (fun i -> i <> s) (others st) in
+      let st =
+        { st with seen = true; parent = Some s; pending = List.length targets }
+      in
+      let st, fin = finish st in
+      (st, send_to targets wave_tag @ fin)
+    end
+    else
+      (* already in the wave: answer immediately with an echo *)
+      (st, [ Engine.Send (src, Wire.enc echo_tag []) ])
+  end
+  else if Wire.is echo_tag payload then begin
+    let st = { st with pending = st.pending - 1 } in
+    finish st
+  end
+  else (st, [])
+
+let run ?config params =
+  let config =
+    match config with
+    | Some c -> { c with Engine.n = params.n }
+    | None -> { Engine.default with Engine.n = params.n; seed = params.seed }
+  in
+  let result =
+    Engine.run config
+      {
+        Engine.init = init params;
+        on_message;
+        on_timer = (fun st ~self:_ ~tag:_ ~now:_ -> (st, []));
+      }
+  in
+  let z = result.Engine.trace in
+  let completed =
+    List.exists
+      (fun e ->
+        match e.Event.kind with
+        | Event.Internal t -> String.equal t done_tag
+        | _ -> false)
+      (Trace.to_list z)
+  in
+  let all_informed =
+    (* the initiator is informed by construction *)
+    List.for_all
+      (fun i ->
+        i = 0
+        || List.exists
+             (fun e ->
+               match e.Event.kind with
+               | Event.Receive m -> Wire.is wave_tag m.Msg.payload
+               | _ -> false)
+             (Trace.proj z (Pid.of_int i)))
+      (List.init params.n (fun i -> i))
+  in
+  let completion_knows_all =
+    completed
+    && List.for_all
+         (fun i ->
+           i = 0
+           || Chain.exists ~n:params.n ~z
+                [ Pset.singleton (Pid.of_int i); Pset.singleton (Pid.of_int 0) ])
+         (List.init params.n (fun i -> i))
+  in
+  {
+    trace = z;
+    completed;
+    messages = result.Engine.stats.Engine.sent;
+    all_informed;
+    completion_knows_all;
+  }

@@ -1,0 +1,31 @@
+(** The echo algorithm (propagation of information with feedback).
+
+    The initiator floods a message over the (complete) graph; each
+    process, on first contact, adopts the sender as parent and forwards
+    to everyone else; when all its neighbours have answered it echoes
+    to its parent. When the initiator has collected every echo it logs
+    "pif-done" — at which point, in knowledge terms, the initiator
+    {e knows that every process knows} the payload: every process's
+    receive sits in the causal past of the completion event, which the
+    verifier checks by chain extraction (Theorem 5's witness, again).
+
+    Message complexity is one echo per wave: [2·((n−1) + (n−1)·(n−2))]
+    [= 2(n−1)²] messages on the complete graph. *)
+
+type params = { n : int; seed : int64 }
+
+val default : params
+
+type outcome = {
+  trace : Hpl_core.Trace.t;
+  completed : bool;
+  messages : int;
+  all_informed : bool;  (** every process received the wave *)
+  completion_knows_all : bool;
+      (** every process has a chain from its first receipt to the
+          initiator's completion event — the knowledge justification *)
+}
+
+val run : ?config:Hpl_sim.Engine.config -> params -> outcome
+
+val done_tag : string

@@ -1,0 +1,57 @@
+(** Failure detection (§5).
+
+    The paper proves that without timeouts a process can never {e know}
+    that another has failed: failure is local to the failed process,
+    and a crashed process sends nothing, so no process chain can carry
+    the fact out (Theorem 5's premise can never be met). The
+    impossibility half of this module states that claim on a bounded
+    universe; the practical half is a heartbeat detector on the
+    simulator whose correctness depends entirely on the synchrony
+    assumption the paper identifies (known bounds on delays and
+    execution speeds).
+
+    With [timeout > heartbeat_period + max_delay] and no drops, the
+    detector is exact: it suspects all crashed processes and no live
+    ones. With delays or losses beyond the bound, false suspicion is
+    measurable (bench E10 sweeps it). *)
+
+(** {1 Impossibility (exact, universe-based)} *)
+
+val crashable_spec : n:int -> Hpl_core.Spec.t
+(** Every process may tick, send a ping to its neighbour, or crash —
+    crash is an internal event after which the process's rule offers
+    nothing. *)
+
+val crashed : Hpl_core.Pid.t -> Hpl_core.Prop.t
+(** "p has crashed" — local to p. *)
+
+val nobody_ever_knows :
+  Hpl_core.Universe.t -> observer:Hpl_core.Pid.t -> subject:Hpl_core.Pid.t -> bool
+(** Checks over the whole universe that [observer] never knows
+    [crashed subject] (observer ≠ subject). This is the paper's
+    impossibility: it holds on every asynchronous universe. *)
+
+(** {1 Heartbeat detector (simulated, timeout-based)} *)
+
+type params = {
+  n : int;  (** process 0 is the monitor *)
+  heartbeat_period : float;
+  timeout : float;
+  check_period : float;
+  crash_time : float option;  (** crash process [n-1] at this time *)
+  horizon : float;
+}
+
+val default : params
+
+type outcome = {
+  suspected : bool array;  (** monitor's final suspicion vector *)
+  crashed : bool array;  (** ground truth *)
+  false_suspicions : int;
+      (** suspicion events raised against processes that had not crashed
+          at that moment — transient suspicions count *)
+  missed : int;  (** crashed processes not suspected *)
+  detection_time : float option;  (** first suspicion of a crashed process *)
+}
+
+val run : ?config:Hpl_sim.Engine.config -> params -> outcome

@@ -1,0 +1,53 @@
+(** Rumor spreading — knowledge dissemination at scale.
+
+    A rumor starts at process 0; every informed process forwards it to
+    a random peer each period. The run is recorded as a computation, so
+    learning is measured two ways:
+
+    - {e ground truth / causality}: a process is informed exactly when
+      the rumor's origin event is in its causal past — the process
+      chain of Theorem 5 made concrete; {!informed_positions} extracts
+      when each process learned;
+    - {e higher-order knowledge}: matrix clocks over the same trace
+      give each process's estimate of who else knows (the
+      [depth2_complete_time] field), the operational counterpart of
+      [p knows q knows rumor].
+
+    Bench E9 sweeps n and reports rounds-to-everyone-knows and
+    rounds-to-depth-2; the spec-level ladder of {!Two_generals}
+    complements it with exact nested knowledge on two processes. *)
+
+type mode = Push | Pull | Push_pull
+
+type params = {
+  n : int;
+  period : float;
+  fanout : int;  (** peers contacted per period *)
+  mode : mode;
+      (** Push: informed processes send the rumor. Pull: everyone
+          queries random peers, informed peers answer. Push_pull:
+          both on every contact. The classic trade-off — push spreads
+          fast early, pull finishes the tail fast — shows up directly
+          in E9's rounds-to-everyone numbers. *)
+  horizon : float;
+  seed : int64;
+}
+
+val default : params
+
+type outcome = {
+  trace : Hpl_core.Trace.t;
+  informed_time : float option array;
+      (** when each process first received the rumor (entry 0 = 0.0) *)
+  all_informed : bool;
+  messages : int;
+  depth2_complete_time : float option;
+      (** when every process's matrix clock showed every other process
+          informed — "everyone knows everyone knows" operationally *)
+}
+
+val run : ?config:Hpl_sim.Engine.config -> params -> outcome
+
+val informed_positions : n:int -> Hpl_core.Trace.t -> int option array
+(** Per process, trace position of its first rumor receipt (position 0
+    for the origin). *)

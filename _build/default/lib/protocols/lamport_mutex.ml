@@ -1,0 +1,233 @@
+open Hpl_core
+open Hpl_sim
+
+type params = {
+  n : int;
+  rounds : int;
+  cs_duration : float;
+  think_time : float;
+  seed : int64;
+}
+
+let default = { n = 4; rounds = 3; cs_duration = 3.0; think_time = 5.0; seed = 41L }
+
+let request_tag = "mx-req"
+let ack_tag = "mx-ack"
+let release_tag = "mx-rel"
+let enter_tag = "mx-enter"
+let exit_tag = "mx-exit"
+let think_timer = "mx-think"
+let leave_timer = "mx-leave"
+
+type request = { ts : int; who : int }
+
+let req_before a b = a.ts < b.ts || (a.ts = b.ts && a.who < b.who)
+
+type state = {
+  params : params;
+  me : int;
+  clock : int;
+  queue : request list;  (** sorted by [req_before] *)
+  acks_from : bool array;  (** acks for my current request *)
+  my_request : request option;
+  in_cs : bool;
+  rounds_done : int;
+}
+
+type outcome = {
+  trace : Trace.t;
+  entries : int array;
+  mutual_exclusion : bool;
+  all_rounds_served : bool;
+  timestamp_order_respected : bool;
+  messages : int;
+  messages_per_entry : float;
+}
+
+let others st = List.filter (fun i -> i <> st.me) (List.init st.params.n (fun i -> i))
+
+let insert req queue =
+  let rec go = function
+    | [] -> [ req ]
+    | r :: rest -> if req_before req r then req :: r :: rest else r :: go rest
+  in
+  go queue
+
+let remove who queue = List.filter (fun r -> r.who <> who) queue
+
+let broadcast st tag ints =
+  List.map (fun i -> Engine.Send (Pid.of_int i, Wire.enc tag ints)) (others st)
+
+(* try to enter: my request heads the queue and everyone acked *)
+let try_enter st =
+  match st.my_request with
+  | Some my
+    when (not st.in_cs)
+         && (match st.queue with r :: _ -> r.who = st.me && r.ts = my.ts | [] -> false)
+         && List.for_all (fun i -> st.acks_from.(i)) (others st) ->
+      ( { st with in_cs = true },
+        [
+          Engine.Log_internal enter_tag;
+          Engine.Set_timer (st.params.cs_duration, leave_timer);
+        ] )
+  | _ -> (st, [])
+
+let make_request st =
+  let clock = st.clock + 1 in
+  let my = { ts = clock; who = st.me } in
+  let st =
+    {
+      st with
+      clock;
+      my_request = Some my;
+      queue = insert my st.queue;
+      acks_from = Array.make st.params.n false;
+    }
+  in
+  let st, enter = try_enter st in
+  (st, broadcast st request_tag [ my.ts ] @ enter)
+
+let init params p =
+  let me = Pid.to_int p in
+  let st =
+    {
+      params;
+      me;
+      clock = 0;
+      queue = [];
+      acks_from = Array.make params.n false;
+      my_request = None;
+      in_cs = false;
+      rounds_done = 0;
+    }
+  in
+  (st, [ Engine.Set_timer (params.think_time *. float_of_int (me + 1), think_timer) ])
+
+let on_message st ~self:_ ~src ~payload ~now:_ =
+  let s = Pid.to_int src in
+  match Wire.dec payload with
+  | Some (tag, [ ts ]) when String.equal tag request_tag ->
+      let st = { st with clock = max st.clock ts + 1 } in
+      let st = { st with queue = insert { ts; who = s } st.queue } in
+      let clock = st.clock + 1 in
+      ( { st with clock },
+        [ Engine.Send (src, Wire.enc ack_tag [ clock ]) ] )
+  | Some (tag, [ ts ]) when String.equal tag ack_tag ->
+      let st = { st with clock = max st.clock ts + 1 } in
+      st.acks_from.(s) <- true;
+      try_enter st
+  | Some (tag, [ ts ]) when String.equal tag release_tag ->
+      let st = { st with clock = max st.clock ts + 1 } in
+      let st = { st with queue = remove s st.queue } in
+      try_enter st
+  | _ -> (st, [])
+
+let on_timer st ~self:_ ~tag ~now:_ =
+  if String.equal tag think_timer then
+    if st.rounds_done < st.params.rounds && st.my_request = None then
+      make_request st
+    else (st, [])
+  else if String.equal tag leave_timer && st.in_cs then begin
+    let clock = st.clock + 1 in
+    let st =
+      {
+        st with
+        clock;
+        in_cs = false;
+        my_request = None;
+        queue = remove st.me st.queue;
+        rounds_done = st.rounds_done + 1;
+      }
+    in
+    let again =
+      if st.rounds_done < st.params.rounds then
+        [ Engine.Set_timer (st.params.think_time, think_timer) ]
+      else []
+    in
+    (st, (Engine.Log_internal exit_tag :: broadcast st release_tag [ clock ]) @ again)
+  end
+  else (st, [])
+
+let check_exclusion z =
+  let inside = ref 0 in
+  let ok = ref true in
+  List.iter
+    (fun e ->
+      match e.Event.kind with
+      | Event.Internal t when String.equal t enter_tag ->
+          if !inside > 0 then ok := false;
+          incr inside
+      | Event.Internal t when String.equal t exit_tag -> decr inside
+      | _ -> ())
+    (Trace.to_list z);
+  !ok
+
+(* verify CS entries occur in (ts, pid) order of their requests: pair
+   each enter event with the request timestamp of its process at that
+   moment, replaying the trace *)
+let timestamp_order z n =
+  (* reconstruct request timestamps: the k-th request of process i has
+     the clock value it broadcast; recover from the send events *)
+  let pending = Array.make n [] in
+  Array.iteri (fun i _ -> pending.(i) <- []) pending;
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      match e.Event.kind with
+      | Event.Send m when Wire.is request_tag m.Msg.payload -> (
+          match Wire.dec m.Msg.payload with
+          | Some (_, [ ts ]) ->
+              let i = Pid.to_int e.Event.pid in
+              (* the same broadcast appears n-1 times; record once *)
+              (match pending.(i) with
+              | t :: _ when t = ts -> ()
+              | _ -> pending.(i) <- ts :: pending.(i))
+          | _ -> ())
+      | Event.Internal t when String.equal t enter_tag ->
+          let i = Pid.to_int e.Event.pid in
+          (match pending.(i) with
+          | ts :: rest ->
+              order := { ts; who = i } :: !order;
+              pending.(i) <- rest
+          | [] -> ())
+      | _ -> ())
+    (Trace.to_list z);
+  let served = List.rev !order in
+  let rec increasing = function
+    | a :: b :: rest -> req_before a b && increasing (b :: rest)
+    | _ -> true
+  in
+  increasing served
+
+let run ?config params =
+  let config =
+    match config with
+    | Some c -> { c with Engine.n = params.n }
+    | None -> { Engine.default with Engine.n = params.n; seed = params.seed }
+  in
+  let result =
+    Engine.run config { Engine.init = init params; on_message; on_timer }
+  in
+  let z = result.Engine.trace in
+  let entries =
+    Array.init params.n (fun i ->
+        List.length
+          (List.filter
+             (fun e ->
+               match e.Event.kind with
+               | Event.Internal t -> String.equal t enter_tag
+               | _ -> false)
+             (Trace.proj z (Pid.of_int i))))
+  in
+  let total_entries = Array.fold_left ( + ) 0 entries in
+  {
+    trace = z;
+    entries;
+    mutual_exclusion = check_exclusion z;
+    all_rounds_served = Array.for_all (fun e -> e = params.rounds) entries;
+    timestamp_order_respected = timestamp_order z params.n;
+    messages = result.Engine.stats.Engine.sent;
+    messages_per_entry =
+      (if total_entries = 0 then 0.0
+       else float_of_int result.Engine.stats.Engine.sent /. float_of_int total_entries);
+  }

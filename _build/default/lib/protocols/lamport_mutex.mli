@@ -1,0 +1,43 @@
+(** Lamport's timestamp-ordered mutual exclusion (from "Time, Clocks,
+    and the Ordering of Events" — the paper's reference \[5\]).
+
+    Each process keeps a scalar clock and a request queue. To enter the
+    critical section it timestamps a REQUEST and broadcasts it; it
+    enters when its own request is first in its queue (timestamp order,
+    process id as tie-break) {e and} it has heard something later from
+    every other process (here: an explicit ACK). RELEASE removes the
+    request everywhere.
+
+    Knowledge reading: the queue-head condition is exactly "I know no
+    one else can have an earlier outstanding request" — scalar clocks
+    carry just enough causal information to support that knowledge,
+    which is why the algorithm needs the acknowledgements (without
+    them, the silence of a process keeps the requester unsure; compare
+    §5's tracking impossibility).
+
+    The verifier replays the recorded run: mutual exclusion, and
+    FIFO-fairness in timestamp order (requests are served in (clock,
+    pid) order). 3(n−1) messages per critical-section entry. *)
+
+type params = {
+  n : int;
+  rounds : int;  (** each process requests the CS this many times *)
+  cs_duration : float;
+  think_time : float;
+  seed : int64;
+}
+
+val default : params
+
+type outcome = {
+  trace : Hpl_core.Trace.t;
+  entries : int array;
+  mutual_exclusion : bool;
+  all_rounds_served : bool;
+  timestamp_order_respected : bool;
+      (** CS entries happen in the (clock, pid) order of their requests *)
+  messages : int;
+  messages_per_entry : float;
+}
+
+val run : ?config:Hpl_sim.Engine.config -> params -> outcome

@@ -1,0 +1,221 @@
+open Hpl_core
+open Hpl_sim
+
+type params = {
+  n : int;
+  proposers : int;
+  retry_timeout : float;
+  crash : (float * int) list;
+  horizon : float;
+  seed : int64;
+}
+
+let default =
+  {
+    n = 5;
+    proposers = 1;
+    retry_timeout = 40.0;
+    crash = [];
+    horizon = 2000.0;
+    seed = 53L;
+  }
+
+let proposal_of i = 1000 + i
+
+(* wire: prepare(b) / promise(b, ab, av) / accept(b, v) / accepted(b) /
+   decide(v).  ab = -1 encodes "nothing accepted yet". *)
+let prepare_tag = "px-prepare"
+let promise_tag = "px-promise"
+let accept_tag = "px-accept"
+let accepted_tag = "px-accepted"
+let decide_tag = "px-decide"
+let retry_timer = "px-retry"
+let decided_marker = "px-decided"
+
+type proposer_phase =
+  | P_idle
+  | P_preparing of { ballot : int; promises : (int * int) list; count : int }
+  | P_accepting of { ballot : int; value : int; count : int }
+  | P_done
+
+type state = {
+  params : params;
+  me : int;
+  (* acceptor *)
+  promised : int;
+  accepted_ballot : int;
+  accepted_value : int;
+  (* proposer *)
+  phase : proposer_phase;
+  round : int;
+  decided_value : int option;
+}
+
+type outcome = {
+  trace : Trace.t;
+  decided : (int * int) list;
+  agreement : bool;
+  validity : bool;
+  any_decision : bool;
+  ballots_started : int;
+  messages : int;
+}
+
+let everyone st = List.init st.params.n (fun i -> i)
+let majority st = (st.params.n / 2) + 1
+
+let broadcast st tag ints =
+  List.map (fun i -> Engine.Send (Pid.of_int i, Wire.enc tag ints)) (everyone st)
+
+let is_proposer st = st.me < st.params.proposers
+
+let new_ballot st round = (round * st.params.n) + st.me + 1
+
+let start_round st =
+  let round = st.round + 1 in
+  let ballot = new_ballot st round in
+  let st =
+    { st with round; phase = P_preparing { ballot; promises = []; count = 0 } }
+  in
+  ( st,
+    broadcast st prepare_tag [ ballot ]
+    @ [ Engine.Set_timer (st.params.retry_timeout, retry_timer) ] )
+
+let init params p =
+  let me = Pid.to_int p in
+  let st =
+    {
+      params;
+      me;
+      promised = 0;
+      accepted_ballot = -1;
+      accepted_value = -1;
+      phase = P_idle;
+      round = 0;
+      decided_value = None;
+    }
+  in
+  if me < params.proposers then
+    (* stagger proposers by half a retry period to reduce (not
+       eliminate) duels *)
+    ( st,
+      [
+        Engine.Set_timer
+          (1.0 +. (params.retry_timeout /. 2.0 *. float_of_int me), retry_timer);
+      ] )
+  else (st, [])
+
+let decide st value =
+  if st.decided_value <> None then (st, [])
+  else
+    ( { st with decided_value = Some value; phase = P_done },
+      Engine.Log_internal (Printf.sprintf "%s:%d" decided_marker value)
+      :: broadcast st decide_tag [ value ] )
+
+let on_message st ~self:_ ~src ~payload ~now:_ =
+  match Wire.dec payload with
+  | Some (t, [ ballot ]) when String.equal t prepare_tag ->
+      if ballot > st.promised then
+        ( { st with promised = ballot },
+          [
+            Engine.Send
+              (src, Wire.enc promise_tag [ ballot; st.accepted_ballot; st.accepted_value ]);
+          ] )
+      else (st, [])
+  | Some (t, [ ballot; ab; av ]) when String.equal t promise_tag -> (
+      match st.phase with
+      | P_preparing p when ballot = p.ballot ->
+          let promises = if ab >= 0 then (ab, av) :: p.promises else p.promises in
+          let count = p.count + 1 in
+          if count >= majority st then begin
+            let value =
+              match
+                List.fold_left
+                  (fun best (ab', av') ->
+                    match best with
+                    | Some (b, _) when b >= ab' -> best
+                    | _ -> Some (ab', av'))
+                  None promises
+              with
+              | Some (_, v) -> v
+              | None -> proposal_of st.me
+            in
+            let st = { st with phase = P_accepting { ballot; value; count = 0 } } in
+            (st, broadcast st accept_tag [ ballot; value ])
+          end
+          else ({ st with phase = P_preparing { p with promises; count } }, [])
+      | _ -> (st, []))
+  | Some (t, [ ballot; value ]) when String.equal t accept_tag ->
+      if ballot >= st.promised then
+        ( { st with promised = ballot; accepted_ballot = ballot; accepted_value = value },
+          [ Engine.Send (src, Wire.enc accepted_tag [ ballot ]) ] )
+      else (st, [])
+  | Some (t, [ ballot ]) when String.equal t accepted_tag -> (
+      match st.phase with
+      | P_accepting a when ballot = a.ballot ->
+          let count = a.count + 1 in
+          if count >= majority st then decide st a.value
+          else ({ st with phase = P_accepting { a with count } }, [])
+      | _ -> (st, []))
+  | Some (t, [ value ]) when String.equal t decide_tag ->
+      if st.decided_value = None then
+        ( { st with decided_value = Some value; phase = P_done },
+          [ Engine.Log_internal (Printf.sprintf "%s:%d" decided_marker value) ] )
+      else (st, [])
+  | _ -> (st, [])
+
+let on_timer st ~self:_ ~tag ~now =
+  if
+    String.equal tag retry_timer && is_proposer st
+    && st.decided_value = None
+    && now <= st.params.horizon
+  then start_round st
+  else (st, [])
+
+let run ?config params =
+  let config =
+    match config with
+    | Some c -> { c with Engine.n = params.n }
+    | None -> { Engine.default with Engine.n = params.n; seed = params.seed }
+  in
+  let config =
+    {
+      config with
+      Engine.crashes = params.crash @ config.Engine.crashes;
+      max_time = params.horizon *. 1.5;
+    }
+  in
+  let result =
+    Engine.run config { Engine.init = init params; on_message; on_timer }
+  in
+  let z = result.Engine.trace in
+  let decided =
+    List.filter_map
+      (fun e ->
+        match e.Event.kind with
+        | Event.Internal tag -> (
+            match String.split_on_char ':' tag with
+            | [ m; v ] when m = decided_marker ->
+                Option.map (fun v -> (Pid.to_int e.Event.pid, v)) (int_of_string_opt v)
+            | _ -> None)
+        | _ -> None)
+      (Trace.to_list z)
+  in
+  let values = List.sort_uniq Int.compare (List.map snd decided) in
+  let proposals = List.init params.proposers proposal_of in
+  let ballots_started =
+    List.length
+      (List.filter
+         (fun m -> Wire.is prepare_tag m.Msg.payload)
+         (Trace.sent z))
+    / params.n
+  in
+  {
+    trace = z;
+    decided;
+    agreement = List.length values <= 1;
+    validity = List.for_all (fun v -> List.mem v proposals) values;
+    any_decision = decided <> [];
+    ballots_started;
+    messages = result.Engine.stats.Engine.sent;
+  }

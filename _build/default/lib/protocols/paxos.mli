@@ -1,0 +1,44 @@
+(** Single-decree Paxos (the synod algorithm).
+
+    Proposers run numbered ballots; acceptors promise not to regress
+    and report what they already accepted; a proposer that gathers a
+    majority of promises must adopt the highest accepted value it saw —
+    the rule that makes decided values stable. In the vocabulary of
+    this library: a later ballot's quorum intersects every earlier
+    one's, so a process chain from any possible past decision reaches
+    the new proposer {e before} it chooses — it cannot {e not} know.
+
+    What is verified on every recorded run: {b agreement} (all
+    "decided" events carry the same value), {b validity} (the decided
+    value was proposed), and — under a single live proposer —
+    {b liveness}. Duelling proposers may livelock (that is Paxos;
+    FLP says something must give), which shows up as longer runs, never
+    as disagreement: the tests sweep contention and crash schedules
+    and require safety in all of them. *)
+
+type params = {
+  n : int;  (** all processes accept; the first [proposers] also propose *)
+  proposers : int;
+  retry_timeout : float;
+  crash : (float * int) list;
+  horizon : float;
+  seed : int64;
+}
+
+val default : params
+
+type outcome = {
+  trace : Hpl_core.Trace.t;
+  decided : (int * int) list;  (** (process, value) of each decision event *)
+  agreement : bool;
+  validity : bool;  (** decided values ∈ proposed values *)
+  any_decision : bool;
+  ballots_started : int;
+  messages : int;
+}
+
+val run : ?config:Hpl_sim.Engine.config -> params -> outcome
+
+val proposal_of : int -> int
+(** The value proposer [i] champions (distinct per proposer, so
+    agreement is observable). *)

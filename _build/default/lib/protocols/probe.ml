@@ -1,0 +1,138 @@
+open Hpl_core
+open Hpl_sim
+
+type mode = [ `Naive | `Four_counter ]
+
+let name = function `Naive -> "probe" | `Four_counter -> "4counter"
+let detect_tag mode = Termination.detect_tag_of (name mode)
+let probe_tag = "probe-req"
+let reply_tag = "probe-reply"
+let wave_timer = "probe-wave"
+
+type state = {
+  logic : Underlying.Logic.t;
+  params : Underlying.params;
+  is_root : bool;
+  sent_work : int;
+  recv_work : int;
+  (* root bookkeeping for the current wave *)
+  replies : int;
+  wave_s : int;
+  wave_r : int;
+  prev_wave : (int * int) option;
+  announced : bool;
+}
+
+let send_work sends = List.map (fun (dst, payload) -> Engine.Send (dst, payload)) sends
+
+let init ~wave_delay params p =
+  let logic = Underlying.Logic.create params p in
+  let is_root = Pid.to_int p = params.Underlying.root in
+  let logic, sends =
+    if is_root then Underlying.Logic.initial_spawns params logic else (logic, [])
+  in
+  let st =
+    {
+      logic;
+      params;
+      is_root;
+      sent_work = List.length sends;
+      recv_work = 0;
+      replies = 0;
+      wave_s = 0;
+      wave_r = 0;
+      prev_wave = None;
+      announced = false;
+    }
+  in
+  let actions =
+    send_work sends
+    @ if is_root then [ Engine.Set_timer (wave_delay, wave_timer) ] else []
+  in
+  (st, actions)
+
+let wave_complete ~mode ~wave_delay st =
+  let s = st.wave_s + st.sent_work and r = st.wave_r + st.recv_work in
+  let declare =
+    match mode with
+    | `Naive -> true (* everyone answered "idle": announce *)
+    | `Four_counter -> (
+        match st.prev_wave with
+        | Some (s1, r1) -> s1 = r1 && s1 = s && r1 = r
+        | None -> false)
+  in
+  if declare && not st.announced then
+    ({ st with announced = true }, [ Engine.Log_internal (detect_tag mode) ])
+  else
+    ( { st with prev_wave = Some (s, r) },
+      if st.announced then [] else [ Engine.Set_timer (wave_delay, wave_timer) ] )
+
+let on_message ~mode ~wave_delay st ~self:_ ~src ~payload ~now:_ =
+  if Underlying.is_work payload then begin
+    let logic, sends = Underlying.Logic.on_work st.params st.logic ~payload in
+    let st =
+      {
+        st with
+        logic;
+        sent_work = st.sent_work + List.length sends;
+        recv_work = st.recv_work + 1;
+      }
+    in
+    (st, send_work sends)
+  end
+  else if Wire.is probe_tag payload then
+    (* answer instantly: we are idle; report counters *)
+    (st, [ Engine.Send (src, Wire.enc reply_tag [ st.sent_work; st.recv_work ]) ])
+  else
+    match Wire.dec payload with
+    | Some (tag, [ s; r ]) when String.equal tag reply_tag ->
+        let st =
+          {
+            st with
+            replies = st.replies + 1;
+            wave_s = st.wave_s + s;
+            wave_r = st.wave_r + r;
+          }
+        in
+        if st.replies = st.params.Underlying.n - 1 then begin
+          let st = { st with replies = 0 } in
+          let st, actions = wave_complete ~mode ~wave_delay st in
+          ({ st with wave_s = 0; wave_r = 0 }, actions)
+        end
+        else (st, [])
+    | _ -> (st, [])
+
+let on_timer ~mode ~wave_delay st ~self ~tag ~now:_ =
+  if String.equal tag wave_timer && not st.announced then begin
+    let others =
+      List.filter
+        (fun i -> i <> Pid.to_int self)
+        (List.init st.params.Underlying.n (fun i -> i))
+    in
+    if others = [] then begin
+      (* single-process system: the wave is just the root's counters *)
+      let st, actions = wave_complete ~mode ~wave_delay st in
+      ({ st with wave_s = 0; wave_r = 0 }, actions)
+    end
+    else
+      (st, List.map (fun i -> Engine.Send (Pid.of_int i, Wire.enc probe_tag [])) others)
+  end
+  else (st, [])
+
+let handlers ~mode ~wave_delay params =
+  {
+    Engine.init = init ~wave_delay params;
+    on_message = on_message ~mode ~wave_delay;
+    on_timer = on_timer ~mode ~wave_delay;
+  }
+
+let run_raw ?(config = Engine.default) ?(wave_delay = 25.0) ~mode params =
+  let result =
+    Engine.run { config with Engine.n = params.Underlying.n }
+      (handlers ~mode ~wave_delay params)
+  in
+  (result.Engine.stats, result.Engine.trace)
+
+let run ?config ?wave_delay ~mode params =
+  let _, trace = run_raw ?config ?wave_delay ~mode params in
+  Termination.score ~detector:(name mode) ~detect_tag:(detect_tag mode) trace

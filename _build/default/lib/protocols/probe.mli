@@ -1,0 +1,33 @@
+(** Probe-based termination detection, in two variants.
+
+    [`Naive] — the coordinator periodically polls every node "are you
+    idle?"; since instantaneous local idleness says nothing about
+    messages in flight, it can announce while work is still travelling.
+    This is the cautionary half of the §5 argument: an algorithm that
+    refuses to pay for information flow is wrong, not merely slow. The
+    experiment harness measures its unsoundness rate directly.
+
+    [`Four_counter] — Mattern's four-counter method: each wave collects
+    total work sent [S] and received [R]; announce only when two
+    {e consecutive} waves agree with [S1 = R1 = S2 = R2]. Sound, and
+    its overhead ([2(n−1)] messages per wave) again scales with the
+    run's length — the lower bound reasserting itself. *)
+
+type mode = [ `Naive | `Four_counter ]
+
+val name : mode -> string
+val detect_tag : mode -> string
+
+val run :
+  ?config:Hpl_sim.Engine.config ->
+  ?wave_delay:float ->
+  mode:mode ->
+  Underlying.params ->
+  Termination.report
+
+val run_raw :
+  ?config:Hpl_sim.Engine.config ->
+  ?wave_delay:float ->
+  mode:mode ->
+  Underlying.params ->
+  Hpl_sim.Engine.stats * Hpl_core.Trace.t

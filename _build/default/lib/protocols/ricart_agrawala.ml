@@ -1,0 +1,168 @@
+open Hpl_core
+open Hpl_sim
+
+type params = {
+  n : int;
+  rounds : int;
+  cs_duration : float;
+  think_time : float;
+  seed : int64;
+}
+
+let default = { n = 4; rounds = 3; cs_duration = 3.0; think_time = 5.0; seed = 43L }
+
+let request_tag = "ra-req"
+let reply_tag = "ra-rep"
+let enter_tag = "ra-enter"
+let exit_tag = "ra-exit"
+let think_timer = "ra-think"
+let leave_timer = "ra-leave"
+
+type state = {
+  params : params;
+  me : int;
+  clock : int;
+  requesting : (int * int) option;  (** my (ts, id) request *)
+  replies : int;
+  deferred : int list;  (** processes awaiting my reply *)
+  in_cs : bool;
+  rounds_done : int;
+}
+
+type outcome = {
+  trace : Trace.t;
+  entries : int array;
+  mutual_exclusion : bool;
+  all_rounds_served : bool;
+  messages : int;
+  messages_per_entry : float;
+}
+
+let others st = List.filter (fun i -> i <> st.me) (List.init st.params.n (fun i -> i))
+
+let beats (ts1, id1) (ts2, id2) = ts1 < ts2 || (ts1 = ts2 && id1 < id2)
+
+let try_enter st =
+  match st.requesting with
+  | Some _ when (not st.in_cs) && st.replies = st.params.n - 1 ->
+      ( { st with in_cs = true },
+        [
+          Engine.Log_internal enter_tag;
+          Engine.Set_timer (st.params.cs_duration, leave_timer);
+        ] )
+  | _ -> (st, [])
+
+let init params p =
+  let me = Pid.to_int p in
+  let st =
+    {
+      params;
+      me;
+      clock = 0;
+      requesting = None;
+      replies = 0;
+      deferred = [];
+      in_cs = false;
+      rounds_done = 0;
+    }
+  in
+  (st, [ Engine.Set_timer (params.think_time *. float_of_int (me + 1), think_timer) ])
+
+let on_message st ~self:_ ~src ~payload ~now:_ =
+  let s = Pid.to_int src in
+  match Wire.dec payload with
+  | Some (tag, [ ts ]) when String.equal tag request_tag ->
+      let st = { st with clock = max st.clock ts + 1 } in
+      let defer =
+        match st.requesting with
+        | Some mine -> st.in_cs || beats mine (ts, s)
+        | None -> false
+      in
+      if defer then ({ st with deferred = s :: st.deferred }, [])
+      else (st, [ Engine.Send (src, Wire.enc reply_tag []) ])
+  | Some (tag, []) when String.equal tag reply_tag ->
+      let st = { st with replies = st.replies + 1 } in
+      try_enter st
+  | _ -> (st, [])
+
+let on_timer st ~self:_ ~tag ~now:_ =
+  if String.equal tag think_timer then (
+    match st.requesting with
+    | None when st.rounds_done < st.params.rounds ->
+        let clock = st.clock + 1 in
+        let st =
+          { st with clock; requesting = Some (clock, st.me); replies = 0 }
+        in
+        ( st,
+          List.map
+            (fun i -> Engine.Send (Pid.of_int i, Wire.enc request_tag [ clock ]))
+            (others st) )
+    | _ -> (st, []))
+  else if String.equal tag leave_timer && st.in_cs then begin
+    let replies =
+      List.map (fun i -> Engine.Send (Pid.of_int i, Wire.enc reply_tag [])) st.deferred
+    in
+    let st =
+      {
+        st with
+        in_cs = false;
+        requesting = None;
+        replies = 0;
+        deferred = [];
+        rounds_done = st.rounds_done + 1;
+      }
+    in
+    let again =
+      if st.rounds_done < st.params.rounds then
+        [ Engine.Set_timer (st.params.think_time, think_timer) ]
+      else []
+    in
+    (st, (Engine.Log_internal exit_tag :: replies) @ again)
+  end
+  else (st, [])
+
+let check_exclusion z =
+  let inside = ref 0 in
+  let ok = ref true in
+  List.iter
+    (fun e ->
+      match e.Event.kind with
+      | Event.Internal t when String.equal t enter_tag ->
+          if !inside > 0 then ok := false;
+          incr inside
+      | Event.Internal t when String.equal t exit_tag -> decr inside
+      | _ -> ())
+    (Trace.to_list z);
+  !ok
+
+let run ?config params =
+  let config =
+    match config with
+    | Some c -> { c with Engine.n = params.n }
+    | None -> { Engine.default with Engine.n = params.n; seed = params.seed }
+  in
+  let result =
+    Engine.run config { Engine.init = init params; on_message; on_timer }
+  in
+  let z = result.Engine.trace in
+  let entries =
+    Array.init params.n (fun i ->
+        List.length
+          (List.filter
+             (fun e ->
+               match e.Event.kind with
+               | Event.Internal t -> String.equal t enter_tag
+               | _ -> false)
+             (Trace.proj z (Pid.of_int i))))
+  in
+  let total = Array.fold_left ( + ) 0 entries in
+  {
+    trace = z;
+    entries;
+    mutual_exclusion = check_exclusion z;
+    all_rounds_served = Array.for_all (fun e -> e = params.rounds) entries;
+    messages = result.Engine.stats.Engine.sent;
+    messages_per_entry =
+      (if total = 0 then 0.0
+       else float_of_int result.Engine.stats.Engine.sent /. float_of_int total);
+  }

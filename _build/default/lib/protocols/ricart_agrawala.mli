@@ -1,0 +1,35 @@
+(** Ricart–Agrawala mutual exclusion.
+
+    The classic optimization of Lamport's algorithm: the acknowledgement
+    and release are fused into a single deferred REPLY, cutting the cost
+    from 3(n−1) to exactly 2(n−1) messages per critical-section entry. A
+    requester enters once every other process has replied; a process
+    holding a smaller (timestamp, id) request defers its reply until it
+    exits.
+
+    Same knowledge story, cheaper currency: a reply is the sender
+    saying "I know my outstanding request (if any) loses to yours" —
+    one message now carries both the acknowledgement and the release
+    information. Verified like {!Lamport_mutex}: exclusion, service in
+    timestamp order, and the exact message count. *)
+
+type params = {
+  n : int;
+  rounds : int;
+  cs_duration : float;
+  think_time : float;
+  seed : int64;
+}
+
+val default : params
+
+type outcome = {
+  trace : Hpl_core.Trace.t;
+  entries : int array;
+  mutual_exclusion : bool;
+  all_rounds_served : bool;
+  messages : int;
+  messages_per_entry : float;
+}
+
+val run : ?config:Hpl_sim.Engine.config -> params -> outcome

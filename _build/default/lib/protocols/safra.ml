@@ -1,0 +1,101 @@
+open Hpl_core
+open Hpl_sim
+
+let name = "safra"
+let detect_tag = Termination.detect_tag_of name
+let token_tag = "safra-token"
+let round_timer = "safra-round"
+
+type state = {
+  logic : Underlying.Logic.t;
+  params : Underlying.params;
+  mc : int;  (** work sent − work received *)
+  black : bool;
+  announced : bool;
+}
+
+let send_work sends = List.map (fun (dst, payload) -> Engine.Send (dst, payload)) sends
+
+let next_in_ring params self =
+  Pid.of_int ((Pid.to_int self + 1) mod params.Underlying.n)
+
+let init ~round_delay params p =
+  let logic = Underlying.Logic.create params p in
+  let is_root = Pid.to_int p = params.Underlying.root in
+  let logic, sends =
+    if is_root then Underlying.Logic.initial_spawns params logic else (logic, [])
+  in
+  let st =
+    { logic; params; mc = List.length sends; black = false; announced = false }
+  in
+  let actions =
+    send_work sends
+    @ if is_root then [ Engine.Set_timer (round_delay, round_timer) ] else []
+  in
+  (st, actions)
+
+let forward_token ~round_delay st ~self ~count ~black_token =
+  let is_root = Pid.to_int self = st.params.Underlying.root in
+  if is_root then
+    if (not black_token) && (not st.black) && count + st.mc = 0 then
+      if st.announced then (st, [])
+      else ({ st with announced = true }, [ Engine.Log_internal detect_tag ])
+    else
+      (* failed round: whiten and retry later *)
+      ({ st with black = false }, [ Engine.Set_timer (round_delay, round_timer) ])
+  else begin
+    let count' = count + st.mc in
+    let color = if st.black || black_token then 1 else 0 in
+    let st = { st with black = false } in
+    ( st,
+      [
+        Engine.Send
+          (next_in_ring st.params self, Wire.enc token_tag [ count'; color ]);
+      ] )
+  end
+
+let on_message ~round_delay st ~self ~src:_ ~payload ~now:_ =
+  if Underlying.is_work payload then begin
+    let logic, sends = Underlying.Logic.on_work st.params st.logic ~payload in
+    let st =
+      {
+        st with
+        logic;
+        mc = st.mc + List.length sends - 1;
+        black = true;
+      }
+    in
+    (st, send_work sends)
+  end
+  else
+    match Wire.dec payload with
+    | Some (tag, [ count; color ]) when String.equal tag token_tag ->
+        forward_token ~round_delay st ~self ~count ~black_token:(color = 1)
+    | _ -> (st, [])
+
+let on_timer ~round_delay:_ st ~self ~tag ~now:_ =
+  if String.equal tag round_timer && not st.announced then begin
+    (* root launches a white token carrying its own count at the end of
+       the round; the token starts with count 0 from the next node *)
+    let dst = next_in_ring st.params self in
+    (st, [ Engine.Send (dst, Wire.enc token_tag [ 0; 0 ]) ])
+  end
+  else (st, [])
+
+let handlers ~round_delay params =
+  {
+    Engine.init = init ~round_delay params;
+    on_message = on_message ~round_delay;
+    on_timer = on_timer ~round_delay;
+  }
+
+let run_raw ?(config = Engine.default) ?(round_delay = 25.0) params =
+  let result =
+    Engine.run { config with Engine.n = params.Underlying.n }
+      (handlers ~round_delay params)
+  in
+  (result.Engine.stats, result.Engine.trace)
+
+let run ?config ?round_delay params =
+  let _, trace = run_raw ?config ?round_delay params in
+  Termination.score ~detector:name ~detect_tag trace

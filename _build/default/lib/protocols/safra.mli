@@ -1,0 +1,28 @@
+(** Safra's token-based termination detection.
+
+    A token circulates the ring accumulating per-node message-count
+    deltas (work sent − work received); a node that has received work
+    since it last forwarded the token is black and taints the token.
+    The initiator announces termination after a fully white round whose
+    accumulated count (plus its own) is zero; otherwise it whitens
+    itself and launches a new round after a back-off.
+
+    Unlike Dijkstra–Scholten, Safra needs no per-message signals: its
+    overhead is one token hop per ring position per round — cheap when
+    the workload dies quickly, unbounded in rounds when activity keeps
+    re-blackening the ring (bench E11 sweeps both regimes). *)
+
+val name : string
+val detect_tag : string
+
+val run :
+  ?config:Hpl_sim.Engine.config ->
+  ?round_delay:float ->
+  Underlying.params ->
+  Termination.report
+
+val run_raw :
+  ?config:Hpl_sim.Engine.config ->
+  ?round_delay:float ->
+  Underlying.params ->
+  Hpl_sim.Engine.stats * Hpl_core.Trace.t

@@ -1,0 +1,255 @@
+open Hpl_core
+open Hpl_sim
+
+type params = {
+  n : int;
+  app_period : float;
+  snapshot_time : float;
+  horizon : float;
+}
+
+let default = { n = 4; app_period = 3.0; snapshot_time = 50.0; horizon = 200.0 }
+
+type recorded = {
+  states : int array;
+  channel_messages : (int * int * int) list;
+  cut_positions : int array;
+}
+
+type outcome = {
+  recorded : recorded;
+  consistent : bool;
+  conservation : bool;
+  trace : Trace.t;
+}
+
+let app_tag = "app"
+let marker_tag = "marker"
+let app_timer = "app-tick"
+let start_timer = "snap-start"
+let record_tag = "recorded"
+
+type state = {
+  params : params;
+  me : int;
+  sent_app : int;
+  recv_app : int array;  (** per-source app receive counts *)
+  recording : bool;
+  recorded_state : int option;
+  marker_from : bool array;  (** marker received on channel from i *)
+  chan_recorded : int array;  (** app messages recorded per channel *)
+  rng : Rng.t;
+}
+
+let others st = List.filter (fun i -> i <> st.me) (List.init st.params.n (fun i -> i))
+
+let init params p =
+  let me = Pid.to_int p in
+  let st =
+    {
+      params;
+      me;
+      sent_app = 0;
+      recv_app = Array.make params.n 0;
+      recording = false;
+      recorded_state = None;
+      marker_from = Array.make params.n false;
+      chan_recorded = Array.make params.n 0;
+      rng = Rng.create (Int64.of_int (1000 + me));
+    }
+  in
+  let actions =
+    [ Engine.Set_timer (params.app_period, app_timer) ]
+    @ if me = 0 then [ Engine.Set_timer (params.snapshot_time, start_timer) ] else []
+  in
+  (st, actions)
+
+let begin_recording st =
+  if st.recording then (st, [])
+  else begin
+    let st = { st with recording = true; recorded_state = Some st.sent_app } in
+    let markers =
+      List.map
+        (fun i -> Engine.Send (Pid.of_int i, Wire.enc marker_tag []))
+        (others st)
+    in
+    (st, (Engine.Log_internal record_tag :: markers))
+  end
+
+let recording_done st =
+  st.recording && List.for_all (fun i -> st.marker_from.(i)) (others st)
+
+let on_message st ~self:_ ~src ~payload ~now:_ =
+  let s = Pid.to_int src in
+  if Wire.is app_tag payload then begin
+    st.recv_app.(s) <- st.recv_app.(s) + 1;
+    (* an app message arriving while recording, before that channel's
+       marker, belongs to the channel state *)
+    if st.recording && not st.marker_from.(s) then
+      st.chan_recorded.(s) <- st.chan_recorded.(s) + 1;
+    (st, [])
+  end
+  else if Wire.is marker_tag payload then begin
+    let st, actions = begin_recording st in
+    st.marker_from.(s) <- true;
+    let actions =
+      if recording_done st then actions @ [ Engine.Log_internal "snap-done" ]
+      else actions
+    in
+    (st, actions)
+  end
+  else (st, [])
+
+let on_timer st ~self:_ ~tag ~now =
+  if String.equal tag app_timer then begin
+    if now > st.params.horizon then (st, [])
+    else begin
+      let dst = Rng.int st.rng st.params.n in
+      let dst = if dst = st.me then (dst + 1) mod st.params.n else dst in
+      let st = { st with sent_app = st.sent_app + 1 } in
+      ( st,
+        [
+          Engine.Send (Pid.of_int dst, Wire.enc app_tag []);
+          Engine.Set_timer (st.params.app_period, app_timer);
+        ] )
+    end
+  end
+  else if String.equal tag start_timer then begin_recording st
+  else (st, [])
+
+let positions_of_internal z tag =
+  let tbl = Hashtbl.create 8 in
+  List.iteri
+    (fun i e ->
+      match e.Event.kind with
+      | Event.Internal t when String.equal t tag ->
+          let p = Pid.to_int e.Event.pid in
+          if not (Hashtbl.mem tbl p) then Hashtbl.add tbl p i
+      | _ -> ())
+    (Trace.to_list z);
+  tbl
+
+(* Consistency is a statement about application traffic: markers cross
+   the cut by construction (they are how the cut is agreed on), so the
+   condition is that no app message is received inside the cut but sent
+   outside it. *)
+let cut_is_consistent ~n:_ z ~cut_positions =
+  let events = Array.of_list (Trace.to_list z) in
+  let send_pos : (Pid.t * int, int) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun i e ->
+      match e.Event.kind with
+      | Event.Send m when Wire.is app_tag m.Msg.payload ->
+          Hashtbl.replace send_pos (Msg.key m) i
+      | _ -> ())
+    events;
+  let ok = ref true in
+  Array.iteri
+    (fun j e ->
+      match e.Event.kind with
+      | Event.Receive m when Wire.is app_tag m.Msg.payload ->
+          let d = Pid.to_int e.Event.pid in
+          if j <= cut_positions.(d) then begin
+            let i = Hashtbl.find send_pos (Msg.key m) in
+            let s = Pid.to_int m.Msg.src in
+            if i > cut_positions.(s) then ok := false
+          end
+      | _ -> ())
+    events;
+  !ok
+
+let run ?(config = Engine.default) params =
+  let config =
+    { config with Engine.n = params.n; max_time = params.horizon *. 2.0 }
+  in
+  let result =
+    Engine.run config { Engine.init = init params; on_message; on_timer }
+  in
+  let z = result.Engine.trace in
+  let cut_tbl = positions_of_internal z record_tag in
+  let all_recorded = Hashtbl.length cut_tbl = params.n in
+  let cut_positions =
+    Array.init params.n (fun i ->
+        Option.value ~default:max_int (Hashtbl.find_opt cut_tbl i))
+  in
+  let states =
+    Array.map
+      (fun st -> Option.value ~default:(-1) st.recorded_state)
+      result.Engine.states
+  in
+  let channel_messages =
+    List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun dst st ->
+              List.filter_map
+                (fun src ->
+                  if st.chan_recorded.(src) > 0 then
+                    Some (src, dst, st.chan_recorded.(src))
+                  else None)
+                (List.init params.n (fun i -> i)))
+            result.Engine.states))
+  in
+  let consistent =
+    all_recorded && cut_is_consistent ~n:params.n z ~cut_positions
+  in
+  (* conservation: per channel (s,d), app messages sent by s before its
+     cut point = app messages received by d before d's cut point +
+     recorded channel content *)
+  let conservation =
+    all_recorded
+    &&
+    let events = Array.of_list (Trace.to_list z) in
+    let count_app_sent s d limit =
+      let c = ref 0 in
+      Array.iteri
+        (fun i e ->
+          match e.Event.kind with
+          | Event.Send m
+            when i <= limit
+                 && Pid.to_int e.Event.pid = s
+                 && Pid.to_int m.Msg.dst = d
+                 && Wire.is app_tag m.Msg.payload ->
+              incr c
+          | _ -> ())
+        events;
+      !c
+    in
+    let count_app_recv s d limit =
+      let c = ref 0 in
+      Array.iteri
+        (fun i e ->
+          match e.Event.kind with
+          | Event.Receive m
+            when i <= limit
+                 && Pid.to_int e.Event.pid = d
+                 && Pid.to_int m.Msg.src = s
+                 && Wire.is app_tag m.Msg.payload ->
+              incr c
+          | _ -> ())
+        events;
+      !c
+    in
+    let ok = ref true in
+    for s = 0 to params.n - 1 do
+      for d = 0 to params.n - 1 do
+        if s <> d then begin
+          let sent = count_app_sent s d cut_positions.(s) in
+          let recvd = count_app_recv s d cut_positions.(d) in
+          let in_channel =
+            match List.find_opt (fun (s', d', _) -> s' = s && d' = d) channel_messages with
+            | Some (_, _, c) -> c
+            | None -> 0
+          in
+          if sent <> recvd + in_channel then ok := false
+        end
+      done
+    done;
+    !ok
+  in
+  {
+    recorded = { states; channel_messages; cut_positions };
+    consistent;
+    conservation;
+    trace = z;
+  }

@@ -1,0 +1,214 @@
+open Hpl_core
+open Hpl_sim
+
+let name = "snapshot"
+let detect_tag = Termination.detect_tag_of name
+let marker_tag = "st-marker"
+let report_tag = "st-report"
+let attempt_timer = "st-attempt"
+
+(* One snapshot attempt: the initiator (the workload root) sends markers
+   on every channel; each process records, per incoming channel, the
+   work messages arriving between its own recording point and that
+   channel's marker, then reports the total to the initiator. The
+   attempt is clean iff every recorded channel count is zero AND every
+   process reports the same work-sent/work-received balance it saw at
+   its cut point summing to zero in flight. Here the second condition
+   is implied by the first plus counter conservation, so reports carry
+   (recorded-channel-total, sent, received). *)
+
+type state = {
+  logic : Underlying.Logic.t;
+  params : Underlying.params;
+  is_root : bool;
+  sent_work : int;
+  recv_work : int;
+  (* current snapshot attempt *)
+  attempt : int;  (** id of the attempt this node last joined *)
+  recording : bool;
+  marker_from : bool array;
+  chan_work : int;  (** work arrivals recorded into channel state *)
+  cut_sent : int;
+  cut_recv : int;
+  (* root bookkeeping *)
+  root_attempt : int;
+  reports : int;
+  total_chan : int;
+  total_sent : int;
+  total_recv : int;
+  announced : bool;
+}
+
+let send_work sends = List.map (fun (dst, payload) -> Engine.Send (dst, payload)) sends
+
+let neighbours st me =
+  List.filter (fun i -> i <> me) (List.init st.params.Underlying.n (fun i -> i))
+
+let root_pid st = Pid.of_int st.params.Underlying.root
+
+let begin_attempt st ~me ~attempt =
+  if st.attempt >= attempt then (st, [])
+  else begin
+    let st =
+      {
+        st with
+        attempt;
+        recording = true;
+        marker_from = Array.make st.params.Underlying.n false;
+        chan_work = 0;
+        cut_sent = st.sent_work;
+        cut_recv = st.recv_work;
+      }
+    in
+    ( st,
+      List.map
+        (fun i -> Engine.Send (Pid.of_int i, Wire.enc marker_tag [ attempt ]))
+        (neighbours st me) )
+  end
+
+let init ~attempt_delay params p =
+  let logic = Underlying.Logic.create params p in
+  let me = Pid.to_int p in
+  let is_root = me = params.Underlying.root in
+  let logic, sends =
+    if is_root then Underlying.Logic.initial_spawns params logic else (logic, [])
+  in
+  let st =
+    {
+      logic;
+      params;
+      is_root;
+      sent_work = List.length sends;
+      recv_work = 0;
+      attempt = 0;
+      recording = false;
+      marker_from = Array.make params.Underlying.n false;
+      chan_work = 0;
+      cut_sent = 0;
+      cut_recv = 0;
+      root_attempt = 0;
+      reports = 0;
+      total_chan = 0;
+      total_sent = 0;
+      total_recv = 0;
+      announced = false;
+    }
+  in
+  let actions =
+    send_work sends
+    @ if is_root then [ Engine.Set_timer (attempt_delay, attempt_timer) ] else []
+  in
+  (st, actions)
+
+let recording_complete st me =
+  st.recording && List.for_all (fun i -> st.marker_from.(i)) (neighbours st me)
+
+let close_recording st ~me =
+  if recording_complete st me then begin
+    let st = { st with recording = false } in
+    if st.is_root then
+      (* root's own report folds in directly *)
+      ( {
+          st with
+          reports = st.reports + 1;
+          total_chan = st.total_chan + st.chan_work;
+          total_sent = st.total_sent + st.cut_sent;
+          total_recv = st.total_recv + st.cut_recv;
+        },
+        [] )
+    else
+      ( st,
+        [
+          Engine.Send
+            ( root_pid st,
+              Wire.enc report_tag [ st.attempt; st.chan_work; st.cut_sent; st.cut_recv ]
+            );
+        ] )
+  end
+  else (st, [])
+
+let root_check ~attempt_delay st =
+  if st.is_root && st.reports = st.params.Underlying.n && not st.announced then
+    if st.total_chan = 0 && st.total_sent = st.total_recv then
+      ({ st with announced = true }, [ Engine.Log_internal detect_tag ])
+    else (st, [ Engine.Set_timer (attempt_delay, attempt_timer) ])
+  else (st, [])
+
+let on_message ~attempt_delay st ~self ~src ~payload ~now:_ =
+  let me = Pid.to_int self in
+  let s = Pid.to_int src in
+  if Underlying.is_work payload then begin
+    let logic, sends = Underlying.Logic.on_work st.params st.logic ~payload in
+    let st = { st with logic; recv_work = st.recv_work + 1 } in
+    let st =
+      if st.recording && not st.marker_from.(s) then
+        { st with chan_work = st.chan_work + 1 }
+      else st
+    in
+    let st = { st with sent_work = st.sent_work + List.length sends } in
+    (st, send_work sends)
+  end
+  else
+    match Wire.dec payload with
+    | Some (tag, [ attempt ]) when String.equal tag marker_tag ->
+        let st, start_actions = begin_attempt st ~me ~attempt in
+        st.marker_from.(s) <- true;
+        let st, close_actions = close_recording st ~me in
+        let st, check_actions = root_check ~attempt_delay st in
+        (st, start_actions @ close_actions @ check_actions)
+    | Some (tag, [ attempt; chan; sent; recv ]) when String.equal tag report_tag
+      ->
+        if st.is_root && attempt = st.root_attempt then begin
+          let st =
+            {
+              st with
+              reports = st.reports + 1;
+              total_chan = st.total_chan + chan;
+              total_sent = st.total_sent + sent;
+              total_recv = st.total_recv + recv;
+            }
+          in
+          root_check ~attempt_delay st
+        end
+        else (st, [])
+    | _ -> (st, [])
+
+let on_timer ~attempt_delay st ~self ~tag ~now:_ =
+  if String.equal tag attempt_timer && st.is_root && not st.announced then begin
+    let me = Pid.to_int self in
+    let attempt = st.root_attempt + 1 in
+    let st =
+      {
+        st with
+        root_attempt = attempt;
+        reports = 0;
+        total_chan = 0;
+        total_sent = 0;
+        total_recv = 0;
+      }
+    in
+    let st, start_actions = begin_attempt st ~me ~attempt in
+    (* a solo system records immediately *)
+    let st, close_actions = close_recording st ~me in
+    let st, check_actions = root_check ~attempt_delay st in
+    (st, start_actions @ close_actions @ check_actions)
+  end
+  else (st, [])
+
+let handlers ~attempt_delay params =
+  {
+    Engine.init = init ~attempt_delay params;
+    on_message = on_message ~attempt_delay;
+    on_timer = on_timer ~attempt_delay;
+  }
+
+let run_raw ?(config = Engine.default) ?(attempt_delay = 10.0) params =
+  let result =
+    Engine.run { config with Engine.n = params.Underlying.n }
+      (handlers ~attempt_delay params)
+  in
+  (result.Engine.stats, result.Engine.trace)
+
+let run ?config ?attempt_delay params =
+  let _, trace = run_raw ?config ?attempt_delay params in
+  Termination.score ~detector:name ~detect_tag trace

@@ -1,0 +1,28 @@
+(** Snapshot-based termination detection.
+
+    Chandy & Lamport's motivating application for global snapshots, by
+    the paper's own first author: repeatedly record a consistent global
+    state of the underlying computation; since a node here is active
+    only while handling a delivery, a consistent cut whose channels
+    carry no work messages is a terminated state — and because
+    termination is stable, it has terminated in the present too.
+
+    Overhead per attempt is a full marker wave, [n(n−1)] messages;
+    attempts repeat until one is clean, so on long-lived workloads the
+    total overhead again scales past [M] — detector number six for the
+    E11 table, paying the §5 price in marker currency. *)
+
+val name : string
+val detect_tag : string
+
+val run :
+  ?config:Hpl_sim.Engine.config ->
+  ?attempt_delay:float ->
+  Underlying.params ->
+  Termination.report
+
+val run_raw :
+  ?config:Hpl_sim.Engine.config ->
+  ?attempt_delay:float ->
+  Underlying.params ->
+  Hpl_sim.Engine.stats * Hpl_core.Trace.t

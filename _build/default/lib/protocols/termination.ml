@@ -1,0 +1,73 @@
+open Hpl_core
+
+type report = {
+  detector : string;
+  underlying_msgs : int;
+  overhead_msgs : int;
+  detected : bool;
+  sound : bool;
+  terminated : bool;
+  detection_latency_events : int option;
+  total_events : int;
+}
+
+let detect_tag_of name = name ^ ":detected"
+
+let detection_position ~detect_tag z =
+  let rec go i = function
+    | [] -> None
+    | e :: rest ->
+        (match e.Event.kind with
+        | Event.Internal tag when String.equal tag detect_tag -> Some i
+        | _ -> go (i + 1) rest)
+  in
+  go 0 (Trace.to_list z)
+
+let score ~detector ~detect_tag z =
+  let sent = Trace.sent z in
+  let underlying_msgs =
+    List.length (List.filter (fun m -> Underlying.is_work m.Msg.payload) sent)
+  in
+  let overhead_msgs = List.length sent - underlying_msgs in
+  let detection = detection_position ~detect_tag z in
+  let termination = Underlying.termination_position z in
+  let terminated = termination <> None in
+  let detected = detection <> None in
+  let sound, latency =
+    match (detection, termination) with
+    | None, _ -> (true, None) (* silent detectors are vacuously sound *)
+    | Some _, None -> (false, None) (* announced although never terminated *)
+    | Some d, Some t -> (d >= t, Some (d - t))
+  in
+  {
+    detector;
+    underlying_msgs;
+    overhead_msgs;
+    detected;
+    sound;
+    terminated;
+    detection_latency_events = latency;
+    total_events = Trace.length z;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "%s: M=%d overhead=%d detected=%b sound=%b terminated=%b latency=%s"
+    r.detector r.underlying_msgs r.overhead_msgs r.detected r.sound r.terminated
+    (match r.detection_latency_events with
+    | Some l -> string_of_int l
+    | None -> "-")
+
+let row_header =
+  Printf.sprintf "%-10s %10s %10s %8s %8s %8s %10s" "detector" "underlying"
+    "overhead" "ratio" "detected" "sound" "latency"
+
+let report_row r =
+  Printf.sprintf "%-10s %10d %10d %8s %8b %8b %10s" r.detector
+    r.underlying_msgs r.overhead_msgs
+    (if r.underlying_msgs = 0 then "-"
+     else Printf.sprintf "%.2f" (float_of_int r.overhead_msgs /. float_of_int r.underlying_msgs))
+    r.detected r.sound
+    (match r.detection_latency_events with
+    | Some l -> string_of_int l
+    | None -> "-")

@@ -1,0 +1,36 @@
+(** Shared vocabulary for the §5 termination-detection experiments.
+
+    The paper proves that detecting termination of an underlying
+    computation requires, in general, at least as many overhead
+    (control) messages as there are underlying messages. Every detector
+    in this library runs the same {!Underlying} workload, marks its
+    detection with a distinguished internal event, and is scored here:
+    overhead messages, detection correctness (not before true
+    termination), and latency. *)
+
+type report = {
+  detector : string;
+  underlying_msgs : int;  (** work messages sent *)
+  overhead_msgs : int;  (** every non-work message sent *)
+  detected : bool;  (** the detector announced termination *)
+  sound : bool;  (** announcement not before true termination *)
+  terminated : bool;  (** ground truth: workload finished in this run *)
+  detection_latency_events : int option;
+      (** events between true termination and the announcement *)
+  total_events : int;
+}
+
+val detect_tag_of : string -> string
+(** [detect_tag_of "ds"] is the internal-event tag a detector logs on
+    announcement ("ds:detected"). *)
+
+val score :
+  detector:string -> detect_tag:string -> Hpl_core.Trace.t -> report
+(** Scores a recorded run. Soundness compares the announcement's
+    position with {!Underlying.termination_position}. *)
+
+val pp_report : Format.formatter -> report -> unit
+val report_row : report -> string
+(** Fixed-width table row (bench output). *)
+
+val row_header : string

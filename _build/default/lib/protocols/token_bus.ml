@@ -1,0 +1,80 @@
+open Hpl_core
+
+let token = "token"
+
+(* p's token balance from its own history: +1 initial for p0, +1 per
+   receive, -1 per send. p holds iff balance = 1. *)
+let balance_of_history p history =
+  let init = if Pid.to_int p = 0 then 1 else 0 in
+  List.fold_left
+    (fun bal e ->
+      match e.Event.kind with
+      | Event.Send _ -> bal - 1
+      | Event.Receive _ -> bal + 1
+      | Event.Internal _ -> bal)
+    init history
+
+let spec ~n =
+  if n < 2 then invalid_arg "Token_bus.spec: need at least two processes";
+  Spec.make ~n (fun p history ->
+      let i = Pid.to_int p in
+      let holds = balance_of_history p history = 1 in
+      let passes =
+        if not holds then []
+        else
+          let neighbours =
+            (if i > 0 then [ i - 1 ] else []) @ if i < n - 1 then [ i + 1 ] else []
+          in
+          List.map (fun j -> Spec.Send_to (Pid.of_int j, token)) neighbours
+      in
+      Spec.Recv_any :: passes)
+
+let holds p =
+  Prop.make
+    (Printf.sprintf "%s holds token" (Pid.to_string p))
+    (fun z -> balance_of_history p (Trace.proj z p) = 1)
+
+let token_in_flight =
+  Prop.make "token in flight" (fun z -> Trace.in_flight z <> [])
+
+let exactly_one_holder_or_flight ~n =
+  Prop.make "bus invariant" (fun z ->
+      let holders =
+        List.filter
+          (fun i -> balance_of_history (Pid.of_int i) (Trace.proj z (Pid.of_int i)) = 1)
+          (List.init n (fun i -> i))
+      in
+      match (holders, Trace.in_flight z) with
+      | [ _ ], [] -> true
+      | [], [ _ ] -> true
+      | _ -> false)
+
+let holder_at ~n z =
+  let holders =
+    List.filter
+      (fun i -> balance_of_history (Pid.of_int i) (Trace.proj z (Pid.of_int i)) = 1)
+      (List.init n (fun i -> i))
+  in
+  match holders with [ i ] -> Some (Pid.of_int i) | _ -> None
+
+let paper_assertion u =
+  if Spec.n (Universe.spec u) <> 5 then
+    invalid_arg "Token_bus.paper_assertion: needs the 5-process bus";
+  let p = Pid.of_int 0
+  and q = Pid.of_int 1
+  and s = Pset.singleton (Pid.of_int 3)
+  and t = Pid.of_int 4 in
+  let q_knows = Knowledge.knows u (Pset.singleton q) (Prop.not_ (holds p)) in
+  let s_knows = Knowledge.knows u s (Prop.not_ (holds t)) in
+  Knowledge.knows u
+    (Pset.singleton (Pid.of_int 2))
+    (Prop.and_ q_knows s_knows)
+
+let check_paper_claim u =
+  let r_holds = holds (Pid.of_int 2) in
+  let assertion = paper_assertion u in
+  let ok = ref true in
+  Universe.iter
+    (fun _ z -> if Prop.eval r_holds z && not (Prop.eval assertion z) then ok := false)
+    u;
+  !ok

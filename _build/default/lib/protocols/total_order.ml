@@ -1,0 +1,144 @@
+open Hpl_core
+open Hpl_sim
+
+type params = {
+  n : int;
+  broadcasts_per_process : int;
+  period : float;
+  seed : int64;
+}
+
+let default = { n = 4; broadcasts_per_process = 4; period = 5.0; seed = 17L }
+
+let submit_tag = "to-submit"  (* origin -> sequencer: origin, oseq *)
+let order_tag = "to-order"  (* sequencer -> all: gseq, origin, oseq *)
+let tick_timer = "to-tick"
+
+type state = {
+  params : params;
+  me : int;
+  sent : int;
+  next_gseq : int;  (** sequencer: next number to assign *)
+  next_deliver : int;  (** everyone: next global number to deliver *)
+  buffer : (int * (int * int)) list;  (** gseq -> (origin, oseq) *)
+  deliveries : (int * int) list;  (** newest first *)
+  gaps_buffered : int;
+}
+
+type outcome = {
+  trace : Trace.t;
+  deliveries : (int * int) list array;
+  identical_order : bool;
+  all_delivered : bool;
+  gaps_buffered : int;
+  messages : int;
+}
+
+let sequencer = Pid.of_int 0
+
+let rec drain st actions =
+  match List.assoc_opt st.next_deliver st.buffer with
+  | Some (origin, oseq) ->
+      let st =
+        {
+          st with
+          buffer = List.remove_assoc st.next_deliver st.buffer;
+          deliveries = (origin, oseq) :: st.deliveries;
+          next_deliver = st.next_deliver + 1;
+        }
+      in
+      drain st
+        (Engine.Log_internal (Printf.sprintf "to-dlv:%d:%d" origin oseq) :: actions)
+  | None -> (st, List.rev actions)
+
+let init params p =
+  let me = Pid.to_int p in
+  let st =
+    {
+      params;
+      me;
+      sent = 0;
+      next_gseq = 0;
+      next_deliver = 0;
+      buffer = [];
+      deliveries = [];
+      gaps_buffered = 0;
+    }
+  in
+  (st, [ Engine.Set_timer (params.period *. float_of_int (me + 1), tick_timer) ])
+
+let broadcast_order st gseq origin oseq =
+  List.map
+    (fun i -> Engine.Send (Pid.of_int i, Wire.enc order_tag [ gseq; origin; oseq ]))
+    (List.init st.params.n (fun i -> i))
+
+let on_message st ~self ~src:_ ~payload ~now:_ =
+  match Wire.dec payload with
+  | Some (tag, [ origin; oseq ]) when String.equal tag submit_tag ->
+      if Pid.to_int self = 0 then begin
+        let gseq = st.next_gseq in
+        let st = { st with next_gseq = gseq + 1 } in
+        (st, broadcast_order st gseq origin oseq)
+      end
+      else (st, [])
+  | Some (tag, [ gseq; origin; oseq ]) when String.equal tag order_tag ->
+      let waited = gseq <> st.next_deliver in
+      let st =
+        {
+          st with
+          buffer = (gseq, (origin, oseq)) :: st.buffer;
+          gaps_buffered = (st.gaps_buffered + if waited then 1 else 0);
+        }
+      in
+      drain st []
+  | _ -> (st, [])
+
+let on_timer st ~self ~tag ~now:_ =
+  if String.equal tag tick_timer && st.sent < st.params.broadcasts_per_process
+  then begin
+    let oseq = st.sent in
+    let st = { st with sent = st.sent + 1 } in
+    let submit =
+      if Pid.to_int self = 0 then begin
+        (* the sequencer's own broadcasts are sequenced directly *)
+        let gseq = st.next_gseq in
+        let st = { st with next_gseq = gseq + 1 } in
+        (st, broadcast_order st gseq st.me oseq)
+      end
+      else (st, [ Engine.Send (sequencer, Wire.enc submit_tag [ st.me; oseq ]) ])
+    in
+    let st, actions = submit in
+    (st, actions @ [ Engine.Set_timer (st.params.period, tick_timer) ])
+  end
+  else (st, [])
+
+let run ?config params =
+  let config =
+    match config with
+    | Some c -> { c with Engine.n = params.n }
+    | None -> { Engine.default with Engine.n = params.n; seed = params.seed }
+  in
+  let result =
+    Engine.run config { Engine.init = init params; on_message; on_timer }
+  in
+  let deliveries =
+    Array.map (fun (st : state) -> List.rev st.deliveries) result.Engine.states
+  in
+  let identical_order =
+    Array.for_all (fun d -> d = deliveries.(0)) deliveries
+  in
+  let expected = params.n * params.broadcasts_per_process in
+  let all_delivered =
+    Array.for_all (fun d -> List.length d = expected) deliveries
+  in
+  {
+    trace = result.Engine.trace;
+    deliveries;
+    identical_order;
+    all_delivered;
+    gaps_buffered =
+      Array.fold_left
+        (fun acc (st : state) -> acc + st.gaps_buffered)
+        0 result.Engine.states;
+    messages = result.Engine.stats.Engine.sent;
+  }

@@ -1,0 +1,36 @@
+(** Total-order (atomic) broadcast via a fixed sequencer.
+
+    Every broadcast is sent to the sequencer (process 0), which assigns
+    a global sequence number and re-broadcasts; processes deliver
+    strictly in sequence-number order, buffering gaps. All correct
+    processes therefore deliver the {e same sequence} — the strongest
+    of the classical ordering guarantees, sitting above causal order
+    ({!Causal_broadcast}) and FIFO in the hierarchy.
+
+    Knowledge cost: the sequencer is a serialization oracle; after
+    delivering message k every process {e knows} every other process
+    delivers the same prefix — at the price of 2 messages latency and a
+    central chokepoint. The verifier checks identical delivery
+    sequences across processes and that total order implies causal
+    order on the delivered traffic. *)
+
+type params = {
+  n : int;  (** process 0 is the sequencer (and also an application node) *)
+  broadcasts_per_process : int;
+  period : float;
+  seed : int64;
+}
+
+val default : params
+
+type outcome = {
+  trace : Hpl_core.Trace.t;
+  deliveries : (int * int) list array;
+      (** per process, delivered (origin, origin-seq) in delivery order *)
+  identical_order : bool;  (** all processes delivered the same sequence *)
+  all_delivered : bool;
+  gaps_buffered : int;  (** arrivals that waited for earlier numbers *)
+  messages : int;
+}
+
+val run : ?config:Hpl_sim.Engine.config -> params -> outcome

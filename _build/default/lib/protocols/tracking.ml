@@ -1,0 +1,91 @@
+open Hpl_core
+
+let flip_tag = "flip"
+let p0 = Pid.of_int 0
+let p1 = Pid.of_int 1
+
+let flips_in history =
+  List.length
+    (List.filter
+       (fun e ->
+         match e.Event.kind with
+         | Event.Internal t -> String.equal t flip_tag
+         | Event.Send _ | Event.Receive _ -> false)
+       history)
+
+let silent_spec ~n ~flips ~ticks =
+  Spec.make ~n (fun p history ->
+      if Pid.equal p p0 then
+        if flips_in history < flips then [ Spec.Do flip_tag ] else []
+      else if List.length history < ticks then [ Spec.Do "tick"; Spec.Recv_any ]
+      else [])
+
+(* p0 flips, then notifies p1 and waits for the ack before the next
+   flip; p1 acknowledges every notification. *)
+let notify_spec ~flips =
+  Spec.make ~n:2 (fun p history ->
+      if Pid.equal p p0 then begin
+        let f = flips_in history in
+        let sends = List.length (List.filter Event.is_send history) in
+        let acks = List.length (List.filter Event.is_receive history) in
+        if sends < f then [ Spec.Send_to (p1, "flipped") ]
+        else if acks < sends then [ Spec.Recv_any ]
+        else if f < flips then [ Spec.Do flip_tag ]
+        else []
+      end
+      else begin
+        let recvs = List.length (List.filter Event.is_receive history) in
+        let sends = List.length (List.filter Event.is_send history) in
+        (if sends < recvs then [ Spec.Send_to (p0, "ack") ] else [])
+        @ [ Spec.Recv_any ]
+      end)
+
+let bit =
+  Prop.make "bit" (fun z -> flips_in (Trace.proj z p0) mod 2 = 1)
+
+let tracker_always_unsure_after_flip u =
+  let unsure = Knowledge.unsure u (Pset.singleton p1) bit in
+  let ok = ref true in
+  Universe.iter
+    (fun _ z ->
+      if flips_in (Trace.proj z p0) > 0 && not (Prop.eval unsure z) then
+        ok := false)
+    u;
+  !ok
+
+let flip_enabled u z =
+  List.filter
+    (fun e ->
+      Pid.equal e.Event.pid p0
+      &&
+      match e.Event.kind with
+      | Event.Internal t -> String.equal t flip_tag
+      | _ -> false)
+    (Spec.enabled (Universe.spec u) z)
+
+let unsure_while_changing u =
+  let unsure = Knowledge.unsure u (Pset.singleton p1) bit in
+  let ok = ref true in
+  Universe.iter
+    (fun _ z ->
+      if Trace.length z < Universe.depth u then
+        List.iter
+          (fun e ->
+            let ze = Trace.snoc z e in
+            if not (Prop.eval unsure z || Prop.eval unsure ze) then ok := false)
+          (flip_enabled u z))
+    u;
+  !ok
+
+let change_requires_known_unsureness u ~tracker =
+  let knows_unsure =
+    Knowledge.knows u (Pset.singleton p0)
+      (Knowledge.unsure u (Pset.singleton tracker) bit)
+  in
+  let ok = ref true in
+  Universe.iter
+    (fun _ z ->
+      if Trace.length z < Universe.depth u && flip_enabled u z <> [] then
+        if not (Prop.eval knows_unsure z) then ok := false)
+    u;
+  !ok

@@ -1,0 +1,47 @@
+(** Remote tracking of a changing local predicate (§5).
+
+    The paper: a process [P] cannot track the changes of a predicate
+    local to [P̄] exactly at all times — [P] must be unsure while the
+    value is changing; and a {e necessary condition} for [P̄] to change
+    [b] is that [P̄] knows [P] is unsure of [b] at the point of change.
+
+    Two systems make this concrete:
+    - {!silent_spec}: p0 flips a bit privately; p1 hears nothing and is
+      unsure forever after the first flip becomes possible;
+    - {!notify_spec}: p0 announces every flip and waits for an
+      acknowledgement before flipping again — the tightest tracking the
+      theory allows, and p1 is still unsure while a notification is in
+      flight.
+
+    The change-condition checker verifies the necessary condition on
+    every flip of every computation in a universe — for {e any}
+    protocol, which is how the paper states it. *)
+
+val flip_tag : string
+
+val silent_spec : n:int -> flips:int -> ticks:int -> Hpl_core.Spec.t
+(** [ticks] bounds the tracker's internal events so the whole system is
+    finite: enumerate with [depth ≥ flips + (n-1)·ticks] and the
+    universe is the complete computation set — the knowledge
+    quantifiers are then exact, free of horizon artifacts. *)
+
+val notify_spec : flips:int -> Hpl_core.Spec.t
+(** Two processes: p0 the flipper/notifier, p1 the tracker. *)
+
+val bit : Hpl_core.Prop.t
+(** "p0's bit is set" — parity of p0's flip events; local to p0. *)
+
+val tracker_always_unsure_after_flip : Hpl_core.Universe.t -> bool
+(** In {!silent_spec} universes: at every computation where a flip has
+    occurred, p1 is unsure of {!bit}. *)
+
+val unsure_while_changing : Hpl_core.Universe.t -> bool
+(** At every computation [z] with an enabled flip event [e] (so the
+    value is "undergoing change"), p1 is unsure of {!bit} at [z] or at
+    [(z;e)] — the tracker cannot be sure across the change. *)
+
+val change_requires_known_unsureness :
+  Hpl_core.Universe.t -> tracker:Hpl_core.Pid.t -> bool
+(** The paper's necessary condition, on every computation of the
+    universe: if [(z; flip)] is a computation, then at [z] p0 knows
+    that the tracker is unsure of {!bit}. *)

@@ -1,0 +1,62 @@
+(** Two-phase commit, and why it blocks.
+
+    The coordinator collects votes and broadcasts the outcome; a
+    participant that voted YES and then hears nothing is {e uncertain}:
+    both commit and abort are still possible as far as it can tell. The
+    folklore theorem — 2PC blocks on coordinator failure — is a
+    knowledge statement, and this module states it both ways:
+
+    - {e simulated}: crash the coordinator inside the vulnerability
+      window and the YES-voters are stuck (measured as participants
+      with no decision at the horizon), while crashes outside the
+      window are harmless;
+    - {e exact}: on the bounded universe of a miniature 2PC,
+      a YES-voted participant that has not heard the outcome neither
+      knows "commit" nor knows "abort" ({!uncertainty_is_real}) — and by
+      §4.3 it cannot gain that knowledge without a message from
+      someone who knows. Acting safely would require knowledge it
+      provably lacks.
+
+    Safety (no two processes decide differently) and validity (commit
+    only if all voted yes) are checked on every run. *)
+
+(** {1 Simulated} *)
+
+type params = {
+  n : int;  (** process 0 coordinates; 1..n-1 participate *)
+  no_voters : int list;  (** participants that vote NO *)
+  crash_coordinator_at : float option;
+  decision_timeout : float;  (** horizon to measure blocking *)
+  seed : int64;
+}
+
+val default : params
+
+type outcome = {
+  trace : Hpl_core.Trace.t;
+  decisions : string option array;  (** "commit" / "abort" per process *)
+  agreement : bool;  (** no two different decisions *)
+  validity : bool;  (** committed only if nobody voted NO *)
+  blocked : int;  (** participants without a decision at the horizon *)
+  messages : int;
+}
+
+val run : ?config:Hpl_sim.Engine.config -> params -> outcome
+
+(** {1 Exact (bounded universe)} *)
+
+val spec : Hpl_core.Spec.t
+(** A 3-process miniature: coordinator c (p0), participants a (p1) and
+    b (p2); every participant may vote YES or NO; the coordinator
+    decides and broadcasts; any message may remain undelivered. *)
+
+val committed : Hpl_core.Prop.t
+(** "the coordinator decided commit" (local to p0). *)
+
+val aborted : Hpl_core.Prop.t
+
+val uncertainty_is_real : Hpl_core.Universe.t -> bool
+(** Over the given universe of {!spec}: there is a computation where
+    p1 has voted YES, the coordinator has decided, and p1 neither knows
+    [committed] nor knows [aborted] — the uncertainty window exists and
+    the §4.3 corollary applies (only a receive can resolve it). *)

@@ -1,0 +1,102 @@
+open Hpl_core
+open Hpl_sim
+
+type params = {
+  n : int;
+  root : int;
+  budget : int;
+  fanout : int;
+  spawn_prob : float;
+  seed : int64;
+}
+
+let default =
+  { n = 4; root = 0; budget = 50; fanout = 3; spawn_prob = 0.7; seed = 7L }
+
+let work_tag = "work"
+let is_work payload = Wire.is work_tag payload
+
+module Logic = struct
+  type t = { rng : Rng.t; me : int }
+
+  let create params p =
+    (* per-node stream independent of scheduling: derive from the
+       workload seed and the pid *)
+    let r = Rng.create (Int64.add params.seed (Int64.of_int (Pid.to_int p * 7919))) in
+    { rng = r; me = Pid.to_int p }
+
+  (* distribute a budget of [b] further messages over up to [fanout]
+     spawns; each spawn consumes one message from the budget and
+     carries a share of what remains *)
+  let spawns params t b =
+    if b <= 0 then []
+    else begin
+      let max_spawns = min params.fanout b in
+      let chosen =
+        List.filter
+          (fun _ -> Rng.float t.rng 1.0 < params.spawn_prob)
+          (List.init max_spawns (fun i -> i))
+      in
+      let k = List.length chosen in
+      if k = 0 then []
+      else begin
+        let remaining = b - k in
+        let share = remaining / k and extra = remaining mod k in
+        List.mapi
+          (fun i _ ->
+            let sub = share + if i < extra then 1 else 0 in
+            let dst = Pid.of_int (Rng.int t.rng params.n) in
+            (dst, Wire.enc work_tag [ sub ]))
+          chosen
+      end
+    end
+
+  let initial_spawns params t =
+    if t.me <> params.root then (t, [])
+    else (t, spawns params t params.budget)
+
+  let on_work params t ~payload =
+    match Wire.dec payload with
+    | Some (tag, [ b ]) when tag = work_tag -> (t, spawns params t b)
+    | _ -> (t, [])
+end
+
+let handlers params =
+  {
+    Engine.init =
+      (fun p ->
+        let t = Logic.create params p in
+        let t, sends = Logic.initial_spawns params t in
+        (t, List.map (fun (dst, payload) -> Engine.Send (dst, payload)) sends));
+    on_message =
+      (fun t ~self:_ ~src:_ ~payload ~now:_ ->
+        let t, sends = Logic.on_work params t ~payload in
+        (t, List.map (fun (dst, payload) -> Engine.Send (dst, payload)) sends));
+    on_timer = (fun t ~self:_ ~tag:_ ~now:_ -> (t, []));
+  }
+
+let run ?(config = Engine.default) params =
+  Engine.run { config with Engine.n = params.n } (handlers params)
+
+let work_messages z =
+  List.length (List.filter (fun m -> is_work m.Msg.payload) (Trace.sent z))
+
+let terminated_by z =
+  List.for_all (fun m -> not (is_work m.Msg.payload)) (Trace.in_flight z)
+
+let termination_position z =
+  (* the prefix length after which no work is ever in flight again:
+     one past the final work delivery (0 if no work was ever sent) *)
+  let events = Trace.to_list z in
+  let flights = ref 0 in
+  let last_recv = ref (-1) in
+  List.iteri
+    (fun i e ->
+      match e.Event.kind with
+      | Event.Send m when is_work m.Msg.payload -> incr flights
+      | Event.Receive m when is_work m.Msg.payload ->
+          decr flights;
+          last_recv := i
+      | _ -> ())
+    events;
+  if !flights > 0 then None else Some (!last_recv + 1)

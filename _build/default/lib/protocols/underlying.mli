@@ -1,0 +1,65 @@
+(** Underlying diffusing computations — the workload whose termination
+    the §5 detectors must discover.
+
+    A computation starts at a root, which spawns work messages; each
+    delivered work message may spawn further work, subject to a global
+    message budget carried in the messages themselves ("token
+    counting", so the total number of underlying messages is bounded by
+    construction). A node is busy only while handling a delivery, so
+    the underlying computation has terminated exactly when every work
+    message has been delivered.
+
+    Detectors embed this module's pure transition functions inside
+    their own handlers, adding control traffic around the same
+    workload; {!handlers} runs it bare (for ground truth and message
+    counts). *)
+
+type params = {
+  n : int;  (** processes *)
+  root : int;  (** the initiator *)
+  budget : int;  (** max total work messages *)
+  fanout : int;  (** max spawns per delivery *)
+  spawn_prob : float;  (** probability of using each spawn slot *)
+  seed : int64;  (** workload decisions (independent of the scheduler) *)
+}
+
+val default : params
+
+val work_tag : string
+(** Payload tag of work messages ("work"); budgets ride along. *)
+
+val is_work : string -> bool
+
+(** Pure workload logic, for embedding into detectors. *)
+module Logic : sig
+  type t
+  (** Per-node workload state (its private RNG). *)
+
+  val create : params -> Hpl_core.Pid.t -> t
+
+  val initial_spawns : params -> t -> t * (Hpl_core.Pid.t * string) list
+  (** Root's initial work sends (empty for non-roots). *)
+
+  val on_work : params -> t -> payload:string -> t * (Hpl_core.Pid.t * string) list
+  (** Handle a delivered work message: returns the spawned work sends
+      (possibly none — then this branch of the diffusion dies). *)
+end
+
+val handlers : params -> Logic.t Hpl_sim.Engine.handlers
+(** Bare workload for the simulator: work messages only, no detector. *)
+
+val run : ?config:Hpl_sim.Engine.config -> params -> Logic.t Hpl_sim.Engine.result
+(** Runs the bare workload (config's [n] is overridden by [params.n]). *)
+
+val work_messages : Hpl_core.Trace.t -> int
+(** Number of work messages sent in a recorded run. *)
+
+val terminated_by : Hpl_core.Trace.t -> bool
+(** Every sent work message was delivered (no work in flight). *)
+
+val termination_position : Hpl_core.Trace.t -> int option
+(** The prefix length after which the underlying computation is
+    terminated for good — one past the final work delivery, 0 if no
+    work was ever sent — or [None] when work is still in flight at the
+    end of the trace. An announcement at trace index [d] is sound iff
+    [d ≥] this position. *)

@@ -1,0 +1,24 @@
+let enc tag ints =
+  match ints with
+  | [] -> tag
+  | _ -> tag ^ ":" ^ String.concat "," (List.map string_of_int ints)
+
+let dec payload =
+  match String.index_opt payload ':' with
+  | None -> if payload = "" then None else Some (payload, [])
+  | Some i ->
+      let tag = String.sub payload 0 i in
+      let rest = String.sub payload (i + 1) (String.length payload - i - 1) in
+      let parts = String.split_on_char ',' rest in
+      let ints =
+        List.fold_right
+          (fun part acc ->
+            match (acc, int_of_string_opt part) with
+            | Some tl, Some v -> Some (v :: tl)
+            | _ -> None)
+          parts (Some [])
+      in
+      (match ints with Some l -> Some (tag, l) | None -> None)
+
+let tag payload = Option.map fst (dec payload)
+let is t payload = tag payload = Some t

@@ -1,0 +1,16 @@
+(** Tiny wire format for protocol payloads.
+
+    Simulator payloads are strings; protocols encode structured
+    messages as ["tag:i1,i2,…"]. Decoding is total: malformed payloads
+    yield [None], so protocols can ignore foreign traffic (e.g. a
+    detector skipping underlying messages). *)
+
+val enc : string -> int list -> string
+val dec : string -> (string * int list) option
+(** [dec "work:3,4"] is [Some ("work", \[3; 4\])]. *)
+
+val tag : string -> string option
+(** Just the tag. *)
+
+val is : string -> string -> bool
+(** [is t payload]: payload's tag equals [t]. *)

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Event Hashtbl Hpl_core List Msg Pid Pqueue Printf Rng Trace

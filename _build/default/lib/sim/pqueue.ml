@@ -1,0 +1,66 @@
+type 'a entry = { time : float; seqno : int; value : 'a }
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+let length q = q.size
+let is_empty q = q.size = 0
+
+let less a b = a.time < b.time || (a.time = b.time && a.seqno < b.seqno)
+
+let swap q i j =
+  let tmp = q.data.(i) in
+  q.data.(i) <- q.data.(j);
+  q.data.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less q.data.(i) q.data.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && less q.data.(l) q.data.(!smallest) then smallest := l;
+  if r < q.size && less q.data.(r) q.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let grow q entry =
+  let cap = Array.length q.data in
+  if q.size = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let ndata = Array.make ncap entry in
+    Array.blit q.data 0 ndata 0 q.size;
+    q.data <- ndata
+  end
+
+let push q ~time ~seqno value =
+  let entry = { time; seqno; value } in
+  grow q entry;
+  q.data.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.data.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.data.(0) <- q.data.(q.size);
+      sift_down q 0
+    end;
+    Some (top.time, top.seqno, top.value)
+  end
+
+let peek q =
+  if q.size = 0 then None
+  else
+    let top = q.data.(0) in
+    Some (top.time, top.seqno, top.value)

@@ -1,0 +1,18 @@
+(** Binary min-heap priority queue for the event scheduler.
+
+    Keys are [(time, seqno)] pairs compared lexicographically; the
+    seqno makes extraction deterministic when times tie, which keeps
+    whole simulations reproducible. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> seqno:int -> 'a -> unit
+
+val pop : 'a t -> (float * int * 'a) option
+(** Least [(time, seqno)] first. *)
+
+val peek : 'a t -> (float * int * 'a) option

@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    The simulator must be reproducible: every run is a pure function of
+    its seed, so experiments in EXPERIMENTS.md can be regenerated
+    bit-for-bit. Splitmix64 is small, fast, and passes BigCrush for
+    this purpose; implemented from scratch (no external dependency). *)
+
+type t
+
+val create : int64 -> t
+(** A generator seeded deterministically. *)
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+val split : t -> t
+(** An independent generator derived from this one (for per-node
+    streams that must not depend on scheduling order). *)

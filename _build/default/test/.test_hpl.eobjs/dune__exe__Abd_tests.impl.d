@@ -1,0 +1,1 @@
+test/abd_tests.ml: Abd_register Alcotest Hpl_core Hpl_protocols Hpl_sim List Trace

@@ -1,0 +1,1 @@
+test/algebra_tests.ml: Alcotest Array Fixtures Hashtbl Hpl_core Hpl_protocols Hpl_sim Knowledge List Msg Option Pid Prop Pset Spec Spec_algebra String Total_order Trace Universe

@@ -1,0 +1,1 @@
+test/bitset_tests.ml: Alcotest Bitset Hpl_core List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/causality_tests.ml: Alcotest Causality Chain Event Fixtures Hpl_core List Msg Pid Printf Pset Spec Theorem1 Trace Universe

@@ -1,0 +1,1 @@
+test/clocks_tests.ml: Alcotest Array Causal_order Causality Dependency Event Fixtures Hpl_clocks Hpl_core Knowledge Lamport List Matrix Msg Pid Printf Prop Pset Spec Trace Universe Vector

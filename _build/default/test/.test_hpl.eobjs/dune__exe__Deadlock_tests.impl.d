@@ -1,0 +1,1 @@
+test/deadlock_tests.ml: Alcotest Array Chain Deadlock Fun Hpl_core Hpl_protocols List Pid

@@ -1,0 +1,1 @@
+test/detection_knowledge_tests.ml: Alcotest Event Explain Hpl_core Knowledge Lazy List Msg Pid Prop Pset Spec String Trace Transfer Universe

@@ -1,0 +1,1 @@
+test/explain_tests.ml: Alcotest Bitset Event Explain Fixtures Format Hpl_core List Msg Pid Prop Pset String Temporal Trace Universe

@@ -1,0 +1,1 @@
+test/extension_module_tests.ml: Alcotest Bitset Causality Chain Common_knowledge Cut Event Fixtures Group Hpl_core Knowledge List Msg Prop Pset Spec State_iso Trace Universe

@@ -1,0 +1,1 @@
+test/fixtures.ml: Event Hashtbl Hpl_core List Msg Pid Printf Spec String Trace

@@ -1,0 +1,1 @@
+test/formula_tests.ml: Alcotest Common_knowledge Event Fixtures Formula Gen Group Hpl_core Hpl_protocols Knowledge List Pid Prop Pset QCheck QCheck_alcotest String Test Trace Universe

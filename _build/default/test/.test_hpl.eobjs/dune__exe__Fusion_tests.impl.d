@@ -1,0 +1,1 @@
+test/fusion_tests.ml: Alcotest Bitset Event Extension Fixtures Fusion Hpl_core List Msg Pid Pset Spec Trace Universe

@@ -1,0 +1,1 @@
+test/io_tests.ml: Alcotest Engine Event Filename Fixtures Fun Hpl_core Hpl_protocols Hpl_sim List Msg Pid QCheck QCheck_alcotest Spec String Sys Trace Trace_io

@@ -1,0 +1,1 @@
+test/iso_tests.ml: Alcotest Bitset Event Fixtures Fmt Format Hpl_core Iso_diagram Isomorphism List Option Pid Pset Random Relations Spec String Trace Universe

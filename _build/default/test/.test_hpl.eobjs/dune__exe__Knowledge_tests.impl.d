@@ -1,0 +1,1 @@
+test/knowledge_tests.ml: Alcotest Bitset Common_knowledge Event Fixtures Hpl_core Knowledge List Local_pred Msg Prop Pset Trace Universe

@@ -1,0 +1,1 @@
+test/kprogram_tests.ml: Alcotest Event Fixtures Hpl_core Knowledge Kprogram List Pid Prop Pset Spec Trace Universe

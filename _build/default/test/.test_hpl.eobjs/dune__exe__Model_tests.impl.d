@@ -1,0 +1,1 @@
+test/model_tests.ml: Alcotest Event Fixtures Hpl_core List Msg Pid Pset Spec String Trace

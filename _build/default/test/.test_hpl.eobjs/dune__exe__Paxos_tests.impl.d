@@ -1,0 +1,1 @@
+test/paxos_tests.ml: Alcotest Hpl_protocols Hpl_sim List Paxos

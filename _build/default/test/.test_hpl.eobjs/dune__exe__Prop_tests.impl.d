@@ -1,0 +1,1 @@
+test/prop_tests.ml: Alcotest Bitset Event Fixtures Hpl_core Pid Prop String Trace Universe

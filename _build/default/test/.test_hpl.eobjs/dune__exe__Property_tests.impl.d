@@ -1,0 +1,1 @@
+test/property_tests.ml: Causality Chain Cut Event Fixtures Fusion Hpl_clocks Hpl_core Hpl_protocols Isomorphism List Pid Printf Pset QCheck QCheck_alcotest Spec Trace Universe

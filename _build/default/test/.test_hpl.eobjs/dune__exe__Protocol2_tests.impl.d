@@ -1,0 +1,1 @@
+test/protocol2_tests.ml: Alcotest Array Causality Chang_roberts Echo Event Hpl_core Hpl_protocols List Msg Pid Printf String Token_ring Trace Wire

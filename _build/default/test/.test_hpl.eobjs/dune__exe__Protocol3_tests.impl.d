@@ -1,0 +1,1 @@
+test/protocol3_tests.ml: Alcotest Causal_broadcast Cut Detect Event Fixtures Hpl_core Hpl_protocols Hpl_sim Lamport_mutex List Msg Printf Spec Trace

@@ -1,0 +1,1 @@
+test/protocol4_tests.ml: Alcotest Bully Causality Hpl_clocks Hpl_core Hpl_protocols Hpl_sim Lamport_mutex List Printf Ricart_agrawala Snapshot_term Termination Underlying

@@ -1,0 +1,1 @@
+test/random_system_tests.ml: Alcotest Common_knowledge Fixtures Hpl_core Knowledge List Local_pred Pid Printf Prop Pset State_iso Theorem1 Trace Transfer Universe

@@ -1,0 +1,1 @@
+test/replay_tests.ml: Alcotest Cut Detect Event Fixtures Hpl_core Hpl_protocols Hpl_sim Knowledge List Msg Printf Prop Pset QCheck QCheck_alcotest Replay Spec Trace Transfer Underlying Universe

@@ -1,0 +1,1 @@
+test/sim_tests.ml: Alcotest Array Engine Event Hpl_clocks Hpl_core Hpl_sim List Pid Pqueue Rng Trace

@@ -1,0 +1,1 @@
+test/stats_gossip_tests.ml: Alcotest Array Causality Chain Event Fixtures Format Gossip Hpl_core Hpl_protocols List Msg Pid Pset String Trace Trace_stats Two_generals Universe

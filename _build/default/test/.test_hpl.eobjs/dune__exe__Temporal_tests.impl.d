@@ -1,0 +1,1 @@
+test/temporal_tests.ml: Alcotest Bitset Event Fixtures Hpl_core Hpl_protocols Knowledge List Pid Prop Temporal Trace Universe

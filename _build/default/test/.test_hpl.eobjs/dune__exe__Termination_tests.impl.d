@@ -1,0 +1,1 @@
+test/termination_tests.ml: Alcotest Credit Dijkstra_scholten Event Hpl_core Hpl_protocols Hpl_sim List Msg Probe Safra Termination Trace Underlying

@@ -1,0 +1,1 @@
+test/transfer_tests.ml: Alcotest Event Fixtures Hpl_core Knowledge List Msg Prop Pset Spec Trace Transfer Universe

@@ -1,0 +1,1 @@
+test/two_phase_commit_tests.ml: Alcotest Array Hpl_core Hpl_protocols List Msg Pid Prop Pset String Trace Transfer Two_phase_commit Universe Wire

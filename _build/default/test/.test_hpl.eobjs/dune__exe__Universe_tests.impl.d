@@ -1,0 +1,1 @@
+test/universe_tests.ml: Alcotest Array Bitset Event Fixtures Hpl_core List Pset QCheck QCheck_alcotest Spec Trace Universe

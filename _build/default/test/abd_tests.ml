@@ -1,0 +1,84 @@
+(* ABD fault-tolerant register. *)
+open Hpl_core
+open Hpl_protocols
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let test_healthy_atomic () =
+  List.iter
+    (fun seed ->
+      let o = Abd_register.run { Abd_register.default with seed } in
+      check tbool "atomic" true o.Abd_register.atomic;
+      check tint "all ops complete" 12 o.Abd_register.completed_ops;
+      check tint "none blocked" 0 o.Abd_register.blocked_ops)
+    [ 1L; 2L; 3L; 4L ]
+
+let test_reordering_network_still_atomic () =
+  List.iter
+    (fun seed ->
+      let config =
+        { Hpl_sim.Engine.default with fifo = false; max_delay = 30.0; seed }
+      in
+      let o = Abd_register.run ~config Abd_register.default in
+      check tbool "atomic under reordering" true o.Abd_register.atomic)
+    [ 5L; 6L; 7L ]
+
+let test_minority_crash_safe_and_live () =
+  let o =
+    Abd_register.run
+      { Abd_register.default with crash = [ (30.0, 3); (60.0, 4) ] }
+  in
+  check tbool "atomic" true o.Abd_register.atomic;
+  check tint "no blocked ops" 0 o.Abd_register.blocked_ops;
+  check tbool "live processes finished ops" true (o.Abd_register.completed_ops > 0)
+
+let test_majority_crash_blocks_but_safe () =
+  let o =
+    Abd_register.run
+      { Abd_register.default with crash = [ (30.0, 2); (30.0, 3); (30.0, 4) ] }
+  in
+  check tbool "still atomic (safety)" true o.Abd_register.atomic;
+  check tbool "some ops blocked (no liveness)" true (o.Abd_register.blocked_ops > 0)
+
+let test_ops_well_formed () =
+  let o = Abd_register.run Abd_register.default in
+  List.iter
+    (fun op ->
+      (match op.Abd_register.responded with
+      | Some r -> check tbool "resp after inv" true (r > op.Abd_register.invoked)
+      | None -> ());
+      check tbool "writer owns writes" true
+        (op.Abd_register.kind = `Read || op.Abd_register.owner = 0))
+    o.Abd_register.ops;
+  check tbool "trace wf" true (Trace.well_formed o.Abd_register.trace)
+
+let test_checker_catches_stale_read () =
+  (* check tag monotonicity across non-overlapping reads on a real run *)
+  let o = Abd_register.run Abd_register.default in
+  let reads =
+    List.filter (fun op -> op.Abd_register.kind = `Read) o.Abd_register.ops
+  in
+  (* reads sorted by invocation: non-overlapping ones have monotone tags *)
+  let rec monotone = function
+    | r1 :: r2 :: rest ->
+        (match r1.Abd_register.responded with
+        | Some resp when resp < r2.Abd_register.invoked ->
+            check tbool "monotone tags" true
+              (r2.Abd_register.tag >= r1.Abd_register.tag)
+        | _ -> ());
+        monotone (r2 :: rest)
+    | _ -> ()
+  in
+  monotone reads
+
+let suite =
+  [
+    ("healthy atomic", `Quick, test_healthy_atomic);
+    ("atomic under reordering", `Quick, test_reordering_network_still_atomic);
+    ("minority crash", `Quick, test_minority_crash_safe_and_live);
+    ("majority crash blocks", `Quick, test_majority_crash_blocks_but_safe);
+    ("ops well-formed", `Quick, test_ops_well_formed);
+    ("reads monotone", `Quick, test_checker_catches_stale_read);
+  ]

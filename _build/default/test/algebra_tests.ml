@@ -1,0 +1,170 @@
+(* Spec composition algebra and total-order broadcast. *)
+open Hpl_core
+open Hpl_protocols
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let spec_a =
+  Spec.make ~n:1 (fun _ h -> if List.length h < 2 then [ Spec.Do "a" ] else [])
+
+let spec_b =
+  Spec.make ~n:2 (fun p h ->
+      if Pid.to_int p = 0 then
+        if h = [] then [ Spec.Send_to (Pid.of_int 1, "m") ] else []
+      else [ Spec.Recv_any ])
+
+(* -- parallel ---------------------------------------------------------- *)
+
+let test_parallel_product_law () =
+  (* canonical universes of independent systems multiply *)
+  let pairs =
+    [
+      (spec_a, spec_b);
+      (spec_b, spec_a);
+      (Fixtures.ticks ~n:2 ~k:1, spec_b);
+      (spec_a, spec_a);
+    ]
+  in
+  List.iter
+    (fun (a, b) ->
+      let ab = Spec_algebra.parallel a b in
+      let ua = Universe.enumerate a ~depth:12 in
+      let ub = Universe.enumerate b ~depth:12 in
+      let uab = Universe.enumerate ab ~depth:12 in
+      check tint "product law" (Universe.size ua * Universe.size ub)
+        (Universe.size uab))
+    pairs
+
+let test_parallel_preserves_validity () =
+  let ab = Spec_algebra.parallel spec_a spec_b in
+  let u = Universe.enumerate ~mode:`Full ab ~depth:6 in
+  Universe.iter (fun _ z -> check tbool "valid" true (Spec.valid ab z)) u
+
+let test_parallel_knowledge_independence () =
+  (* knowledge about component A is unaffected by composing with B:
+     p0's knowledge of its own progress is identical in A and A∥B *)
+  let ab = Spec_algebra.parallel spec_a spec_b in
+  let ua = Universe.enumerate ~mode:`Full spec_a ~depth:6 in
+  let uab = Universe.enumerate ~mode:`Full ab ~depth:6 in
+  let p0 = Pid.of_int 0 in
+  let b = Prop.local_event_count p0 (fun k -> k >= 1) "a moved" in
+  let ka = Knowledge.knows uab (Pset.singleton p0) b in
+  (* for every composite computation, knowledge matches the projection
+     evaluated in A's own universe *)
+  Universe.iter
+    (fun _ z ->
+      let za = Trace.of_list (Trace.proj z p0) in
+      let ka_pure = Knowledge.knows ua (Pset.singleton p0) b in
+      check tbool "independent" (Prop.eval ka_pure za) (Prop.eval ka z))
+    uab
+
+let test_parallel_rejects_cross_talk () =
+  (* a component that addresses a process outside itself is caught *)
+  let rogue =
+    Spec.make ~n:1 (fun _ h ->
+        if h = [] then [ Spec.Send_to (Pid.of_int 1, "out") ] else [])
+  in
+  let ab = Spec_algebra.parallel rogue spec_a in
+  check tbool "raises at enumeration" true
+    (try
+       ignore (Universe.enumerate ab ~depth:2);
+       false
+     with Invalid_argument _ -> true)
+
+(* -- restrict / bound / rename ------------------------------------------- *)
+
+let test_restrict () =
+  let no_sends =
+    Spec_algebra.restrict Fixtures.ping_pong (fun _ i ->
+        match i with Spec.Send_to _ -> false | _ -> true)
+  in
+  let u = Universe.enumerate no_sends ~depth:4 in
+  check tint "nothing can happen" 1 (Universe.size u)
+
+let test_bound_events () =
+  let bounded = Spec_algebra.bound_events Fixtures.flipper 2 in
+  let u = Universe.enumerate ~mode:`Canonical bounded ~depth:10 in
+  Universe.iter
+    (fun _ z ->
+      check tbool "per-process cap" true
+        (Trace.local_length z Fixtures.p0 <= 2
+        && Trace.local_length z Fixtures.p1 <= 2))
+    u;
+  (* and the system is now inherently finite: deeper enumeration is a
+     fixpoint *)
+  let u' = Universe.enumerate ~mode:`Canonical bounded ~depth:20 in
+  check tint "finite" (Universe.size u) (Universe.size u')
+
+let test_rename_payloads () =
+  let tagged = Spec_algebra.rename_payloads Fixtures.one_msg (fun s -> "sys1/" ^ s) in
+  let u = Universe.enumerate ~mode:`Full tagged ~depth:4 in
+  Universe.iter
+    (fun _ z ->
+      List.iter
+        (fun m ->
+          check tbool "payload tagged" true
+            (String.length m.Msg.payload > 5 && String.sub m.Msg.payload 0 5 = "sys1/"))
+        (Trace.sent z))
+    u;
+  (* same shape as the original *)
+  let u0 = Universe.enumerate ~mode:`Full Fixtures.one_msg ~depth:4 in
+  check tint "isomorphic size" (Universe.size u0) (Universe.size u)
+
+(* -- total order ------------------------------------------------------------ *)
+
+let test_total_order_identical () =
+  List.iter
+    (fun seed ->
+      let config =
+        { Hpl_sim.Engine.default with fifo = false; max_delay = 40.0; seed; n = 4 }
+      in
+      let o = Total_order.run ~config Total_order.default in
+      check tbool "identical" true o.Total_order.identical_order;
+      check tbool "all delivered" true o.Total_order.all_delivered)
+    [ 1L; 2L; 3L; 4L ]
+
+let test_total_order_gaps_buffered () =
+  let config =
+    { Hpl_sim.Engine.default with fifo = false; max_delay = 60.0; seed = 5L; n = 4 }
+  in
+  let o = Total_order.run ~config Total_order.default in
+  check tbool "buffering happened" true (o.Total_order.gaps_buffered > 0)
+
+let test_total_order_message_cost () =
+  (* per non-sequencer broadcast: 1 submit + n orders; sequencer's own:
+     n orders. total = b*(n-1)*(1+n) + b*n *)
+  let p = { Total_order.default with n = 4; broadcasts_per_process = 3 } in
+  let o = Total_order.run p in
+  let b = 3 and n = 4 in
+  check tint "message count" ((b * (n - 1) * (1 + n)) + (b * n)) o.Total_order.messages
+
+let test_total_order_respects_origin_fifo () =
+  (* each origin's messages are delivered in origin-sequence order *)
+  let o = Total_order.run Total_order.default in
+  Array.iter
+    (fun log ->
+      let per_origin = Hashtbl.create 4 in
+      List.iter
+        (fun (origin, oseq) ->
+          let prev = Option.value ~default:(-1) (Hashtbl.find_opt per_origin origin) in
+          check tbool "origin order" true (oseq > prev);
+          Hashtbl.replace per_origin origin oseq)
+        log)
+    o.Total_order.deliveries
+
+let suite =
+  [
+    ("parallel product law", `Quick, test_parallel_product_law);
+    ("parallel validity", `Quick, test_parallel_preserves_validity);
+    ("parallel knowledge independence", `Quick, test_parallel_knowledge_independence);
+    ("parallel rejects cross-talk", `Quick, test_parallel_rejects_cross_talk);
+    ("restrict", `Quick, test_restrict);
+    ("bound_events", `Quick, test_bound_events);
+    ("rename_payloads", `Quick, test_rename_payloads);
+    ("total order identical", `Quick, test_total_order_identical);
+    ("total order buffers gaps", `Quick, test_total_order_gaps_buffered);
+    ("total order message cost", `Quick, test_total_order_message_cost);
+    ("total order origin fifo", `Quick, test_total_order_respects_origin_fifo);
+  ]

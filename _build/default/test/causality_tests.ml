@@ -1,0 +1,207 @@
+(* Happened-before and process chains (§3.1–3.2). *)
+open Hpl_core
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let p0 = Fixtures.p0
+let p1 = Fixtures.p1
+let p2 = Fixtures.p2
+
+(* A 3-process relay: p0 sends to p1, p1 relays to p2. *)
+let m01 = Msg.make ~src:p0 ~dst:p1 ~seq:0 ~payload:"m"
+let m12 = Msg.make ~src:p1 ~dst:p2 ~seq:0 ~payload:"m"
+let e_send0 = Event.send ~pid:p0 ~lseq:0 m01
+let e_recv1 = Event.receive ~pid:p1 ~lseq:0 m01
+let e_send1 = Event.send ~pid:p1 ~lseq:1 m12
+let e_recv2 = Event.receive ~pid:p2 ~lseq:0 m12
+let e_tick2 = Event.internal ~pid:p2 ~lseq:1 "t"
+let relay = Trace.of_list [ e_send0; e_recv1; e_send1; e_recv2; e_tick2 ]
+let ts = Causality.compute ~n:3 relay
+
+let test_vector_timestamps () =
+  check Alcotest.(array int) "vt send0" [| 1; 0; 0 |] (Causality.vt ts 0);
+  check Alcotest.(array int) "vt recv1" [| 1; 1; 0 |] (Causality.vt ts 1);
+  check Alcotest.(array int) "vt send1" [| 1; 2; 0 |] (Causality.vt ts 2);
+  check Alcotest.(array int) "vt recv2" [| 1; 2; 1 |] (Causality.vt ts 3);
+  check Alcotest.(array int) "vt tick2" [| 1; 2; 2 |] (Causality.vt ts 4)
+
+let test_hb_chain () =
+  (* every earlier position happened-before every later one here *)
+  for i = 0 to 4 do
+    for j = i to 4 do
+      check tbool (Printf.sprintf "hb %d %d" i j) true (Causality.hb ts i j)
+    done
+  done;
+  check tbool "no back hb" false (Causality.hb ts 3 0)
+
+let test_hb_reflexive () =
+  for i = 0 to 4 do
+    check tbool "reflexive" true (Causality.hb ts i i)
+  done
+
+let test_concurrent () =
+  (* two independent internal events *)
+  let a = Event.internal ~pid:p0 ~lseq:0 "a" in
+  let b = Event.internal ~pid:p1 ~lseq:0 "b" in
+  let t2 = Causality.compute ~n:2 (Trace.of_list [ a; b ]) in
+  check tbool "concurrent" true (Causality.concurrent t2 0 1);
+  check tbool "not hb" false (Causality.hb t2 0 1)
+
+let test_causal_past () =
+  check Alcotest.(list int) "past of recv2" [ 0; 1; 2; 3 ] (Causality.causal_past ts 3);
+  check Alcotest.(list int) "past of send0" [ 0 ] (Causality.causal_past ts 0)
+
+let test_position_of () =
+  check Alcotest.(option int) "found" (Some 2) (Causality.position_of ts e_send1);
+  check Alcotest.(option int) "missing" None
+    (Causality.position_of ts (Event.internal ~pid:p0 ~lseq:9 "zz"))
+
+let test_ill_formed_rejected () =
+  let bad = Trace.of_list [ e_recv1 ] in
+  check tbool "raises" true
+    (try
+       ignore (Causality.compute ~n:3 bad);
+       false
+     with Invalid_argument _ -> true)
+
+(* -- process chains --------------------------------------------------- *)
+
+let s0 = Pset.singleton p0
+let s1 = Pset.singleton p1
+let s2 = Pset.singleton p2
+
+let test_chain_simple () =
+  check tbool "<p0 p1 p2>" true (Chain.exists ~n:3 ~z:relay [ s0; s1; s2 ]);
+  check tbool "<p2 p1 p0> absent" false (Chain.exists ~n:3 ~z:relay [ s2; s1; s0 ]);
+  check tbool "<p0 p2>" true (Chain.exists ~n:3 ~z:relay [ s0; s2 ]);
+  check tbool "<p1>" true (Chain.exists ~n:3 ~z:relay [ s1 ])
+
+let test_chain_witness () =
+  match Chain.find ~n:3 ~z:relay [ s0; s1; s2 ] with
+  | None -> Alcotest.fail "expected witness"
+  | Some es ->
+      check tint "three events" 3 (List.length es);
+      List.iteri
+        (fun i e ->
+          let expect = [ s0; s1; s2 ] in
+          check tbool "on correct pset" true (Event.on e (List.nth expect i)))
+        es
+
+let test_chain_repeated_sets () =
+  (* observation 1: "P" may be replaced by "P P" *)
+  check tbool "<p0 p0 p1 p1>" true
+    (Chain.exists ~n:3 ~z:relay [ s0; s0; s1; s1 ])
+
+let test_chain_in_suffix () =
+  (* suffix after the first two events: only p1's send onwards *)
+  let x = Trace.of_list [ e_send0; e_recv1 ] in
+  check tbool "<p0> not in suffix" false (Chain.exists ~n:3 ~x ~z:relay [ s0 ]);
+  check tbool "<p1 p2> in suffix" true (Chain.exists ~n:3 ~x ~z:relay [ s1; s2 ]);
+  (* the relayed causality still counts within the suffix *)
+  check tbool "<p1 p2 p2>" true (Chain.exists ~n:3 ~x ~z:relay [ s1; s2; s2 ])
+
+let test_chain_pset_unions () =
+  check tbool "<{p0,p1} p2>" true
+    (Chain.exists ~n:3 ~z:relay [ Pset.of_list [ p0; p1 ]; s2 ]);
+  check tbool "<∅-set event impossible>" false
+    (Chain.exists ~n:3 ~z:relay [ Pset.empty; s2 ])
+
+let test_chain_empty_list_rejected () =
+  check tbool "raises" true
+    (try
+       ignore (Chain.exists ~n:3 ~z:relay []);
+       false
+     with Invalid_argument _ -> true)
+
+let test_chain_concurrent_absent () =
+  let a = Event.internal ~pid:p0 ~lseq:0 "a" in
+  let b = Event.internal ~pid:p1 ~lseq:0 "b" in
+  let z = Trace.of_list [ a; b ] in
+  check tbool "no <p0 p1> chain" false (Chain.exists ~n:2 ~z [ s0; s1 ]);
+  check tbool "no <p1 p0> chain" false (Chain.exists ~n:2 ~z [ s1; s0 ]);
+  check tbool "<p0> alone" true (Chain.exists ~n:2 ~z [ s0 ])
+
+let test_of_pids () =
+  check tint "singletons" 3 (List.length (Chain.of_pids [ p0; p1; p2 ]))
+
+(* -- theorem 1 --------------------------------------------------------- *)
+
+let chatter_u = Universe.enumerate ~mode:`Full (Fixtures.chatter ~n:2 ~k:2) ~depth:4
+
+let test_theorem1_dichotomy_exhaustive () =
+  (* over all (prefix, computation) pairs and several pset sequences *)
+  let psets_choices =
+    [
+      [ Pset.singleton p0 ];
+      [ Pset.singleton p1 ];
+      [ Pset.singleton p0; Pset.singleton p1 ];
+      [ Pset.singleton p1; Pset.singleton p0 ];
+      [ Pset.all 2; Pset.singleton p0 ];
+    ]
+  in
+  let count = ref 0 in
+  Universe.iter
+    (fun _ z ->
+      List.iter
+        (fun xi ->
+          let x = Universe.comp chatter_u xi in
+          if Trace.is_prefix x z then
+            List.iter
+              (fun psets ->
+                incr count;
+                check tbool "dichotomy" true
+                  (Theorem1.dichotomy_holds chatter_u ~x ~z psets))
+              psets_choices)
+        (Universe.prefixes_of chatter_u (Universe.find_exn chatter_u z)))
+    chatter_u;
+  check tbool "covered instances" true (!count > 500)
+
+let test_theorem1_iso_side () =
+  (* x = z: isomorphism side always holds (reflexivity) *)
+  Universe.iter
+    (fun _ z ->
+      let v = Theorem1.check chatter_u ~x:z ~z [ Pset.singleton p0 ] in
+      check tbool "iso holds" true v.Theorem1.iso)
+    chatter_u
+
+let test_theorem1_chain_side () =
+  (* in the relay system, take x = ε, z = relay: p0's knowledge must
+     have flowed; the chain <p0 p1 p2> exists and iso fails for the
+     right sequences *)
+  let spec_relay =
+    Spec.make ~n:3 (fun p history ->
+        match (Pid.to_int p, history) with
+        | 0, [] -> [ Spec.Send_to (p1, "m") ]
+        | 1, [] -> [ Spec.Recv_any ]
+        | 1, [ _ ] -> [ Spec.Send_to (p2, "m") ]
+        | 2, [] -> [ Spec.Recv_any ]
+        | 2, [ _ ] -> [ Spec.Do "t" ]
+        | _ -> [])
+  in
+  let u = Universe.enumerate ~mode:`Full spec_relay ~depth:5 in
+  let v = Theorem1.check u ~x:Trace.empty ~z:relay [ s0; s1; s2 ] in
+  check tbool "chain found" true (v.Theorem1.chain <> None)
+
+let suite =
+  [
+    ("vector timestamps", `Quick, test_vector_timestamps);
+    ("hb chain", `Quick, test_hb_chain);
+    ("hb reflexive", `Quick, test_hb_reflexive);
+    ("concurrent", `Quick, test_concurrent);
+    ("causal past", `Quick, test_causal_past);
+    ("position_of", `Quick, test_position_of);
+    ("ill-formed rejected", `Quick, test_ill_formed_rejected);
+    ("chain simple", `Quick, test_chain_simple);
+    ("chain witness", `Quick, test_chain_witness);
+    ("chain repeated sets", `Quick, test_chain_repeated_sets);
+    ("chain in suffix", `Quick, test_chain_in_suffix);
+    ("chain pset unions", `Quick, test_chain_pset_unions);
+    ("chain empty rejected", `Quick, test_chain_empty_list_rejected);
+    ("chain concurrent absent", `Quick, test_chain_concurrent_absent);
+    ("of_pids", `Quick, test_of_pids);
+    ("theorem1 dichotomy", `Quick, test_theorem1_dichotomy_exhaustive);
+    ("theorem1 iso side", `Quick, test_theorem1_iso_side);
+    ("theorem1 chain side", `Quick, test_theorem1_chain_side);
+  ]

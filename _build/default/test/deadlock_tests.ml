@@ -1,0 +1,75 @@
+(* Chandy-Misra-Haas deadlock detection. *)
+open Hpl_core
+open Hpl_protocols
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+
+let test_ring_detects () =
+  List.iter
+    (fun n ->
+      let o = Deadlock.run (Deadlock.ring_deadlock ~n) in
+      check tbool "correct" true o.Deadlock.correct;
+      check tbool "everyone declared" true (Array.for_all Fun.id o.Deadlock.declared))
+    [ 2; 3; 5; 8 ]
+
+let test_chain_no_false_positive () =
+  List.iter
+    (fun n ->
+      let o = Deadlock.run (Deadlock.chain_no_deadlock ~n) in
+      check tbool "correct" true o.Deadlock.correct;
+      check tbool "nobody declared" true
+        (Array.for_all not o.Deadlock.declared))
+    [ 2; 4; 7 ]
+
+let test_partial_cycle () =
+  (* 0 -> 1 -> 2 -> 1 (cycle {1,2}), 3 active.
+     Only cycle members declare; 0 waits on the cycle but is not in it. *)
+  let o = Deadlock.run (Deadlock.of_edges ~n:4 [ (0, 1); (1, 2); (2, 1) ]) in
+  check tbool "correct" true o.Deadlock.correct;
+  check Alcotest.(list bool) "exact membership" [ false; true; true; false ]
+    (Array.to_list o.Deadlock.declared)
+
+let test_two_disjoint_cycles () =
+  let o =
+    Deadlock.run (Deadlock.of_edges ~n:6 [ (0, 1); (1, 0); (3, 4); (4, 5); (5, 3) ])
+  in
+  check tbool "correct" true o.Deadlock.correct;
+  check Alcotest.(list bool) "both cycles" [ true; true; false; true; true; true ]
+    (Array.to_list o.Deadlock.declared)
+
+let test_and_model_multi_edges () =
+  (* 0 waits for both 1 and 2; only the 0-2 loop is a cycle *)
+  let o = Deadlock.run (Deadlock.of_edges ~n:3 [ (0, 1); (0, 2); (2, 0) ]) in
+  check tbool "correct" true o.Deadlock.correct;
+  check Alcotest.(list bool) "cycle = {0,2}" [ true; false; true ]
+    (Array.to_list o.Deadlock.declared)
+
+let test_probe_is_a_chain_around_the_cycle () =
+  (* the detection proof object: a process chain from the initiator
+     around the cycle back to it *)
+  let n = 4 in
+  let o = Deadlock.run (Deadlock.ring_deadlock ~n) in
+  let z = o.Deadlock.trace in
+  check tbool "chain 0->1->2->3->0" true
+    (Chain.exists ~n ~z
+       (Chain.of_pids
+          [ Pid.of_int 0; Pid.of_int 1; Pid.of_int 2; Pid.of_int 3; Pid.of_int 0 ]))
+
+let test_probe_overhead_linear_in_edges () =
+  (* each blocked process forwards each initiator's probe at most once:
+     probes ≤ initiators × edges + initiators *)
+  let n = 6 in
+  let o = Deadlock.run (Deadlock.ring_deadlock ~n) in
+  check tbool "probe bound" true (o.Deadlock.probes <= n * (n + 1))
+
+let suite =
+  [
+    ("ring detects", `Quick, test_ring_detects);
+    ("chain no false positive", `Quick, test_chain_no_false_positive);
+    ("partial cycle", `Quick, test_partial_cycle);
+    ("two disjoint cycles", `Quick, test_two_disjoint_cycles);
+    ("AND model multi edges", `Quick, test_and_model_multi_edges);
+    ("probe is a chain", `Quick, test_probe_is_a_chain_around_the_cycle);
+    ("probe overhead", `Quick, test_probe_overhead_linear_in_edges);
+  ]

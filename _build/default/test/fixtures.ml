@@ -1,0 +1,96 @@
+(* Small systems shared across test suites. *)
+open Hpl_core
+
+let p0 = Pid.of_int 0
+let p1 = Pid.of_int 1
+let p2 = Pid.of_int 2
+
+(* One message: p0 sends "m" to p1 once; p1 is always willing to receive. *)
+let one_msg =
+  Spec.make ~n:2 (fun p history ->
+      if Pid.equal p p0 then
+        if history = [] then [ Spec.Send_to (p1, "m") ] else []
+      else [ Spec.Recv_any ])
+
+(* Two independent internal events: p0 does "a" once, p1 does "b" once. *)
+let indep =
+  Spec.make ~n:2 (fun p history ->
+      if history <> [] then []
+      else if Pid.equal p p0 then [ Spec.Do "a" ]
+      else [ Spec.Do "b" ])
+
+(* Each of [n] processes performs [k] internal ticks. *)
+let ticks ~n ~k =
+  Spec.make ~n (fun _ history ->
+      if List.length history < k then [ Spec.Do "tick" ] else [])
+
+(* A ping-pong: p0 sends "ping", p1 replies "pong" after receiving. *)
+let ping_pong =
+  Spec.make ~n:2 (fun p history ->
+      if Pid.equal p p0 then
+        match history with
+        | [] -> [ Spec.Send_to (p1, "ping") ]
+        | _ -> [ Spec.Recv_any ]
+      else
+        match history with
+        | [] -> [ Spec.Recv_any ]
+        | [ _ ] -> [ Spec.Send_to (p0, "pong") ]
+        | _ -> [])
+
+(* p0 flips a local bit (internal events "flip"), forever up to depth;
+   p1 ticks. Used for local-predicate tests. *)
+let flipper =
+  Spec.make ~n:2 (fun p _history ->
+      if Pid.equal p p0 then [ Spec.Do "flip" ] else [ Spec.Do "tick" ])
+
+(* Nondeterministic chatter among n processes: every process may send a
+   message to its right neighbour or do an internal step, up to [k]
+   local events. Produces rich universes for property tests. *)
+let chatter ~n ~k =
+  Spec.make ~n (fun p history ->
+      if List.length history >= k then []
+      else
+        let right = Pid.of_int ((Pid.to_int p + 1) mod n) in
+        [ Spec.Send_to (right, "c"); Spec.Do "idle"; Spec.Recv_any ])
+
+(* Full-information chatter: like [chatter], but every message payload
+   encodes the sender's entire local history, so receiving a message
+   pins down the sender's computation exactly. Under this protocol,
+   causal history and knowledge coincide (see clocks_tests). *)
+let full_info ~n ~k =
+  let encode history = String.concat ";" (List.map Event.to_string history) in
+  Spec.make ~n (fun p history ->
+      if List.length history >= k then []
+      else
+        let right = Pid.of_int ((Pid.to_int p + 1) mod n) in
+        [ Spec.Send_to (right, encode history); Spec.Do "idle"; Spec.Recv_any ])
+
+(* A family of random finite systems: each process follows a seeded
+   script of intent menus — at local step k it may offer a send to a
+   random peer, an internal action, and/or a receive. All processes
+   stop after [k] events, so the systems are inherently finite and
+   bounded universes are exact. Used to fuzz the §3/§4 laws beyond the
+   handwritten systems. *)
+let random_spec ~n ~k ~seed =
+  let menu p step =
+    (* cheap deterministic hash *)
+    let h = Hashtbl.hash (seed, Pid.to_int p, step) in
+    let opts = ref [] in
+    if h land 1 = 1 then begin
+      let dst = Pid.of_int ((Pid.to_int p + 1 + (h lsr 3 mod (n - 1))) mod n) in
+      opts := Spec.Send_to (dst, Printf.sprintf "m%d" (h lsr 5 mod 3)) :: !opts
+    end;
+    if h land 2 = 2 then
+      opts := Spec.Do (Printf.sprintf "t%d" (h lsr 7 mod 2)) :: !opts;
+    if h land 4 = 4 then opts := Spec.Recv_any :: !opts;
+    (* never leave a process with an empty menu on step 0, to keep the
+       universes interesting *)
+    if !opts = [] then [ Spec.Do "idle" ] else !opts
+  in
+  Spec.make ~n (fun p history ->
+      let step = List.length history in
+      if step >= k then [] else menu p step)
+
+let trace_of_events es = Trace.of_list es
+
+let msg ~src ~dst ~seq ~payload = Msg.make ~src ~dst ~seq ~payload

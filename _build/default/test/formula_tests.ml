@@ -1,0 +1,199 @@
+(* The epistemic-temporal formula language. *)
+open Hpl_core
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+
+let p0 = Fixtures.p0
+let p1 = Fixtures.p1
+
+let u = Universe.enumerate ~mode:`Full Fixtures.ping_pong ~depth:4
+let sent = Prop.make "sent" (fun z -> Trace.send_count z p0 > 0)
+
+let received =
+  Prop.make "received" (fun z -> List.exists Event.is_receive (Trace.proj z p1))
+
+let env = function
+  | "sent" -> Some sent
+  | "received" -> Some received
+  | _ -> None
+
+let parse_ok s =
+  match Formula.parse s with
+  | Ok f -> f
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let eval_ok s =
+  match Formula.eval u ~env (parse_ok s) with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "eval %S: %s" s e
+
+(* -- parsing ------------------------------------------------------------ *)
+
+let test_parse_basics () =
+  List.iter
+    (fun s -> ignore (parse_ok s))
+    [
+      "true";
+      "~false";
+      "sent & received";
+      "sent | received -> sent";
+      "K p1 sent";
+      "K 1 sent";
+      "K {0,1} sent";
+      "E {0,1} sent";
+      "S p0 (sent & received)";
+      "CK sent";
+      "AG (sent -> K p1 sent)";
+      "EF (K p0 (K p1 sent))";
+      "sure p1 sent";
+      "~K p1 ~sent";
+    ]
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      match Formula.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" s)
+    [ "K sent"; "(sent"; "sent &"; "K {0,} sent"; "sent extra"; "@" ]
+
+let test_precedence () =
+  (* -> binds loosest and associates right; & over | *)
+  check tbool "a & b | c parses as (a&b)|c" true
+    (Formula.parse "sent & received | true"
+    = Ok (Formula.Or (Formula.And (Formula.Atom "sent", Formula.Atom "received"), Formula.True)));
+  check tbool "a -> b -> c right-assoc" true
+    (Formula.parse "true -> false -> true"
+    = Ok (Formula.Implies (Formula.True, Formula.Implies (Formula.False, Formula.True))))
+
+let test_roundtrip_fixed () =
+  List.iter
+    (fun s ->
+      let f = parse_ok s in
+      match Formula.parse (Formula.print f) with
+      | Ok f' -> check tbool ("roundtrip " ^ s) true (f = f')
+      | Error e -> Alcotest.failf "reparse failed: %s" e)
+    [
+      "AG (holds2 -> K p2 (K p1 (~holds0) & K p3 (~holds4)))";
+      "CK (sent | ~received)";
+      "E {0,1} (S {1} sent)";
+      "sure {0,1} (sent -> received)";
+    ]
+
+let qcheck_roundtrip =
+  let open QCheck in
+  let rec gen_formula depth =
+    let open Gen in
+    if depth = 0 then
+      oneof
+        [
+          return Formula.True;
+          return Formula.False;
+          oneofl [ Formula.Atom "sent"; Formula.Atom "received" ];
+        ]
+    else
+      let sub = gen_formula (depth - 1) in
+      let ps = oneofl [ [ 0 ]; [ 1 ]; [ 0; 1 ] ] in
+      oneof
+        [
+          map (fun f -> Formula.Not f) sub;
+          map2 (fun a b -> Formula.And (a, b)) sub sub;
+          map2 (fun a b -> Formula.Or (a, b)) sub sub;
+          map2 (fun a b -> Formula.Implies (a, b)) sub sub;
+          map2 (fun p f -> Formula.Know (p, f)) ps sub;
+          map2 (fun p f -> Formula.Everyone (p, f)) ps sub;
+          map2 (fun p f -> Formula.Someone (p, f)) ps sub;
+          map (fun f -> Formula.Common f) sub;
+          map (fun f -> Formula.Ag f) sub;
+          map (fun f -> Formula.Ef f) sub;
+          map (fun f -> Formula.Ax f) sub;
+        ]
+  in
+  Test.make ~name:"formula print/parse roundtrip" ~count:300
+    (make ~print:Formula.print (gen_formula 3))
+    (fun f -> Formula.parse (Formula.print f) = Ok f)
+
+(* -- evaluation ----------------------------------------------------------- *)
+
+let test_eval_matches_api () =
+  let pairs =
+    [
+      ("K p1 sent", Knowledge.knows_p u p1 sent);
+      ("K p0 (K p1 sent)", Knowledge.knows_p u p0 (Knowledge.knows_p u p1 sent));
+      ("sure p1 sent", Knowledge.sure u (Pset.singleton p1) sent);
+      ("CK sent", Common_knowledge.common u sent);
+      ("E {0,1} sent", Group.everyone u (Pset.all 2) sent);
+      ("S {0,1} sent", Group.someone u (Pset.all 2) sent);
+    ]
+  in
+  List.iter
+    (fun (s, direct) ->
+      let p = eval_ok s in
+      Universe.iter
+        (fun _ z ->
+          check tbool ("agrees: " ^ s) (Prop.eval direct z) (Prop.eval p z))
+        u)
+    pairs
+
+let test_eval_temporal () =
+  let p = eval_ok "AG (sent -> AG sent)" in
+  Universe.iter (fun _ z -> check tbool "stability valid" true (Prop.eval p z)) u;
+  let q = eval_ok "EF received" in
+  check tbool "EF received at start" true (Prop.eval q Trace.empty)
+
+let test_eval_errors () =
+  check tbool "unbound atom" true
+    (match Formula.eval u ~env (parse_ok "K p1 nonsense") with
+    | Error e -> String.length e > 0
+    | Ok _ -> false);
+  check tbool "pid out of range" true
+    (match Formula.eval u ~env (parse_ok "K p7 sent") with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_check_valid_and_witness () =
+  (match Formula.check u ~env (parse_ok "sent -> S {0,1} sent") with
+  | Ok `Valid -> ()
+  | Ok (`Fails_at z) -> Alcotest.failf "unexpected failure at %s" (Trace.to_string z)
+  | Error e -> Alcotest.fail e);
+  match Formula.check u ~env (parse_ok "K p1 sent") with
+  | Ok (`Fails_at z) ->
+      check tbool "witness is a computation where p1 ignorant" false
+        (Prop.eval (Knowledge.knows_p u p1 sent) z)
+  | Ok `Valid -> Alcotest.fail "should not be valid"
+  | Error e -> Alcotest.fail e
+
+let test_token_bus_formula () =
+  (* the §4.1 assertion in concrete syntax, checked as an AG invariant *)
+  let ub = Universe.enumerate ~mode:`Canonical (Hpl_protocols.Token_bus.spec ~n:5) ~depth:8 in
+  let envb = function
+    | "holds0" -> Some (Hpl_protocols.Token_bus.holds (Pid.of_int 0))
+    | "holds2" -> Some (Hpl_protocols.Token_bus.holds (Pid.of_int 2))
+    | "holds4" -> Some (Hpl_protocols.Token_bus.holds (Pid.of_int 4))
+    | _ -> None
+  in
+  let f = parse_ok "AG (holds2 -> K p2 (K p1 (~holds0) & K p3 (~holds4)))" in
+  match Formula.check ub ~env:envb f with
+  | Ok `Valid -> ()
+  | Ok (`Fails_at z) -> Alcotest.failf "fails at %s" (Trace.to_string z)
+  | Error e -> Alcotest.fail e
+
+let test_atoms () =
+  check Alcotest.(list string) "atoms in order" [ "sent"; "received" ]
+    (Formula.atoms (parse_ok "K p1 sent & (received | sent)"))
+
+let suite =
+  [
+    ("parse basics", `Quick, test_parse_basics);
+    ("parse errors", `Quick, test_parse_errors);
+    ("precedence", `Quick, test_precedence);
+    ("roundtrip fixed", `Quick, test_roundtrip_fixed);
+    QCheck_alcotest.to_alcotest ~verbose:false qcheck_roundtrip;
+    ("eval matches API", `Quick, test_eval_matches_api);
+    ("eval temporal", `Quick, test_eval_temporal);
+    ("eval errors", `Quick, test_eval_errors);
+    ("check valid/witness", `Quick, test_check_valid_and_witness);
+    ("token bus formula", `Quick, test_token_bus_formula);
+    ("atoms", `Quick, test_atoms);
+  ]

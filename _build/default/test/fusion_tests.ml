@@ -1,0 +1,232 @@
+(* Fusion of computations (§3.3) and the extension principle (§3.4). *)
+open Hpl_core
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+
+let p0 = Fixtures.p0
+let p1 = Fixtures.p1
+let sp = Pset.singleton p0
+let sq = Pset.singleton p1
+let d = Pset.all 2
+
+let ea = Event.internal ~pid:p0 ~lseq:0 "a"
+let eb = Event.internal ~pid:p1 ~lseq:0 "b"
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let test_lemma1_basic () =
+  (* x = ε; y adds p0's event; z adds p1's event. x [q] y? no wait:
+     x [P] y needs y to add nothing on P. Take P = {p1}, Q = {p0}:
+     y = [a] adds only p0-events so x [P] y with P = {p1}. *)
+  let x = Trace.empty in
+  let y = Trace.of_list [ ea ] in
+  let z = Trace.of_list [ eb ] in
+  let w = ok (Fusion.lemma1 ~all:d ~x ~y ~z ~p:sq ~q:sp) in
+  check tbool "w = a;b" true (Trace.equal w (Trace.of_list [ ea; eb ]));
+  check tbool "verify" true (Fusion.verify_lemma1 ~all:d ~x ~y ~z ~p:sq ~q:sp ~w)
+
+let test_lemma1_rejects_bad_iso () =
+  let x = Trace.empty in
+  let y = Trace.of_list [ ea ] in
+  let z = Trace.of_list [ eb ] in
+  (* wrong labelling: x [p0] y is false since y adds a p0 event *)
+  check tbool "rejected" true
+    (match Fusion.lemma1 ~all:d ~x ~y ~z ~p:sp ~q:sq with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_lemma1_rejects_cover () =
+  let x = Trace.empty in
+  let y = Trace.of_list [ ea ] in
+  check tbool "P∪Q≠D rejected" true
+    (match Fusion.lemma1 ~all:d ~x ~y ~z:x ~p:sq ~q:sq with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* fusing with messages: p0 sends to p1 in y; p1 idles in z *)
+let m01 = Msg.make ~src:p0 ~dst:p1 ~seq:0 ~payload:"m"
+
+let test_theorem2_basic () =
+  let x = Trace.empty in
+  (* y: p0 sends (no p1 activity); z: p1 ticks (no p0 activity) *)
+  let y = Trace.of_list [ Event.send ~pid:p0 ~lseq:0 m01 ] in
+  let z = Trace.of_list [ Event.internal ~pid:p1 ~lseq:0 "t" ] in
+  let w = ok (Fusion.theorem2 ~all:d ~n:2 ~x ~y ~z ~p:sp) in
+  check tbool "verified" true (Fusion.verify_theorem2 ~all:d ~x ~y ~z ~p:sp ~w);
+  check tbool "has both events" true (Trace.length w = 2)
+
+let test_theorem2_chain_blocks () =
+  (* y includes p1 receiving p0's message: chain <P P̄> would sit in
+     (x,y) when fusing with P̄ = {p1} kept from y — use the reversed
+     roles to trigger the precondition failure. *)
+  let x = Trace.empty in
+  let y =
+    Trace.of_list
+      [ Event.send ~pid:p0 ~lseq:0 m01; Event.receive ~pid:p1 ~lseq:0 m01 ]
+  in
+  let z = Trace.of_list [ Event.internal ~pid:p1 ~lseq:0 "t" ] in
+  (* P = {p1}: keep p1's events from y — but p1's receive depends on
+     p0's send, i.e. a chain <P̄ P> in (x,y): must be rejected *)
+  check tbool "rejected" true
+    (match Fusion.theorem2 ~all:d ~n:2 ~x ~y ~z ~p:sq with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_theorem2_allows_send_side () =
+  (* P = {p0}: keep p0's send from y; p1's tick from z: the receive is
+     dropped, the chain <P̄ P> in (x,y) is absent (information flowed
+     P → P̄, not the reverse) *)
+  let x = Trace.empty in
+  let y =
+    Trace.of_list
+      [ Event.send ~pid:p0 ~lseq:0 m01; Event.receive ~pid:p1 ~lseq:0 m01 ]
+  in
+  let z = Trace.of_list [ Event.internal ~pid:p1 ~lseq:0 "t" ] in
+  let w = ok (Fusion.theorem2 ~all:d ~n:2 ~x ~y ~z ~p:sp) in
+  check tbool "verified" true (Fusion.verify_theorem2 ~all:d ~x ~y ~z ~p:sp ~w);
+  (* w has p0's send and p1's tick, not the receive *)
+  check tbool "receive dropped" true
+    (List.for_all (fun e -> not (Event.is_receive e)) (Trace.to_list w))
+
+let test_theorem2_nonempty_prefix () =
+  (* common prefix x containing a full exchange, then independent
+     suffixes *)
+  let x =
+    Trace.of_list
+      [ Event.send ~pid:p0 ~lseq:0 m01; Event.receive ~pid:p1 ~lseq:0 m01 ]
+  in
+  let y = Trace.snoc x (Event.internal ~pid:p0 ~lseq:1 "y-only") in
+  let z = Trace.snoc x (Event.internal ~pid:p1 ~lseq:1 "z-only") in
+  let w = ok (Fusion.theorem2 ~all:d ~n:2 ~x ~y ~z ~p:sp) in
+  check tbool "verified" true (Fusion.verify_theorem2 ~all:d ~x ~y ~z ~p:sp ~w);
+  check tbool "x prefix of w" true (Trace.is_prefix x w);
+  check tbool "length 4" true (Trace.length w = 4)
+
+let test_fuse_many_three_parts () =
+  let spec = Fixtures.ticks ~n:3 ~k:2 in
+  let x = Trace.empty in
+  let part i =
+    let pid = Pid.of_int i in
+    ( Pset.singleton pid,
+      Trace.of_list
+        [ Event.internal ~pid ~lseq:0 "tick"; Event.internal ~pid ~lseq:1 "tick" ] )
+  in
+  let w = ok (Fusion.fuse_many ~all:(Pset.all 3) ~n:3 ~x [ part 0; part 1; part 2 ]) in
+  check tbool "valid computation" true (Spec.valid spec w);
+  check tbool "six events" true (Trace.length w = 6)
+
+let test_fuse_many_rejects_overlap () =
+  let x = Trace.empty in
+  check tbool "overlap rejected" true
+    (match
+       Fusion.fuse_many ~all:d ~n:2 ~x
+         [ (d, Trace.of_list [ ea ]); (sq, Trace.of_list [ eb ]) ]
+     with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_fuse_many_rejects_non_cover () =
+  let x = Trace.empty in
+  check tbool "non-cover rejected" true
+    (match Fusion.fuse_many ~all:d ~n:2 ~x [ (sp, Trace.of_list [ ea ]) ] with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* -- computation extension principle --------------------------------- *)
+
+let spec_pp = Fixtures.ping_pong
+let upp = Universe.enumerate ~mode:`Full spec_pp ~depth:4
+
+let test_extend () =
+  let ping = Msg.make ~src:p0 ~dst:p1 ~seq:0 ~payload:"ping" in
+  let e = Event.send ~pid:p0 ~lseq:0 ping in
+  check tbool "enabled extend" true (Extension.extend spec_pp Trace.empty e <> None);
+  let bogus = Event.internal ~pid:p0 ~lseq:0 "nope" in
+  check tbool "disabled extend" true (Extension.extend spec_pp Trace.empty bogus = None)
+
+let all_instances u f =
+  (* drive the checkers over all (x, y, e) with e enabled after x *)
+  Universe.iter
+    (fun _ x ->
+      Universe.iter
+        (fun _ y ->
+          List.iter (fun e -> f ~x ~y ~e) (Spec.enabled (Universe.spec u) x))
+        u)
+    u
+
+let test_principle_forward_exhaustive () =
+  all_instances upp (fun ~x ~y ~e ->
+      List.iter
+        (fun p ->
+          check tbool "forward" true
+            (Extension.check_principle_forward spec_pp ~x ~y ~e
+               ~p:(Pset.singleton p)))
+        (Spec.pids spec_pp))
+
+let test_principle_backward_exhaustive () =
+  all_instances upp (fun ~x ~y ~e ->
+      List.iter
+        (fun p ->
+          check tbool "backward" true
+            (Extension.check_principle_backward spec_pp ~x ~y ~e
+               ~p:(Pset.singleton p)))
+        (Spec.pids spec_pp))
+
+let test_corollary_receive_exhaustive () =
+  all_instances upp (fun ~x ~y ~e ->
+      check tbool "corollary" true
+        (Extension.check_corollary_receive spec_pp ~x ~y ~e))
+
+let test_theorem3_exhaustive () =
+  (* e within depth margin so (x;e)'s iso-set is complete *)
+  Universe.iter
+    (fun _ x ->
+      if Trace.length x < Universe.depth upp - 1 then
+        List.iter
+          (fun e ->
+            let p = Pset.singleton e.Event.pid in
+            check tbool "theorem3" true (Extension.check_theorem3 upp ~p ~x ~e))
+          (Spec.enabled spec_pp x))
+    upp
+
+let test_theorem3_strict_shrink () =
+  (* p1's receive of ping strictly shrinks its iso-set: before the
+     receive, computations without the send are possible; after, they
+     are not *)
+  let ping = Msg.make ~src:p0 ~dst:p1 ~seq:0 ~payload:"ping" in
+  let x = Trace.of_list [ Event.send ~pid:p0 ~lseq:0 ping ] in
+  let e = Event.receive ~pid:p1 ~lseq:0 ping in
+  let before = Extension.iso_set upp (Pset.singleton p1) x in
+  let after = Extension.iso_set upp (Pset.singleton p1) (Trace.snoc x e) in
+  check tbool "strictly smaller" true
+    (Bitset.cardinal after < Bitset.cardinal before)
+
+let test_theorem3_send_grows_or_preserves () =
+  let ping = Msg.make ~src:p0 ~dst:p1 ~seq:0 ~payload:"ping" in
+  let e = Event.send ~pid:p0 ~lseq:0 ping in
+  let before = Extension.iso_set upp (Pset.singleton p0) Trace.empty in
+  let after = Extension.iso_set upp (Pset.singleton p0) (Trace.of_list [ e ]) in
+  check tbool "grows or preserves" true
+    (Bitset.cardinal after >= Bitset.cardinal before)
+
+let suite =
+  [
+    ("lemma1 basic", `Quick, test_lemma1_basic);
+    ("lemma1 bad iso", `Quick, test_lemma1_rejects_bad_iso);
+    ("lemma1 bad cover", `Quick, test_lemma1_rejects_cover);
+    ("theorem2 basic", `Quick, test_theorem2_basic);
+    ("theorem2 chain blocks", `Quick, test_theorem2_chain_blocks);
+    ("theorem2 send side ok", `Quick, test_theorem2_allows_send_side);
+    ("theorem2 nonempty prefix", `Quick, test_theorem2_nonempty_prefix);
+    ("fuse_many three parts", `Quick, test_fuse_many_three_parts);
+    ("fuse_many overlap", `Quick, test_fuse_many_rejects_overlap);
+    ("fuse_many non-cover", `Quick, test_fuse_many_rejects_non_cover);
+    ("extend", `Quick, test_extend);
+    ("principle forward", `Quick, test_principle_forward_exhaustive);
+    ("principle backward", `Quick, test_principle_backward_exhaustive);
+    ("corollary receive", `Quick, test_corollary_receive_exhaustive);
+    ("theorem3 exhaustive", `Quick, test_theorem3_exhaustive);
+    ("theorem3 strict shrink", `Quick, test_theorem3_strict_shrink);
+    ("theorem3 send grows", `Quick, test_theorem3_send_grows_or_preserves);
+  ]

@@ -1,0 +1,211 @@
+(* Interval (nonatomic-operation) causality, and the §5 structural
+   lemma about detection traces. *)
+open Hpl_core
+open Hpl_clocks
+open Hpl_protocols
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let p0 = Fixtures.p0
+let p1 = Fixtures.p1
+
+(* a trace with two bracketed operations connected by a message:
+   p0: [opA-start; send; opA-end]   p1: [recv; opB-start; opB-end] *)
+let m = Msg.make ~src:p0 ~dst:p1 ~seq:0 ~payload:"m"
+
+let bracketed =
+  Trace.of_list
+    [
+      Event.internal ~pid:p0 ~lseq:0 "op-start";
+      Event.send ~pid:p0 ~lseq:1 m;
+      Event.internal ~pid:p0 ~lseq:2 "op-end";
+      Event.receive ~pid:p1 ~lseq:0 m;
+      Event.internal ~pid:p1 ~lseq:1 "op-start";
+      Event.internal ~pid:p1 ~lseq:2 "op-end";
+    ]
+
+let ts = Causality.compute ~n:2 bracketed
+
+let test_extraction () =
+  let ivs = Interval.of_bracketing ~enter:"op-start" ~exit:"op-end" bracketed in
+  check tint "two intervals" 2 (List.length ivs);
+  match ivs with
+  | [ a; b ] ->
+      check tbool "a is p0's" true (Pid.equal a.Interval.owner p0);
+      check tint "a spans 0..2" 0 a.Interval.first;
+      check tint "a ends at 2" 2 a.Interval.last;
+      check tbool "b is p1's" true (Pid.equal b.Interval.owner p1)
+  | _ -> Alcotest.fail "expected two"
+
+let test_precedes_and_affect () =
+  match Interval.of_bracketing ~enter:"op-start" ~exit:"op-end" bracketed with
+  | [ a; b ] ->
+      (* A's end (pos 2) does not happen-before B's start (pos 4)?
+         p0's op-end is after the send; B starts after the receive:
+         op-end (internal on p0) vs op-start on p1: no chain from
+         op-end to p1 — only the send (pos 1, inside A) reaches B. *)
+      check tbool "¬(A precedes B)" false (Interval.precedes ts a b);
+      check tbool "A can affect B" true (Interval.can_affect ts a b);
+      check tbool "¬(B can affect A)" false (Interval.can_affect ts b a);
+      check tbool "not concurrent" false (Interval.concurrent ts a b)
+  | _ -> Alcotest.fail "expected two"
+
+let test_truly_sequential_precedes () =
+  (* move A's end before the send: then A precedes B *)
+  let z =
+    Trace.of_list
+      [
+        Event.internal ~pid:p0 ~lseq:0 "op-start";
+        Event.internal ~pid:p0 ~lseq:1 "op-end";
+        Event.send ~pid:p0 ~lseq:2 m;
+        Event.receive ~pid:p1 ~lseq:0 m;
+        Event.internal ~pid:p1 ~lseq:1 "op-start";
+        Event.internal ~pid:p1 ~lseq:2 "op-end";
+      ]
+  in
+  let ts = Causality.compute ~n:2 z in
+  match Interval.of_bracketing ~enter:"op-start" ~exit:"op-end" z with
+  | [ a; b ] ->
+      check tbool "A precedes B" true (Interval.precedes ts a b);
+      check tbool "total order" true (Interval.totally_ordered ts [ a; b ])
+  | _ -> Alcotest.fail "expected two"
+
+let test_concurrent_intervals () =
+  let z =
+    Trace.of_list
+      [
+        Event.internal ~pid:p0 ~lseq:0 "op-start";
+        Event.internal ~pid:p1 ~lseq:0 "op-start";
+        Event.internal ~pid:p0 ~lseq:1 "op-end";
+        Event.internal ~pid:p1 ~lseq:1 "op-end";
+      ]
+  in
+  let ts = Causality.compute ~n:2 z in
+  match Interval.of_bracketing ~enter:"op-start" ~exit:"op-end" z with
+  | [ a; b ] ->
+      check tbool "concurrent" true (Interval.concurrent ts a b);
+      check tbool "not totally ordered" false (Interval.totally_ordered ts [ a; b ])
+  | _ -> Alcotest.fail "expected two"
+
+let test_unmatched_enter_extends () =
+  let z = Trace.of_list [ Event.internal ~pid:p0 ~lseq:0 "op-start";
+                          Event.internal ~pid:p1 ~lseq:0 "noise" ] in
+  match Interval.of_bracketing ~enter:"op-start" ~exit:"op-end" z with
+  | [ a ] -> check tint "runs to end" 1 a.Interval.last
+  | _ -> Alcotest.fail "expected one"
+
+(* -- critical sections as intervals -------------------------------------- *)
+
+let test_mutex_cs_intervals_totally_ordered () =
+  let o = Lamport_mutex.run Lamport_mutex.default in
+  let z = o.Lamport_mutex.trace in
+  let n = Lamport_mutex.default.Lamport_mutex.n in
+  let ts = Causality.compute ~n z in
+  let ivs = Interval.of_bracketing ~enter:"mx-enter" ~exit:"mx-exit" z in
+  check tint "one interval per entry" (n * Lamport_mutex.default.Lamport_mutex.rounds)
+    (List.length ivs);
+  check tbool "CS intervals totally ordered" true (Interval.totally_ordered ts ivs)
+
+let test_token_ring_cs_intervals_totally_ordered () =
+  let o = Token_ring.run Token_ring.default in
+  let z = o.Token_ring.trace in
+  let n = Token_ring.default.Token_ring.n in
+  let ts = Causality.compute ~n z in
+  let ivs = Interval.of_bracketing ~enter:Token_ring.enter_tag ~exit:Token_ring.exit_tag z in
+  check tbool "some sections" true (List.length ivs > 3);
+  check tbool "totally ordered" true (Interval.totally_ordered ts ivs)
+
+(* -- the §5 structural lemma --------------------------------------------- *)
+
+(* "in order for termination to be detected, an overhead message is
+   sent by some process, without its first receiving a message, after
+   the underlying computation terminates." Verify on sound detectors'
+   runs: between true termination and the announcement there is an
+   overhead send whose sender received nothing in the window before
+   sending it. *)
+let spontaneous_overhead_send_exists z =
+  match Underlying.termination_position z with
+  | None -> true (* not terminated: lemma's premise absent *)
+  | Some tpos ->
+      let events = Array.of_list (Trace.to_list z) in
+      (* find announcement *)
+      let detect_pos = ref None in
+      Array.iteri
+        (fun i e ->
+          match e.Event.kind with
+          | Event.Internal tag
+            when !detect_pos = None
+                 && String.length tag > 9
+                 && String.sub tag (String.length tag - 9) 9 = ":detected" ->
+              detect_pos := Some i
+          | _ -> ())
+        events;
+      (match !detect_pos with
+      | None -> true
+      | Some dpos ->
+          (* some overhead send in (tpos, dpos) by a process with no
+             receive in (tpos, send-position) *)
+          let received_before = Hashtbl.create 8 in
+          let found = ref false in
+          for i = tpos to dpos do
+            let e = events.(i) in
+            match e.Event.kind with
+            | Event.Receive _ ->
+                Hashtbl.replace received_before (Pid.to_int e.Event.pid) true
+            | Event.Send m when not (Underlying.is_work m.Msg.payload) ->
+                if not (Hashtbl.mem received_before (Pid.to_int e.Event.pid)) then
+                  found := true
+            | _ -> ()
+          done;
+          !found)
+
+(* For Safra the lemma is a worst-case statement, not a per-run one:
+   the detecting round may have been launched (spontaneously, by timer)
+   just before true termination and then complete cleanly. What is
+   per-run true: Safra cannot be purely reactive — some overhead send
+   is not a response to any receipt (the round launches). *)
+let has_unprompted_overhead_send z =
+  let last_was_receive = Hashtbl.create 8 in
+  let found = ref false in
+  List.iter
+    (fun e ->
+      let p = Pid.to_int e.Event.pid in
+      match e.Event.kind with
+      | Event.Receive _ -> Hashtbl.replace last_was_receive p true
+      | Event.Send m when not (Underlying.is_work m.Msg.payload) ->
+          if not (Option.value ~default:false (Hashtbl.find_opt last_was_receive p))
+          then found := true;
+          Hashtbl.replace last_was_receive p false
+      | Event.Send _ | Event.Internal _ -> Hashtbl.replace last_was_receive p false)
+    (Trace.to_list z);
+  !found
+
+let test_structural_lemma_on_detectors () =
+  List.iter
+    (fun seed ->
+      let params = { Underlying.default with n = 5; budget = 40; seed } in
+      let config = { Hpl_sim.Engine.default with seed } in
+      let _, ds = Dijkstra_scholten.run_raw ~config params in
+      check tbool "DS: spontaneous overhead send" true
+        (spontaneous_overhead_send_exists ds);
+      let _, cr = Credit.run_raw ~config params in
+      check tbool "credit: spontaneous overhead send" true
+        (spontaneous_overhead_send_exists cr);
+      let _, sf = Safra.run_raw ~config ~round_delay:2.0 params in
+      check tbool "safra: unprompted overhead send somewhere" true
+        (has_unprompted_overhead_send sf))
+    [ 1L; 2L; 3L ]
+
+let suite =
+  [
+    ("interval extraction", `Quick, test_extraction);
+    ("precedes vs can-affect", `Quick, test_precedes_and_affect);
+    ("sequential precedes", `Quick, test_truly_sequential_precedes);
+    ("concurrent intervals", `Quick, test_concurrent_intervals);
+    ("unmatched enter", `Quick, test_unmatched_enter_extends);
+    ("mutex CS total order", `Quick, test_mutex_cs_intervals_totally_ordered);
+    ("token ring CS total order", `Quick, test_token_ring_cs_intervals_totally_ordered);
+    ("§5 structural lemma", `Quick, test_structural_lemma_on_detectors);
+  ]

@@ -1,0 +1,166 @@
+(* Trace serialization and engine partitions. *)
+open Hpl_core
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+(* -- trace io ----------------------------------------------------------- *)
+
+let roundtrip z =
+  match Trace_io.of_string (Trace_io.to_string z) with
+  | Ok z' -> Trace.equal z z'
+  | Error _ -> false
+
+let test_roundtrip_simple () =
+  let p0 = Fixtures.p0 and p1 = Fixtures.p1 in
+  let m = Msg.make ~src:p0 ~dst:p1 ~seq:0 ~payload:"hello world" in
+  let z =
+    Trace.of_list
+      [
+        Event.send ~pid:p0 ~lseq:0 m;
+        Event.receive ~pid:p1 ~lseq:0 m;
+        Event.internal ~pid:p0 ~lseq:1 "tick tock";
+      ]
+  in
+  check tbool "roundtrip" true (roundtrip z)
+
+let test_roundtrip_empty () = check tbool "empty" true (roundtrip Trace.empty)
+
+let test_roundtrip_tricky_payloads () =
+  let p0 = Fixtures.p0 and p1 = Fixtures.p1 in
+  List.iter
+    (fun payload ->
+      let z =
+        Trace.of_list
+          [ Event.send ~pid:p0 ~lseq:0 (Msg.make ~src:p0 ~dst:p1 ~seq:0 ~payload) ]
+      in
+      check tbool ("payload: " ^ String.escaped payload) true (roundtrip z))
+    [ "with\nnewline"; "with \"quotes\""; "back\\slash"; ""; "unicode é"; "I 0 0 fake" ]
+
+let test_parse_errors () =
+  (match Trace_io.of_string "X 0 0 nope" with
+  | Error reason -> check tbool "mentions line" true (String.length reason > 0)
+  | Ok _ -> Alcotest.fail "accepted garbage");
+  (* receive before send is rejected by well-formedness *)
+  match Trace_io.of_string "R 1 0 0 0 \"m\"\n" with
+  | Error reason ->
+      check tbool "wf rejection" true
+        (String.length reason > 0)
+  | Ok _ -> Alcotest.fail "accepted ill-formed trace"
+
+let test_file_roundtrip () =
+  let o = Hpl_protocols.Underlying.run Hpl_protocols.Underlying.default in
+  let z = o.Hpl_sim.Engine.trace in
+  let path = Filename.temp_file "hpl" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_io.save path z;
+      match Trace_io.load path with
+      | Ok z' -> check tbool "file roundtrip" true (Trace.equal z z')
+      | Error e -> Alcotest.fail e)
+
+let test_load_missing_file () =
+  match Trace_io.load "/nonexistent/path/x.trace" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loaded a missing file"
+
+let qcheck_roundtrip =
+  let gen =
+    QCheck.make
+      ~print:(fun (_, z) -> Trace.to_string z)
+      QCheck.Gen.(
+        int_range 0 8 >>= fun steps ->
+        list_size (return steps) (int_bound 1000) >>= fun choices ->
+        let spec = Fixtures.chatter ~n:3 ~k:3 in
+        let rec walk z k cs =
+          if k >= steps then z
+          else
+            match (Spec.enabled spec z, cs) with
+            | [], _ | _, [] -> z
+            | events, c :: rest ->
+                walk (Trace.snoc z (List.nth events (abs c mod List.length events))) (k + 1) rest
+        in
+        return (steps, walk Trace.empty 0 choices))
+  in
+  QCheck.Test.make ~name:"trace_io roundtrip (random computations)" ~count:300
+    gen (fun (_, z) -> roundtrip z)
+
+(* -- partitions ----------------------------------------------------------- *)
+
+open Hpl_sim
+
+let streamer =
+  {
+    Engine.init =
+      (fun p ->
+        if Pid.to_int p = 0 then
+          ((), List.init 20 (fun i -> Engine.Set_timer (10.0 *. float_of_int i, "t")))
+        else ((), []));
+    on_message = (fun () ~self:_ ~src:_ ~payload:_ ~now:_ -> ((), []));
+    on_timer =
+      (fun () ~self:_ ~tag:_ ~now:_ -> ((), [ Engine.Send (Pid.of_int 1, "m") ]));
+  }
+
+let test_partition_drops_crossing () =
+  (* partition isolates p0 during [50, 150): sends in that window die *)
+  let cfg =
+    {
+      Engine.default with
+      Engine.n = 2;
+      partitions = [ (50.0, 150.0, [ 0 ]) ];
+    }
+  in
+  let r = Engine.run cfg streamer in
+  check tint "sent all" 20 r.Engine.stats.Engine.sent;
+  check tint "10 dropped (t=50..140)" 10 r.Engine.stats.Engine.dropped;
+  check tint "10 delivered" 10 r.Engine.stats.Engine.delivered
+
+let test_partition_within_group_ok () =
+  (* both endpoints in the same group: unaffected *)
+  let cfg =
+    {
+      Engine.default with
+      Engine.n = 2;
+      partitions = [ (0.0, 1000.0, [ 0; 1 ]) ];
+    }
+  in
+  let r = Engine.run cfg streamer in
+  check tint "none dropped" 0 r.Engine.stats.Engine.dropped
+
+let test_partition_heals () =
+  let cfg =
+    { Engine.default with Engine.n = 2; partitions = [ (0.0, 45.0, [ 1 ]) ] }
+  in
+  let r = Engine.run cfg streamer in
+  check tint "5 dropped before heal" 5 r.Engine.stats.Engine.dropped;
+  check tint "15 after" 15 r.Engine.stats.Engine.delivered
+
+let test_partition_failure_detector_false_suspicion () =
+  (* a partition makes the heartbeat detector falsely suspect the
+     isolated (live) process — §5's synchrony caveat in network form *)
+  let config =
+    { Engine.default with partitions = [ (50.0, 120.0, [ 3 ]) ] }
+  in
+  let o =
+    Hpl_protocols.Failure_detector.run ~config
+      { Hpl_protocols.Failure_detector.default with crash_time = None }
+  in
+  check tbool "false suspicion during partition" true
+    (o.Hpl_protocols.Failure_detector.false_suspicions > 0)
+
+let suite =
+  [
+    ("io roundtrip simple", `Quick, test_roundtrip_simple);
+    ("io roundtrip empty", `Quick, test_roundtrip_empty);
+    ("io tricky payloads", `Quick, test_roundtrip_tricky_payloads);
+    ("io parse errors", `Quick, test_parse_errors);
+    ("io file roundtrip", `Quick, test_file_roundtrip);
+    ("io missing file", `Quick, test_load_missing_file);
+    QCheck_alcotest.to_alcotest ~verbose:false qcheck_roundtrip;
+    ("partition drops crossing", `Quick, test_partition_drops_crossing);
+    ("partition same group ok", `Quick, test_partition_within_group_ok);
+    ("partition heals", `Quick, test_partition_heals);
+    ("partition fools detector", `Quick, test_partition_failure_detector_false_suspicion);
+  ]

@@ -1,0 +1,269 @@
+(* Isomorphism, composed relations, and the Figure 3-1 diagram. *)
+open Hpl_core
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let p = Fixtures.p0
+let q = Fixtures.p1
+let sp = Pset.singleton p
+let sq = Pset.singleton q
+let d = Pset.all 2
+
+(* Figure 3-1's four computations, realized in the [indep] system:
+   x = [a;b], y = [a], z = [b;a], w = [b]. *)
+let ea = Event.internal ~pid:p ~lseq:0 "a"
+let eb = Event.internal ~pid:q ~lseq:0 "b"
+let fx = Trace.of_list [ ea; eb ]
+let fy = Trace.of_list [ ea ]
+let fz = Trace.of_list [ eb; ea ]
+let fw = Trace.of_list [ eb ]
+let ufull = Universe.enumerate ~mode:`Full Fixtures.indep ~depth:4
+
+let test_iso_basics () =
+  check tbool "x [p] y" true (Isomorphism.iso_p fx fy p);
+  check tbool "¬ x [q] y" false (Isomorphism.iso_p fx fy q);
+  check tbool "x [{p,q}] z" true (Isomorphism.iso fx fz d);
+  check tbool "empty set relates all" true (Isomorphism.iso fy fw Pset.empty);
+  check tbool "x [q] w" true (Isomorphism.iso_p fx fw q);
+  check tbool "¬ y [p] w" false (Isomorphism.iso_p fy fw p);
+  check tbool "¬ y [q] w" false (Isomorphism.iso_p fy fw q)
+
+let test_permutation_of_iso_d () =
+  (* x [D] y with x ≠ y implies y is a permutation of x *)
+  check tbool "x,z permutation" true (Trace.permutation_of fx fz);
+  check tbool "x [D] z" true (Isomorphism.iso fx fz d)
+
+let idx t = Universe.find_exn ufull t
+
+let test_universe_related () =
+  check tbool "related p" true (Isomorphism.related ufull sp (idx fx) (idx fy));
+  check tbool "not related q" false
+    (Isomorphism.related ufull sq (idx fx) (idx fy));
+  let cls = Isomorphism.class_of ufull sp (idx fx) in
+  check tbool "class contains y" true (Bitset.mem cls (idx fy));
+  check tbool "class contains self" true (Bitset.mem cls (idx fx))
+
+let test_largest_label () =
+  check tbool "x,y label {p}" true
+    (Pset.equal sp (Isomorphism.largest_label d fx fy));
+  check tbool "x,z label D" true
+    (Pset.equal d (Isomorphism.largest_label d fx fz));
+  check tbool "y,w label empty" true
+    (Pset.is_empty (Isomorphism.largest_label d fy fw))
+
+(* -- composed relations: Example 1 continued ------------------------- *)
+
+let test_composed_example1 () =
+  (* y [p q] w via z, and w [q p] y (inversion) *)
+  check tbool "y [p q] w" true
+    (Relations.related ufull [ sp; sq ] (idx fy) (idx fw));
+  check tbool "w [q p] y" true
+    (Relations.related ufull [ sq; sp ] (idx fw) (idx fy));
+  check tbool "y [q p] z" true
+    (Relations.related ufull [ sq; sp ] (idx fy) (idx fz));
+  check tbool "y [q p q] z" true
+    (Relations.related ufull [ sq; sp; sq ] (idx fy) (idx fz));
+  (* direct relation is not composed: ¬ y [q] w and ¬ y [p] w *)
+  check tbool "¬ y [q] w" false (Relations.related ufull [ sq ] (idx fy) (idx fw));
+  check tbool "¬ y [p] w" false (Relations.related ufull [ sp ] (idx fy) (idx fw))
+
+let test_reachable_identity () =
+  let r = Relations.reachable ufull [] (idx fx) in
+  check tint "identity" 1 (Bitset.cardinal r);
+  check tbool "self" true (Bitset.mem r (idx fx))
+
+let test_related_traces () =
+  check tbool "trace-level" true (Relations.related_traces ufull [ sp; sq ] fy fw)
+
+(* -- the ten laws over random instances ------------------------------ *)
+
+let rand_state = Random.State.make [| 0x5eed |]
+
+let random_pset n st =
+  let s = ref Pset.empty in
+  for i = 0 to n - 1 do
+    if Random.State.bool st then s := Pset.add (Pid.of_int i) !s
+  done;
+  !s
+
+let random_instances u count f =
+  let n = Spec.n (Universe.spec u) in
+  for _ = 1 to count do
+    let i = Random.State.int rand_state (Universe.size u) in
+    let j = Random.State.int rand_state (Universe.size u) in
+    let ps = random_pset n rand_state in
+    let qs = random_pset n rand_state in
+    f i j ps qs
+  done
+
+let test_law_equivalence () =
+  List.iter
+    (fun ps -> check tbool "equivalence" true (Isomorphism.Laws.equivalence ufull ps))
+    [ Pset.empty; sp; sq; d ]
+
+let test_law_idempotence () =
+  random_instances ufull 100 (fun i j ps _ ->
+      check tbool "[PP]=[P]" true (Isomorphism.Laws.idempotence ufull ps i j))
+
+let test_law_reflexivity () =
+  random_instances ufull 100 (fun i _ ps qs ->
+      check tbool "x[P1..Pn]x" true
+        (Isomorphism.Laws.reflexivity ufull [ ps; qs; ps ] i))
+
+let test_law_inversion () =
+  random_instances ufull 100 (fun i j ps qs ->
+      check tbool "inversion" true
+        (Isomorphism.Laws.inversion ufull [ ps; qs ] i j))
+
+let test_law_concatenation () =
+  random_instances ufull 60 (fun i j ps qs ->
+      check tbool "concatenation" true
+        (Isomorphism.Laws.concatenation ufull [ ps ] [ qs ] i j))
+
+let test_law_union_inter () =
+  random_instances ufull 100 (fun i j ps qs ->
+      check tbool "[P∪Q]=[P]∩[Q]" true
+        (Isomorphism.Laws.union_inter ufull ps qs i j))
+
+let test_law_monotonicity () =
+  random_instances ufull 100 (fun i j ps qs ->
+      check tbool "Q⊇P ⇒ [Q]⊆[P]" true
+        (Isomorphism.Laws.monotonicity ufull ps (Pset.union ps qs) i j))
+
+let test_law_subsumption () =
+  random_instances ufull 100 (fun i j ps qs ->
+      let sup = Pset.union ps qs in
+      check tbool "Q⊇P ⇒ [QP]=[P]=[PQ]" true
+        (Isomorphism.Laws.subsumption ufull sup ps i j))
+
+let test_law8_strictness () =
+  (* the paper proves [Q] ⊆ [P] implies Q ⊇ P via: p ∈ P−Q has an event
+     in some computation, so x [Q] (x;e) but ¬ x [P] (x;e). Exhibit it. *)
+  let x = Trace.empty and xe = fy (* = (ε; a) with a on p *) in
+  check tbool "x [q] (x;e)" true (Isomorphism.iso x xe sq);
+  check tbool "¬ x [p] (x;e)" false (Isomorphism.iso x xe sp)
+
+(* -- isomorphism diagram --------------------------------------------- *)
+
+let diagram =
+  Iso_diagram.of_computations ~all:d
+    [ ("x", fx); ("y", fy); ("z", fz); ("w", fw) ]
+
+let pset_opt = Alcotest.testable
+    (Fmt.option (fun fmt ps -> Format.fprintf fmt "%a" Pset.pp ps))
+    (Option.equal Pset.equal)
+
+let test_figure_3_1 () =
+  (* the figure's stated relationships *)
+  check pset_opt "x-y : [p]" (Some sp) (Iso_diagram.label diagram "x" "y");
+  check pset_opt "x-z : [{p,q}]" (Some d) (Iso_diagram.label diagram "x" "z");
+  check pset_opt "z-w : [q]" (Some sq) (Iso_diagram.label diagram "z" "w");
+  check pset_opt "y-z : [p]" (Some sp) (Iso_diagram.label diagram "y" "z");
+  check pset_opt "y-w : none" None (Iso_diagram.label diagram "y" "w");
+  check tbool "self loops labelled [D]" true
+    (Pset.equal d (Iso_diagram.self_label diagram))
+
+let test_diagram_edges () =
+  let edges = Iso_diagram.edges diagram in
+  (* all pairs except y-w are related: C(4,2) - 1 = 5 edges *)
+  check tint "edge count" 5 (List.length edges);
+  check Alcotest.(list string) "vertices" [ "x"; "y"; "z"; "w" ]
+    (Iso_diagram.vertices diagram)
+
+let test_diagram_dot () =
+  let dot = Iso_diagram.to_dot diagram in
+  check tbool "mentions graph" true
+    (String.length dot > 0 && String.sub dot 0 5 = "graph");
+  (* y -- w must not appear *)
+  let contains_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  check tbool "has x--y edge" true
+    (contains_sub dot "\"x\" -- \"y\"");
+  check tbool "no y--w edge" false (contains_sub dot "\"y\" -- \"w\"")
+
+let test_diagram_of_universe () =
+  let dg = Iso_diagram.of_universe ufull in
+  check tint "universe diagram vertices" (Universe.size ufull)
+    (List.length (Iso_diagram.vertices dg));
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Iso_diagram.of_universe: universe too large") (fun () ->
+      ignore (Iso_diagram.of_universe ~max_size:1 ufull))
+
+let test_diagram_duplicate_names () =
+  Alcotest.check_raises "duplicates"
+    (Invalid_argument "Iso_diagram.of_computations: duplicate names") (fun () ->
+      ignore (Iso_diagram.of_computations ~all:d [ ("x", fx); ("x", fy) ]))
+
+let suite =
+  [
+    ("iso basics", `Quick, test_iso_basics);
+    ("[D] is permutation", `Quick, test_permutation_of_iso_d);
+    ("universe related", `Quick, test_universe_related);
+    ("largest label", `Quick, test_largest_label);
+    ("composed: example 1", `Quick, test_composed_example1);
+    ("reachable identity", `Quick, test_reachable_identity);
+    ("related_traces", `Quick, test_related_traces);
+    ("law 1: equivalence", `Quick, test_law_equivalence);
+    ("law 3: idempotence", `Quick, test_law_idempotence);
+    ("law 4: reflexivity", `Quick, test_law_reflexivity);
+    ("law 5: inversion", `Quick, test_law_inversion);
+    ("law 6: concatenation", `Quick, test_law_concatenation);
+    ("law 7: union/inter", `Quick, test_law_union_inter);
+    ("law 8: monotonicity", `Quick, test_law_monotonicity);
+    ("law 8: strictness witness", `Quick, test_law8_strictness);
+    ("law 10: subsumption", `Quick, test_law_subsumption);
+    ("figure 3-1 labels", `Quick, test_figure_3_1);
+    ("figure 3-1 edges", `Quick, test_diagram_edges);
+    ("diagram dot export", `Quick, test_diagram_dot);
+    ("diagram of universe", `Quick, test_diagram_of_universe);
+    ("diagram duplicate names", `Quick, test_diagram_duplicate_names);
+  ]
+
+(* -- laws 2 and 9, completing the set of ten ---------------------------- *)
+
+let test_law2_substitution () =
+  random_instances ufull 100 (fun i j ps qs ->
+      (* β = δ trivially satisfies the premise; the law must then hold *)
+      check tbool "substitution" true
+        (Isomorphism.Laws.substitution ufull [ ps ] qs qs [ ps ] i j));
+  (* and with genuinely different-but-equal relations when available *)
+  random_instances ufull 100 (fun i j ps qs ->
+      check tbool "substitution general" true
+        (Isomorphism.Laws.substitution ufull [ ps ] qs (Pset.union qs Pset.empty) [] i j))
+
+let test_law9_extensionality () =
+  (* on the indep universe every process acts, so [P]=[Q] iff P=Q *)
+  List.iter
+    (fun p ->
+      List.iter
+        (fun q ->
+          check tbool "extensionality" true
+            (Isomorphism.Laws.extensionality ufull p q))
+        [ Pset.empty; sp; sq; d ])
+    [ Pset.empty; sp; sq; d ]
+
+let test_law9_needs_eventful_processes () =
+  (* §2's clause matters: give p1 no events and [∅] = [{p1}], so
+     extensionality fails for ∅ vs {p1} *)
+  let lazy_spec =
+    Spec.make ~n:2 (fun p h ->
+        if Pid.to_int p = 0 && h = [] then [ Spec.Do "a" ] else [])
+  in
+  let u = Universe.enumerate ~mode:`Full lazy_spec ~depth:3 in
+  check tbool "same relation though different sets" true
+    (Isomorphism.Laws.same_relation u Pset.empty (Pset.singleton q));
+  check tbool "extensionality fails" false
+    (Isomorphism.Laws.extensionality u Pset.empty (Pset.singleton q))
+
+let suite =
+  suite
+  @ [
+      ("law 2: substitution", `Quick, test_law2_substitution);
+      ("law 9: extensionality", `Quick, test_law9_extensionality);
+      ("law 9 needs §2 clause", `Quick, test_law9_needs_eventful_processes);
+    ]

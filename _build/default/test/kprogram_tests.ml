@@ -1,0 +1,169 @@
+(* Knowledge-based programs. *)
+open Hpl_core
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let p0 = Fixtures.p0
+let p1 = Fixtures.p1
+let s0 = Pset.singleton p0
+let s1 = Pset.singleton p1
+
+let sent = Prop.make "sent" (fun z -> Trace.send_count z p0 > 0)
+
+(* "acknowledge when you know": p0 sends ping once; p1 sends an ack as
+   soon as it knows the ping was sent (which is: after receiving it). *)
+let ack_when_known : Kprogram.t =
+ fun p history ->
+  if Pid.equal p p0 then
+    if history = [] then
+      [ { Kprogram.guard = Kprogram.gtrue; intent = Spec.Send_to (p1, "ping") } ]
+    else [ { Kprogram.guard = Kprogram.gtrue; intent = Spec.Recv_any } ]
+  else
+    let acked = List.exists Event.is_send history in
+    [ { Kprogram.guard = Kprogram.gtrue; intent = Spec.Recv_any } ]
+    @
+    if acked then []
+    else [ { Kprogram.guard = Kprogram.know s1 sent; intent = Spec.Send_to (p0, "ack") } ]
+
+let test_ack_program_solves () =
+  match Kprogram.solve ~n:2 ~depth:4 ack_when_known with
+  | Error e -> Alcotest.fail e
+  | Ok sol ->
+      check tbool "converged quickly" true (sol.Kprogram.iterations <= 3);
+      (* in the solved system, every computation where p1 has sent the
+         ack includes p1's receive first *)
+      Universe.iter
+        (fun _ z ->
+          let p1_history = Trace.proj z p1 in
+          if List.exists Event.is_send p1_history then
+            check tbool "ack only after receive" true
+              (match p1_history with
+              | first :: _ -> Event.is_receive first
+              | [] -> false))
+        sol.Kprogram.universe
+
+let test_ack_fires_exactly_when_known () =
+  match Kprogram.solve ~n:2 ~depth:4 ack_when_known with
+  | Error e -> Alcotest.fail e
+  | Ok sol ->
+      let u = sol.Kprogram.universe in
+      let spec = sol.Kprogram.spec in
+      Universe.iter
+        (fun _ z ->
+          let can_ack =
+            List.exists Event.is_send (Spec.enabled_on spec z p1)
+          in
+          let knows_it = Prop.eval (Knowledge.knows u s1 sent) z in
+          let already = List.exists Event.is_send (Trace.proj z p1) in
+          (* ack enabled iff p1 knows and has not acked yet *)
+          check tbool "guard semantics" (knows_it && not already) can_ack)
+        u
+
+(* non-local guard must be rejected: p1 guarded by p0's knowledge *)
+let bad_program : Kprogram.t =
+ fun p history ->
+  if Pid.equal p p0 then
+    if history = [] then
+      [ { Kprogram.guard = Kprogram.gtrue; intent = Spec.Send_to (p1, "ping") } ]
+    else []
+  else
+    [ { Kprogram.guard = Kprogram.gtrue; intent = Spec.Recv_any } ]
+    @
+    if List.length history > 2 then []
+    else
+      (* 'sent' itself is local to p0, not to p1: using it raw as p1's
+         guard is illegal *)
+      [ { Kprogram.guard = (fun _ -> sent); intent = Spec.Send_to (p0, "ack") } ]
+
+let test_non_local_guard_rejected () =
+  check tbool "raises" true
+    (try
+       ignore (Kprogram.solve ~n:2 ~depth:4 bad_program);
+       false
+     with Invalid_argument _ -> true)
+
+(* the bit-transmission flavour: sender repeats (bounded) until it
+   knows the receiver knows; receiver acks once it knows. *)
+let bit = Prop.make "bit delivered" (fun z -> Trace.local_length z p1 > 0)
+
+let bit_transmission ~max_sends : Kprogram.t =
+ fun p history ->
+  if Pid.equal p p0 then begin
+    let sends = List.length (List.filter Event.is_send history) in
+    [ { Kprogram.guard = Kprogram.gtrue; intent = Spec.Recv_any } ]
+    @
+    if sends >= max_sends then []
+    else
+      [
+        {
+          Kprogram.guard = Kprogram.nknow s0 (Prop.make "r knows" (fun _ -> false));
+          intent = Spec.Send_to (p1, "bit");
+        };
+      ]
+  end
+  else
+    let acked = List.exists Event.is_send history in
+    [ { Kprogram.guard = Kprogram.gtrue; intent = Spec.Recv_any } ]
+    @
+    if acked then []
+    else
+      [ { Kprogram.guard = Kprogram.know s1 bit; intent = Spec.Send_to (p0, "ack") } ]
+
+let test_bit_transmission_nknow_guard () =
+  (* the sender's guard is ¬K_S(false-predicate) which is constantly
+     true and trivially local; the receiver acks once informed. The
+     point of this test: nknow guards compile and the fixpoint exists *)
+  match Kprogram.solve ~n:2 ~depth:5 (bit_transmission ~max_sends:2) with
+  | Error e -> Alcotest.fail e
+  | Ok sol ->
+      check tbool "nonempty" true (Universe.size sol.Kprogram.universe > 1);
+      (* receiver's ack only ever follows a receive *)
+      Universe.iter
+        (fun _ z ->
+          match Trace.proj z p1 with
+          | first :: _ when Event.is_send first -> Alcotest.fail "ack before bit"
+          | _ -> ())
+        sol.Kprogram.universe
+
+let test_unrestricted_supersets_solution () =
+  (* the fixpoint universe is contained in the base universe *)
+  match Kprogram.solve ~n:2 ~depth:4 ack_when_known with
+  | Error e -> Alcotest.fail e
+  | Ok sol ->
+      let base =
+        Universe.enumerate ~mode:`Canonical
+          (Kprogram.unrestricted ~n:2 ack_when_known)
+          ~depth:4
+      in
+      check tbool "solution ⊆ base" true
+        (Universe.fold
+           (fun _ z acc -> acc && Universe.find base z <> None)
+           sol.Kprogram.universe true);
+      check tbool "strictly smaller here" true
+        (Universe.size sol.Kprogram.universe < Universe.size base)
+
+let test_guardless_program_is_identity () =
+  (* with all guards true, solve terminates in one iteration on the base *)
+  let plain : Kprogram.t =
+   fun p history ->
+    if Pid.equal p p0 && history = [] then
+      [ { Kprogram.guard = Kprogram.gtrue; intent = Spec.Do "tick" } ]
+    else []
+  in
+  match Kprogram.solve ~n:2 ~depth:3 plain with
+  | Error e -> Alcotest.fail e
+  | Ok sol ->
+      check tint "one iteration" 1 sol.Kprogram.iterations;
+      check tint "two computations" 2 (Universe.size sol.Kprogram.universe)
+
+let suite =
+  [
+    ("ack program solves", `Quick, test_ack_program_solves);
+    ("ack fires iff known", `Quick, test_ack_fires_exactly_when_known);
+    ("non-local guard rejected", `Quick, test_non_local_guard_rejected);
+    ("bit transmission nknow", `Quick, test_bit_transmission_nknow_guard);
+    ("solution within base", `Quick, test_unrestricted_supersets_solution);
+    ("guardless identity", `Quick, test_guardless_program_is_identity);
+  ]

@@ -1,0 +1,83 @@
+(* Single-decree Paxos: agreement under contention and crashes. *)
+open Hpl_protocols
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let test_single_proposer () =
+  let o = Paxos.run Paxos.default in
+  check tbool "decided" true o.Paxos.any_decision;
+  check tbool "agreement" true o.Paxos.agreement;
+  check tbool "validity" true o.Paxos.validity;
+  check tint "one ballot suffices" 1 o.Paxos.ballots_started;
+  (* everyone learns *)
+  check tint "all five decided" 5 (List.length o.Paxos.decided)
+
+let test_contention_safe () =
+  List.iter
+    (fun proposers ->
+      List.iter
+        (fun seed ->
+          let o = Paxos.run { Paxos.default with proposers; seed } in
+          check tbool "agreement" true o.Paxos.agreement;
+          check tbool "validity" true o.Paxos.validity;
+          check tbool "decided" true o.Paxos.any_decision)
+        [ 1L; 2L; 3L; 4L; 5L ])
+    [ 2; 3 ]
+
+let test_minority_acceptor_crash () =
+  let o =
+    Paxos.run
+      { Paxos.default with proposers = 2; crash = [ (5.0, 3); (5.0, 4) ] }
+  in
+  check tbool "agreement" true o.Paxos.agreement;
+  check tbool "decided despite crashes" true o.Paxos.any_decision
+
+let test_proposer_crash_value_survives () =
+  (* p0 runs a full or partial ballot and crashes; the late second
+     proposer must not overwrite: whatever was decided is unique, and
+     with p0's ballot having reached acceptors first, p0's value wins
+     even though p0 is dead *)
+  List.iter
+    (fun t ->
+      let o =
+        Paxos.run { Paxos.default with proposers = 2; crash = [ (t, 0) ] }
+      in
+      check tbool "agreement" true o.Paxos.agreement;
+      check tbool "decided" true o.Paxos.any_decision;
+      (* the survivors learned it *)
+      check tbool "non-crashed processes decided" true
+        (List.exists (fun (p, _) -> p <> 0) o.Paxos.decided))
+    [ 16.0; 22.0; 30.0 ]
+
+let test_adoption_observed () =
+  (* with the default seed, crashing p0 at t=22 leaves accepted
+     (ballot, 1000) state at acceptors; p1's later ballot adopts 1000
+     rather than its own 1001 *)
+  let o =
+    Paxos.run { Paxos.default with proposers = 2; crash = [ (22.0, 0) ] }
+  in
+  let values = List.sort_uniq compare (List.map snd o.Paxos.decided) in
+  check Alcotest.(list int) "p0's value adopted" [ Paxos.proposal_of 0 ] values
+
+let test_reordering_network_safe () =
+  List.iter
+    (fun seed ->
+      let config =
+        { Hpl_sim.Engine.default with fifo = false; max_delay = 30.0; seed }
+      in
+      let o = Paxos.run ~config { Paxos.default with proposers = 3 } in
+      check tbool "agreement" true o.Paxos.agreement;
+      check tbool "validity" true o.Paxos.validity)
+    [ 8L; 9L; 10L ]
+
+let suite =
+  [
+    ("single proposer", `Quick, test_single_proposer);
+    ("contention safe", `Quick, test_contention_safe);
+    ("minority acceptor crash", `Quick, test_minority_acceptor_crash);
+    ("proposer crash, value survives", `Quick, test_proposer_crash_value_survives);
+    ("value adoption observed", `Quick, test_adoption_observed);
+    ("safe under reordering", `Quick, test_reordering_network_safe);
+  ]

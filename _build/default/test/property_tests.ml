@@ -1,0 +1,210 @@
+(* Property-based tests over randomly generated computations.
+
+   A computation generator walks Spec.extensions with random choices,
+   so every generated trace is a genuine system computation of a
+   genuine system; properties then exercise the §2/§3 algebra, the
+   canonicalization, causality, clocks, cuts and fusion on thousands of
+   machine-built instances rather than hand-picked ones. *)
+open Hpl_core
+
+let specs =
+  [
+    ("chatter3", Fixtures.chatter ~n:3 ~k:2, 3);
+    ("ping-pong", Fixtures.ping_pong, 2);
+    ("token-bus3", Hpl_protocols.Token_bus.spec ~n:3, 3);
+    ("two-generals", Hpl_protocols.Two_generals.spec, 2);
+  ]
+
+(* random walk of at most [steps] extensions, driven by a list of ints *)
+let walk spec steps choices =
+  let rec go z k choices =
+    if k >= steps then z
+    else
+      match (Spec.enabled spec z, choices) with
+      | [], _ | _, [] -> z
+      | events, c :: rest ->
+          let e = List.nth events (abs c mod List.length events) in
+          go (Trace.snoc z e) (k + 1) rest
+  in
+  go Trace.empty 0 choices
+
+let gen_spec_trace =
+  QCheck.make
+    ~print:(fun (name, _, _, z) -> Printf.sprintf "%s: %s" name (Trace.to_string z))
+    QCheck.Gen.(
+      oneofl specs >>= fun (name, spec, n) ->
+      int_range 0 8 >>= fun steps ->
+      list_size (return steps) (int_bound 1000) >>= fun choices ->
+      return (name, spec, n, walk spec steps choices))
+
+let gen_pset n =
+  QCheck.Gen.(
+    list_size (return n) bool >|= fun bits ->
+    List.fold_left
+      (fun (i, acc) b ->
+        (i + 1, if b then Pset.add (Pid.of_int i) acc else acc))
+      (0, Pset.empty) bits
+    |> snd)
+
+let gen_trace_with_psets =
+  QCheck.make
+    ~print:(fun (name, _, _, z, _) ->
+      Printf.sprintf "%s: %s" name (Trace.to_string z))
+    QCheck.Gen.(
+      oneofl specs >>= fun (name, spec, n) ->
+      int_range 0 8 >>= fun steps ->
+      list_size (return steps) (int_bound 1000) >>= fun choices ->
+      int_range 1 3 >>= fun chain_len ->
+      list_size (return chain_len) (gen_pset n) >>= fun psets ->
+      return (name, spec, n, walk spec steps choices, psets))
+
+let t name count gen prop = QCheck.Test.make ~name ~count gen prop
+
+let props =
+  [
+    (* -- model ----------------------------------------------------- *)
+    t "walks are valid computations" 300 gen_spec_trace (fun (_, spec, _, z) ->
+        Trace.well_formed z && Spec.valid spec z);
+    t "prefixes of walks are valid" 300 gen_spec_trace (fun (_, spec, _, z) ->
+        let es = Trace.to_list z in
+        List.for_all
+          (fun k ->
+            Spec.valid spec (Trace.of_list (List.filteri (fun i _ -> i < k) es)))
+          (List.init (Trace.length z + 1) (fun i -> i)));
+    t "in_flight = sent - received" 300 gen_spec_trace (fun (_, _, _, z) ->
+        List.length (Trace.in_flight z)
+        = List.length (Trace.sent z) - List.length (Trace.received z));
+    t "projections partition the trace" 300 gen_spec_trace (fun (_, _, n, z) ->
+        Trace.length z
+        = List.fold_left
+            (fun acc i -> acc + Trace.local_length z (Pid.of_int i))
+            0
+            (List.init n (fun i -> i)));
+    (* -- canonicalization ------------------------------------------ *)
+    t "canon is a permutation" 300 gen_spec_trace (fun (_, spec, _, z) ->
+        let u = Universe.enumerate ~mode:`Canonical spec ~depth:0 in
+        Trace.permutation_of z (Universe.canon u z));
+    t "canon is idempotent" 300 gen_spec_trace (fun (_, spec, _, z) ->
+        let u = Universe.enumerate ~mode:`Canonical spec ~depth:0 in
+        let c = Universe.canon u z in
+        Trace.equal c (Universe.canon u c));
+    t "canon is lexicographically least" 300 gen_spec_trace
+      (fun (_, spec, _, z) ->
+        let u = Universe.enumerate ~mode:`Canonical spec ~depth:0 in
+        let c = Universe.canon u z in
+        List.compare Event.compare (Trace.to_list c) (Trace.to_list z) <= 0);
+    t "canon preserves validity" 300 gen_spec_trace (fun (_, spec, _, z) ->
+        let u = Universe.enumerate ~mode:`Canonical spec ~depth:0 in
+        Spec.valid spec (Universe.canon u z));
+    (* -- isomorphism algebra (trace level) -------------------------- *)
+    t "iso reflexive" 300 gen_trace_with_psets (fun (_, _, _, z, psets) ->
+        List.for_all (fun ps -> Isomorphism.iso z z ps) psets);
+    t "largest label symmetric" 300 gen_spec_trace (fun (_, spec, n, z) ->
+        let all = Pset.all n in
+        let z' = walk spec 4 [ 1; 2; 3; 4 ] in
+        Pset.equal
+          (Isomorphism.largest_label all z z')
+          (Isomorphism.largest_label all z' z));
+    (* -- causality --------------------------------------------------- *)
+    t "hb is antisymmetric" 200 gen_spec_trace (fun (_, _, n, z) ->
+        let ts = Causality.compute ~n z in
+        let len = Causality.length ts in
+        let ok = ref true in
+        for i = 0 to len - 1 do
+          for j = 0 to len - 1 do
+            if i <> j && Causality.hb ts i j && Causality.hb ts j i then ok := false
+          done
+        done;
+        !ok);
+    t "hb is transitive" 200 gen_spec_trace (fun (_, _, n, z) ->
+        let ts = Causality.compute ~n z in
+        let len = Causality.length ts in
+        let ok = ref true in
+        for i = 0 to len - 1 do
+          for j = 0 to len - 1 do
+            for k = 0 to len - 1 do
+              if Causality.hb ts i j && Causality.hb ts j k && not (Causality.hb ts i k)
+              then ok := false
+            done
+          done
+        done;
+        !ok);
+    t "hb respects trace order" 200 gen_spec_trace (fun (_, _, n, z) ->
+        let ts = Causality.compute ~n z in
+        let len = Causality.length ts in
+        let ok = ref true in
+        for i = 0 to len - 1 do
+          for j = 0 to i - 1 do
+            (* a later event never happens-before an earlier one *)
+            if Causality.hb ts i j then ok := false
+          done
+        done;
+        !ok);
+    t "vector clocks characterize hb" 200 gen_spec_trace (fun (_, _, n, z) ->
+        Hpl_clocks.Vector.characterizes_causality ~n z);
+    t "lamport consistent with hb" 200 gen_spec_trace (fun (_, _, n, z) ->
+        Hpl_clocks.Lamport.consistent_with_causality ~n z);
+    (* -- chains ------------------------------------------------------- *)
+    t "naive chain = dp chain" 300 gen_trace_with_psets
+      (fun (_, _, n, z, psets) ->
+        Chain.exists ~n ~z psets = Chain.exists_naive ~n ~z psets);
+    t "chain monotone in suffix" 200 gen_trace_with_psets
+      (fun (_, _, n, z, psets) ->
+        (* a chain in a later suffix exists in any earlier one *)
+        Trace.length z < 2
+        ||
+        let es = Trace.to_list z in
+        let x1 = Trace.of_list (List.filteri (fun i _ -> i < 1) es) in
+        (not (Chain.exists ~n ~x:x1 ~z psets)) || Chain.exists ~n ~z psets);
+    t "chain padding (observation 1)" 200 gen_trace_with_psets
+      (fun (_, _, n, z, psets) ->
+        match psets with
+        | p :: rest ->
+            Chain.exists ~n ~z (p :: rest) = Chain.exists ~n ~z (p :: p :: rest)
+        | [] -> true);
+    (* -- cuts ----------------------------------------------------------- *)
+    t "prefix cuts are consistent" 300 gen_spec_trace (fun (_, _, n, z) ->
+        Cut.consistent ~n z (Cut.of_prefix ~n z));
+    t "consistent cuts closed under join/meet" 100 gen_spec_trace
+      (fun (_, _, n, z) ->
+        Trace.length z > 6
+        ||
+        let cuts = Cut.all_consistent ~n z in
+        List.for_all
+          (fun a ->
+            List.for_all
+              (fun b ->
+                Cut.consistent ~n z (Cut.join a b)
+                && Cut.consistent ~n z (Cut.meet a b))
+              cuts)
+          cuts);
+    t "at least length+1 consistent cuts" 100 gen_spec_trace
+      (fun (_, _, n, z) ->
+        Trace.length z > 6 || Cut.count_consistent ~n z >= Trace.length z + 1);
+    t "cut sub-computations well-formed" 100 gen_spec_trace
+      (fun (_, _, n, z) ->
+        Trace.length z > 6
+        || List.for_all
+             (fun c -> Trace.well_formed (Cut.sub_computation z c))
+             (Cut.all_consistent ~n z));
+    (* -- fusion ------------------------------------------------------------ *)
+    t "theorem2 fusions verify when admitted" 200 gen_trace_with_psets
+      (fun (_, spec, n, z, psets) ->
+        let all = Pset.all n in
+        let p = match psets with ps :: _ -> ps | [] -> Pset.empty in
+        (* x = some prefix, y = z, z' = an alternative extension of x *)
+        let es = Trace.to_list z in
+        let x =
+          Trace.of_list (List.filteri (fun i _ -> i < Trace.length z / 2) es)
+        in
+        let z' = walk spec 3 [ 7; 5; 3 ] in
+        if not (Trace.is_prefix x z') then true
+        else
+          match Fusion.theorem2 ~all ~n ~x ~y:z ~z:z' ~p with
+          | Ok w ->
+              Fusion.verify_theorem2 ~all ~x ~y:z ~z:z' ~p ~w
+              && Spec.valid spec w
+          | Error _ -> true);
+  ]
+
+let suite = List.map (QCheck_alcotest.to_alcotest ~verbose:false) props

@@ -1,0 +1,149 @@
+(* Second protocol wave: token-ring mutex, echo/PIF, Chang-Roberts. *)
+open Hpl_core
+open Hpl_protocols
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+(* -- token ring -------------------------------------------------------- *)
+
+let test_ring_mutual_exclusion () =
+  List.iter
+    (fun seed ->
+      let o = Token_ring.run { Token_ring.default with seed } in
+      check tbool "mutex" true o.Token_ring.mutual_exclusion;
+      check tbool "trace wf" true (Trace.well_formed o.Token_ring.trace))
+    [ 1L; 2L; 3L; 4L; 5L ]
+
+let test_ring_liveness () =
+  let o = Token_ring.run Token_ring.default in
+  check tbool "all served" true o.Token_ring.all_served;
+  check tbool "token moved" true (o.Token_ring.token_passes > Token_ring.default.Token_ring.n)
+
+let test_ring_cs_balanced () =
+  (* nobody starves relative to others by more than an order of magnitude *)
+  let o = Token_ring.run { Token_ring.default with horizon = 2000.0 } in
+  let mn = Array.fold_left min max_int o.Token_ring.entries in
+  let mx = Array.fold_left max 0 o.Token_ring.entries in
+  check tbool "roughly fair" true (mn > 0 && mx <= 10 * mn)
+
+let test_ring_exclusion_checker_catches () =
+  (* hand-build an overlapping trace: two processes in CS at once *)
+  let bad =
+    Trace.of_list
+      [
+        Event.internal ~pid:(Pid.of_int 0) ~lseq:0 Token_ring.enter_tag;
+        Event.internal ~pid:(Pid.of_int 1) ~lseq:0 Token_ring.enter_tag;
+        Event.internal ~pid:(Pid.of_int 0) ~lseq:1 Token_ring.exit_tag;
+        Event.internal ~pid:(Pid.of_int 1) ~lseq:1 Token_ring.exit_tag;
+      ]
+  in
+  check tbool "overlap caught" false (Token_ring.check_exclusion bad)
+
+(* -- echo ---------------------------------------------------------------- *)
+
+let test_echo_completes () =
+  List.iter
+    (fun n ->
+      let o = Echo.run { Echo.default with n } in
+      check tbool "completed" true o.Echo.completed;
+      check tbool "all informed" true o.Echo.all_informed;
+      check tbool "knowledge chains" true o.Echo.completion_knows_all)
+    [ 2; 3; 6; 10 ]
+
+let test_echo_message_complexity () =
+  (* exactly 2(n-1)^2 messages on the complete graph *)
+  List.iter
+    (fun n ->
+      let o = Echo.run { Echo.default with n } in
+      check tint
+        (Printf.sprintf "2(n-1)^2 at n=%d" n)
+        (2 * (n - 1) * (n - 1))
+        o.Echo.messages)
+    [ 2; 4; 6; 8 ]
+
+let test_echo_completion_after_all_receives () =
+  (* the pif-done event is causally after every wave receipt *)
+  let n = 6 in
+  let o = Echo.run { Echo.default with n } in
+  let z = o.Echo.trace in
+  let ts = Causality.compute ~n z in
+  let done_pos = ref None in
+  List.iteri
+    (fun i e ->
+      match e.Event.kind with
+      | Event.Internal t when String.equal t Echo.done_tag -> done_pos := Some i
+      | _ -> ())
+    (Trace.to_list z);
+  match !done_pos with
+  | None -> Alcotest.fail "no completion"
+  | Some dp ->
+      List.iteri
+        (fun i e ->
+          match e.Event.kind with
+          | Event.Receive m when Wire.is "wave" m.Msg.payload ->
+              check tbool "receipt hb completion" true (Causality.hb ts i dp)
+          | _ -> ())
+        (Trace.to_list z)
+
+(* -- chang-roberts --------------------------------------------------------- *)
+
+let test_cr_elects_unique_leader () =
+  List.iter
+    (fun seed ->
+      let o = Chang_roberts.run { Chang_roberts.default with seed } in
+      check tbool "leader" true (o.Chang_roberts.leader <> None);
+      check tbool "agreed" true o.Chang_roberts.agreed;
+      check tbool "chain" true o.Chang_roberts.announcement_chain)
+    [ 1L; 2L; 3L; 4L; 5L ]
+
+let test_cr_leader_has_max_id () =
+  (* with explicit ids, the winner is the process holding the max *)
+  let ids = [| 3; 9; 1; 7; 5 |] in
+  let o = Chang_roberts.run { Chang_roberts.default with n = 5; ids = Some ids } in
+  check Alcotest.(option int) "max id wins" (Some 1) o.Chang_roberts.leader
+
+let test_cr_message_bounds () =
+  (* election messages between n and n(n+1)/2; announcement adds n *)
+  List.iter
+    (fun seed ->
+      let n = 8 in
+      let o = Chang_roberts.run { Chang_roberts.default with n; seed } in
+      let e = o.Chang_roberts.election_messages in
+      check tbool "lower bound" true (e >= n);
+      check tbool "upper bound" true (e <= n * (n + 1) / 2);
+      check tint "announcement ring" (e + n) o.Chang_roberts.messages)
+    [ 7L; 8L; 9L ]
+
+let test_cr_worst_case_ids () =
+  (* decreasing ids around the ring maximize election messages *)
+  let n = 6 in
+  let ids = Array.init n (fun i -> n - i) in
+  let o = Chang_roberts.run { Chang_roberts.default with n; ids = Some ids } in
+  check tbool "leader is p0" true (o.Chang_roberts.leader = Some 0);
+  check tbool "agreed" true o.Chang_roberts.agreed
+
+let test_cr_sorted_ids_cheap () =
+  (* increasing ids: each elect message dies after one hop except the
+     max's full circulation: n-1 + n = 2n - 1 election messages *)
+  let n = 6 in
+  let ids = Array.init n (fun i -> i + 1) in
+  let o = Chang_roberts.run { Chang_roberts.default with n; ids = Some ids } in
+  check tint "best case" (2 * n - 1) o.Chang_roberts.election_messages
+
+let suite =
+  [
+    ("ring mutual exclusion", `Quick, test_ring_mutual_exclusion);
+    ("ring liveness", `Quick, test_ring_liveness);
+    ("ring fairness", `Quick, test_ring_cs_balanced);
+    ("ring checker catches overlap", `Quick, test_ring_exclusion_checker_catches);
+    ("echo completes", `Quick, test_echo_completes);
+    ("echo message complexity", `Quick, test_echo_message_complexity);
+    ("echo completion causality", `Quick, test_echo_completion_after_all_receives);
+    ("cr unique leader", `Quick, test_cr_elects_unique_leader);
+    ("cr max id wins", `Quick, test_cr_leader_has_max_id);
+    ("cr message bounds", `Quick, test_cr_message_bounds);
+    ("cr worst case", `Quick, test_cr_worst_case_ids);
+    ("cr best case", `Quick, test_cr_sorted_ids_cheap);
+  ]

@@ -1,0 +1,122 @@
+(* Fourth protocol wave: snapshot-based termination detection,
+   Ricart-Agrawala mutex, bully election. *)
+open Hpl_core
+open Hpl_protocols
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+(* -- snapshot-based termination ---------------------------------------- *)
+
+let test_snapshot_term_sound_across_seeds () =
+  List.iter
+    (fun seed ->
+      let p = { Underlying.default with n = 5; budget = 50; seed } in
+      let r = Snapshot_term.run ~config:{ Hpl_sim.Engine.default with seed } p in
+      check tbool "detected" true r.Termination.detected;
+      check tbool "sound" true r.Termination.sound)
+    [ 1L; 2L; 3L; 5L; 8L ]
+
+let test_snapshot_term_empty_workload () =
+  let p = { Underlying.default with budget = 0 } in
+  let r = Snapshot_term.run p in
+  check tbool "detected" true r.Termination.detected;
+  check tbool "sound" true r.Termination.sound
+
+let test_snapshot_term_overhead_exceeds_m_on_trickle () =
+  (* marker waves repeat while the trickle lives: overhead >= M *)
+  let p =
+    { Underlying.default with n = 6; budget = 40; fanout = 1; spawn_prob = 1.0; seed = 9L }
+  in
+  let r = Snapshot_term.run ~config:{ Hpl_sim.Engine.default with seed = 9L }
+      ~attempt_delay:3.0 p
+  in
+  check tbool "sound" true r.Termination.sound;
+  check tbool "overhead >= M" true
+    (r.Termination.overhead_msgs >= r.Termination.underlying_msgs)
+
+(* -- ricart-agrawala ------------------------------------------------------ *)
+
+let test_ra_core () =
+  List.iter
+    (fun seed ->
+      let o = Ricart_agrawala.run { Ricart_agrawala.default with seed } in
+      check tbool "exclusion" true o.Ricart_agrawala.mutual_exclusion;
+      check tbool "served" true o.Ricart_agrawala.all_rounds_served)
+    [ 1L; 2L; 3L; 4L ]
+
+let test_ra_message_complexity () =
+  List.iter
+    (fun n ->
+      let o = Ricart_agrawala.run { Ricart_agrawala.default with n } in
+      check (Alcotest.float 0.001)
+        (Printf.sprintf "2(n-1) at n=%d" n)
+        (float_of_int (2 * (n - 1)))
+        o.Ricart_agrawala.messages_per_entry)
+    [ 2; 3; 4; 6 ]
+
+let test_ra_cheaper_than_lamport () =
+  let ra = Ricart_agrawala.run Ricart_agrawala.default in
+  let lm = Lamport_mutex.run Lamport_mutex.default in
+  check tbool "RA cheaper" true
+    (ra.Ricart_agrawala.messages_per_entry < lm.Lamport_mutex.messages_per_entry)
+
+let test_ra_cs_intervals_ordered () =
+  let o = Ricart_agrawala.run Ricart_agrawala.default in
+  let n = Ricart_agrawala.default.Ricart_agrawala.n in
+  let ts = Causality.compute ~n o.Ricart_agrawala.trace in
+  let ivs =
+    Hpl_clocks.Interval.of_bracketing ~enter:"ra-enter" ~exit:"ra-exit"
+      o.Ricart_agrawala.trace
+  in
+  check tbool "totally ordered" true (Hpl_clocks.Interval.totally_ordered ts ivs)
+
+(* -- bully ------------------------------------------------------------------ *)
+
+let test_bully_no_crash () =
+  let o = Bully.run Bully.default in
+  check tbool "safe" true o.Bully.safe;
+  check Alcotest.(list int) "top wins" [ 4 ] o.Bully.coordinators;
+  check Alcotest.(option int) "agreed" (Some 4) o.Bully.agreed_on
+
+let test_bully_crash_top () =
+  let o = Bully.run { Bully.default with crash = Some 4 } in
+  check tbool "safe" true o.Bully.safe;
+  check Alcotest.(list int) "next inherits" [ 3 ] o.Bully.coordinators;
+  check Alcotest.(option int) "agreed" (Some 3) o.Bully.agreed_on
+
+let test_bully_crash_middle_harmless () =
+  let o = Bully.run { Bully.default with crash = Some 2 } in
+  check tbool "safe" true o.Bully.safe;
+  check Alcotest.(option int) "top still wins" (Some 4) o.Bully.agreed_on
+
+let test_bully_needs_synchrony () =
+  (* delays beyond the timeout break safety: several coordinators *)
+  let slow =
+    { Hpl_sim.Engine.default with min_delay = 20.0; max_delay = 80.0 }
+  in
+  let o = Bully.run ~config:slow { Bully.default with ok_timeout = 10.0 } in
+  check tbool "unsafe under broken synchrony" false o.Bully.safe
+
+let test_bully_message_bound () =
+  (* challenges + oks + coordinator broadcast: O(n^2) worst case *)
+  let n = 6 in
+  let o = Bully.run { Bully.default with n } in
+  check tbool "quadratic bound" true (o.Bully.messages <= n * n + n)
+
+let suite =
+  [
+    ("snapshot-term sound", `Quick, test_snapshot_term_sound_across_seeds);
+    ("snapshot-term empty", `Quick, test_snapshot_term_empty_workload);
+    ("snapshot-term trickle >= M", `Quick, test_snapshot_term_overhead_exceeds_m_on_trickle);
+    ("RA core", `Quick, test_ra_core);
+    ("RA 2(n-1)", `Quick, test_ra_message_complexity);
+    ("RA cheaper than Lamport", `Quick, test_ra_cheaper_than_lamport);
+    ("RA CS intervals ordered", `Quick, test_ra_cs_intervals_ordered);
+    ("bully no crash", `Quick, test_bully_no_crash);
+    ("bully crash top", `Quick, test_bully_crash_top);
+    ("bully crash middle", `Quick, test_bully_crash_middle_harmless);
+    ("bully needs synchrony", `Quick, test_bully_needs_synchrony);
+    ("bully message bound", `Quick, test_bully_message_bound);
+  ]

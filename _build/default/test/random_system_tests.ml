@@ -1,0 +1,163 @@
+(* Fuzzing the paper's laws over randomly generated systems: the
+   handwritten fixtures exercise shapes we thought of; these exercise
+   shapes we did not. *)
+open Hpl_core
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+
+let universes =
+  (* a spread of random systems, enumerated exactly *)
+  List.map
+    (fun seed ->
+      (seed, Universe.enumerate ~mode:`Full (Fixtures.random_spec ~n:2 ~k:2 ~seed) ~depth:4))
+    [ 1; 2; 3; 5; 8; 13; 21; 34 ]
+
+let p0 = Fixtures.p0
+let p1 = Fixtures.p1
+let s0 = Pset.singleton p0
+let s1 = Pset.singleton p1
+let d = Pset.all 2
+
+let predicates =
+  [
+    Prop.make "p0 sent" (fun z -> Trace.send_count z p0 > 0);
+    Prop.make "p1 moved" (fun z -> Trace.local_length z p1 > 0);
+    Prop.make "something in flight" (fun z -> Trace.in_flight z <> []);
+  ]
+
+let psets = [ s0; s1; d ]
+
+let test_knowledge_facts_random () =
+  List.iter
+    (fun (seed, u) ->
+      let tag = Printf.sprintf "seed %d" seed in
+      List.iter
+        (fun ps ->
+          List.iter
+            (fun b ->
+              check tbool (tag ^ " fact4") true (Knowledge.Laws.fact4_veridical u ps b);
+              check tbool (tag ^ " fact10") true
+                (Knowledge.Laws.fact10_positive_introspection u ps b);
+              check tbool (tag ^ " fact11") true
+                (Knowledge.Laws.fact11_negative_introspection u ps b);
+              check tbool (tag ^ " fact8") true
+                (Knowledge.Laws.fact8_consistency u ps b))
+            predicates)
+        psets)
+    universes
+
+let test_lemma3_random () =
+  List.iter
+    (fun (seed, u) ->
+      List.iter
+        (fun b ->
+          check tbool (Printf.sprintf "seed %d lemma3" seed) true
+            (Local_pred.lemma3_constant u s0 s1 b))
+        predicates)
+    universes
+
+let test_ck_constant_random () =
+  List.iter
+    (fun (seed, u) ->
+      List.iter
+        (fun b ->
+          check tbool (Printf.sprintf "seed %d CK" seed) true
+            (Common_knowledge.constancy_holds u b))
+        predicates)
+    universes
+
+let test_theorem1_random () =
+  List.iter
+    (fun (seed, u) ->
+      let tag = Printf.sprintf "seed %d t1" seed in
+      Universe.iter
+        (fun zi z ->
+          List.iter
+            (fun xi ->
+              let x = Universe.comp u xi in
+              if Trace.is_prefix x z then
+                List.iter
+                  (fun psets ->
+                    check tbool tag true (Theorem1.dichotomy_holds u ~x ~z psets))
+                  [ [ s0 ]; [ s1 ]; [ s0; s1 ] ])
+            (Universe.prefixes_of u zi))
+        u)
+    universes
+
+let test_transfer_random () =
+  (* theorems 5/6 sampled over all pairs in each random universe *)
+  List.iter
+    (fun (seed, u) ->
+      let tag = Printf.sprintf "seed %d transfer" seed in
+      let b = List.hd predicates in
+      Universe.iter
+        (fun _ x ->
+          Universe.iter
+            (fun _ y ->
+              check tbool tag true (Transfer.theorem5_gain u [ s1 ] b ~x ~y);
+              check tbool tag true (Transfer.theorem6_loss u [ s1 ] b ~x ~y))
+            u)
+        u)
+    universes
+
+let test_theorem1_three_process () =
+  (* the dichotomy on 3-process random systems too *)
+  let p2 = Pset.singleton (Pid.of_int 2) in
+  List.iter
+    (fun seed ->
+      let u =
+        Universe.enumerate ~mode:`Full (Fixtures.random_spec ~n:3 ~k:1 ~seed) ~depth:3
+      in
+      Universe.iter
+        (fun zi z ->
+          List.iter
+            (fun xi ->
+              let x = Universe.comp u xi in
+              if Trace.is_prefix x z then
+                List.iter
+                  (fun psets ->
+                    check tbool "3-proc dichotomy" true
+                      (Theorem1.dichotomy_holds u ~x ~z psets))
+                  [ [ s0; p2 ]; [ p2; s1; s0 ] ])
+            (Universe.prefixes_of u zi))
+        u)
+    [ 2; 7; 11 ]
+
+let test_canonical_quotient_random () =
+  (* canonical and full universes agree up to [D]-classes *)
+  List.iter
+    (fun seed ->
+      let spec = Fixtures.random_spec ~n:2 ~k:2 ~seed in
+      let ufull = Universe.enumerate ~mode:`Full spec ~depth:4 in
+      let ucan = Universe.enumerate ~mode:`Canonical spec ~depth:4 in
+      Universe.iter
+        (fun _ z ->
+          check tbool "class present" true (Universe.find ucan z <> None))
+        ufull;
+      check tbool "canonical no larger" true
+        (Universe.size ucan <= Universe.size ufull))
+    [ 1; 2; 3; 5; 8 ]
+
+let test_state_iso_s5_random () =
+  List.iter
+    (fun (seed, u) ->
+      let t = State_iso.make u State_iso.counters in
+      List.iter
+        (fun b ->
+          check tbool (Printf.sprintf "seed %d s5" seed) true
+            (State_iso.Laws.s5_negative_introspection t d b))
+        predicates)
+    universes
+
+let suite =
+  [
+    ("knowledge facts", `Quick, test_knowledge_facts_random);
+    ("lemma 3", `Quick, test_lemma3_random);
+    ("CK constancy", `Quick, test_ck_constant_random);
+    ("theorem 1 dichotomy", `Slow, test_theorem1_random);
+    ("theorems 5/6", `Slow, test_transfer_random);
+    ("theorem 1, 3 processes", `Slow, test_theorem1_three_process);
+    ("canonical quotient", `Quick, test_canonical_quotient_random);
+    ("state-iso S5", `Quick, test_state_iso_s5_random);
+  ]

@@ -1,0 +1,328 @@
+(* Simulator substrate: RNG, priority queue, engine semantics. *)
+open Hpl_core
+open Hpl_sim
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+(* -- rng ---------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    check tbool "same stream" true (Rng.next_int64 a = Rng.next_int64 b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    check tbool "in range" true (v >= 0 && v < 10);
+    let f = Rng.float r 2.5 in
+    check tbool "float range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_distribution () =
+  let r = Rng.create 13L in
+  let counts = Array.make 4 0 in
+  for _ = 1 to 4000 do
+    let v = Rng.int r 4 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c -> check tbool "roughly uniform" true (c > 800 && c < 1200))
+    counts
+
+let test_rng_split_independent () =
+  let r = Rng.create 99L in
+  let s = Rng.split r in
+  check tbool "different streams" true (Rng.next_int64 r <> Rng.next_int64 s)
+
+let test_rng_copy () =
+  let r = Rng.create 5L in
+  ignore (Rng.next_int64 r);
+  let c = Rng.copy r in
+  check tbool "copies agree" true (Rng.next_int64 r = Rng.next_int64 c)
+
+(* -- pqueue -------------------------------------------------------------- *)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  List.iteri
+    (fun i t -> Pqueue.push q ~time:t ~seqno:i "x")
+    [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let times = ref [] in
+  let rec drain () =
+    match Pqueue.pop q with
+    | Some (t, _, _) ->
+        times := t :: !times;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check Alcotest.(list (float 0.0)) "sorted" [ 1.0; 2.0; 3.0; 4.0; 5.0 ]
+    (List.rev !times)
+
+let test_pqueue_tie_break () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~time:1.0 ~seqno:2 "b";
+  Pqueue.push q ~time:1.0 ~seqno:1 "a";
+  Pqueue.push q ~time:1.0 ~seqno:3 "c";
+  let vals = ref [] in
+  let rec drain () =
+    match Pqueue.pop q with
+    | Some (_, _, v) ->
+        vals := v :: !vals;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check Alcotest.(list string) "seqno order" [ "a"; "b"; "c" ] (List.rev !vals)
+
+let test_pqueue_stress () =
+  let q = Pqueue.create () in
+  let r = Rng.create 3L in
+  for i = 1 to 2000 do
+    Pqueue.push q ~time:(Rng.float r 100.0) ~seqno:i ()
+  done;
+  check tint "length" 2000 (Pqueue.length q);
+  let prev = ref neg_infinity in
+  let rec drain n =
+    match Pqueue.pop q with
+    | Some (t, _, ()) ->
+        check tbool "non-decreasing" true (t >= !prev);
+        prev := t;
+        drain (n + 1)
+    | None -> n
+  in
+  check tint "drained all" 2000 (drain 0)
+
+(* -- engine --------------------------------------------------------------- *)
+
+(* simple broadcast-once protocol: p0 sends "hi" to everyone at init *)
+let broadcast_handlers n =
+  {
+    Engine.init =
+      (fun p ->
+        if Pid.to_int p = 0 then
+          ( (),
+            List.init (n - 1) (fun i ->
+                Engine.Send (Pid.of_int (i + 1), "hi")) )
+        else ((), []));
+    on_message = (fun () ~self:_ ~src:_ ~payload:_ ~now:_ -> ((), []));
+    on_timer = (fun () ~self:_ ~tag:_ ~now:_ -> ((), []));
+  }
+
+let test_engine_broadcast () =
+  let cfg = { Engine.default with Engine.n = 5 } in
+  let r = Engine.run cfg (broadcast_handlers 5) in
+  check tint "sent" 4 r.Engine.stats.Engine.sent;
+  check tint "delivered" 4 r.Engine.stats.Engine.delivered;
+  check tbool "trace well-formed" true (Trace.well_formed r.Engine.trace);
+  check tint "events" 8 (Trace.length r.Engine.trace)
+
+let test_engine_determinism () =
+  let cfg = { Engine.default with Engine.n = 5; seed = 77L } in
+  let r1 = Engine.run cfg (broadcast_handlers 5) in
+  let r2 = Engine.run cfg (broadcast_handlers 5) in
+  check tbool "identical traces" true (Trace.equal r1.Engine.trace r2.Engine.trace)
+
+let test_engine_seed_sensitivity () =
+  (* different seeds generally produce different delivery orders for a
+     protocol with enough traffic *)
+  let handlers =
+    {
+      Engine.init =
+        (fun p ->
+          ( (),
+            List.init 8 (fun i ->
+                Engine.Send (Pid.of_int ((Pid.to_int p + 1 + (i mod 3)) mod 4), "m")) ));
+      on_message = (fun () ~self:_ ~src:_ ~payload:_ ~now:_ -> ((), []));
+      on_timer = (fun () ~self:_ ~tag:_ ~now:_ -> ((), []));
+    }
+  in
+  let run seed =
+    (Engine.run { Engine.default with Engine.n = 4; seed; fifo = false } handlers)
+      .Engine.trace
+  in
+  check tbool "seeds differ" false (Trace.equal (run 1L) (run 2L))
+
+let test_engine_fifo () =
+  (* p0 streams 20 messages to p1; FIFO must deliver in order *)
+  let handlers =
+    {
+      Engine.init =
+        (fun p ->
+          if Pid.to_int p = 0 then
+            ((), List.init 20 (fun i -> Engine.Send (Pid.of_int 1, string_of_int i)))
+          else ((), []));
+      on_message = (fun () ~self:_ ~src:_ ~payload:_ ~now:_ -> ((), []));
+      on_timer = (fun () ~self:_ ~tag:_ ~now:_ -> ((), []));
+    }
+  in
+  let r = Engine.run { Engine.default with Engine.n = 2; fifo = true } handlers in
+  check tbool "fifo respected" true
+    (Hpl_clocks.Causal_order.fifo_per_channel r.Engine.trace);
+  (* and without FIFO, the same traffic usually reorders *)
+  let r' =
+    Engine.run { Engine.default with Engine.n = 2; fifo = false; seed = 9L } handlers
+  in
+  check tbool "non-fifo reorders (this seed)" false
+    (Hpl_clocks.Causal_order.fifo_per_channel r'.Engine.trace)
+
+let test_engine_drops () =
+  let handlers =
+    {
+      Engine.init =
+        (fun p ->
+          if Pid.to_int p = 0 then
+            ((), List.init 100 (fun _ -> Engine.Send (Pid.of_int 1, "m")))
+          else ((), []));
+      on_message = (fun () ~self:_ ~src:_ ~payload:_ ~now:_ -> ((), []));
+      on_timer = (fun () ~self:_ ~tag:_ ~now:_ -> ((), []));
+    }
+  in
+  let r =
+    Engine.run { Engine.default with Engine.n = 2; drop_prob = 0.5; seed = 4L } handlers
+  in
+  check tint "sent all" 100 r.Engine.stats.Engine.sent;
+  check tbool "some dropped" true (r.Engine.stats.Engine.dropped > 10);
+  check tint "delivered = sent - dropped"
+    (100 - r.Engine.stats.Engine.dropped)
+    r.Engine.stats.Engine.delivered;
+  check tbool "trace still well-formed" true (Trace.well_formed r.Engine.trace)
+
+let test_engine_timers () =
+  let handlers =
+    {
+      Engine.init = (fun _ -> (0, [ Engine.Set_timer (5.0, "t") ]));
+      on_message = (fun s ~self:_ ~src:_ ~payload:_ ~now:_ -> (s, []));
+      on_timer =
+        (fun s ~self:_ ~tag:_ ~now:_ ->
+          if s < 3 then (s + 1, [ Engine.Set_timer (5.0, "t"); Engine.Log_internal "tick" ])
+          else (s, [ Engine.Log_internal "done" ]));
+    }
+  in
+  let r = Engine.run { Engine.default with Engine.n = 1 } handlers in
+  check tint "fired 4 times" 4 r.Engine.stats.Engine.timers_fired;
+  check tint "final state" 3 r.Engine.states.(0)
+
+let test_engine_crash_silences () =
+  (* p1 echoes everything; crash it at t=50 and stream messages past
+     that: no receive events on p1 after its crash event *)
+  let handlers =
+    {
+      Engine.init =
+        (fun p ->
+          if Pid.to_int p = 0 then
+            ((), List.init 20 (fun i ->
+                 Engine.Set_timer (10.0 *. float_of_int i, "send")))
+          else ((), []));
+      on_message =
+        (fun () ~self:_ ~src ~payload:_ ~now:_ -> ((), [ Engine.Send (src, "echo") ]));
+      on_timer =
+        (fun () ~self:_ ~tag:_ ~now:_ -> ((), [ Engine.Send (Pid.of_int 1, "ping") ]));
+    }
+  in
+  let r =
+    Engine.run
+      { Engine.default with Engine.n = 2; crashes = [ (50.0, 1) ] }
+      handlers
+  in
+  check tbool "p1 crashed" true r.Engine.crashed.(1);
+  let after_crash = ref false and violation = ref false in
+  List.iter
+    (fun e ->
+      if Pid.to_int e.Event.pid = 1 then
+        match e.Event.kind with
+        | Event.Internal "crash" -> after_crash := true
+        | _ -> if !after_crash then violation := true)
+    (Trace.to_list r.Engine.trace);
+  check tbool "crash recorded" true !after_crash;
+  check tbool "silent after crash" false !violation
+
+let test_engine_self_message () =
+  let handlers =
+    {
+      Engine.init =
+        (fun p -> if Pid.to_int p = 0 then ((), [ Engine.Send (p, "self") ]) else ((), []));
+      on_message = (fun () ~self:_ ~src:_ ~payload:_ ~now:_ -> ((), []));
+      on_timer = (fun () ~self:_ ~tag:_ ~now:_ -> ((), []));
+    }
+  in
+  let r = Engine.run { Engine.default with Engine.n = 1 } handlers in
+  check tint "delivered to self" 1 r.Engine.stats.Engine.delivered;
+  check tbool "well-formed" true (Trace.well_formed r.Engine.trace)
+
+let test_engine_max_steps () =
+  (* infinite ping-pong halts at the step budget *)
+  let handlers =
+    {
+      Engine.init =
+        (fun p -> if Pid.to_int p = 0 then ((), [ Engine.Send (Pid.of_int 1, "m") ]) else ((), []));
+      on_message =
+        (fun () ~self:_ ~src ~payload:_ ~now:_ -> ((), [ Engine.Send (src, "m") ]));
+      on_timer = (fun () ~self:_ ~tag:_ ~now:_ -> ((), []));
+    }
+  in
+  let r = Engine.run { Engine.default with Engine.n = 2; max_steps = 50 } handlers in
+  check tint "stopped at budget" 50 r.Engine.stats.Engine.steps
+
+let test_engine_latency_stats () =
+  let cfg = { Engine.default with Engine.n = 2; min_delay = 3.0; max_delay = 7.0 } in
+  let r = Engine.run cfg (broadcast_handlers 2) in
+  check tbool "avg within delay bounds" true
+    (r.Engine.stats.Engine.latency_avg >= 3.0
+    && r.Engine.stats.Engine.latency_avg <= 7.0);
+  check tbool "max ≥ avg" true
+    (r.Engine.stats.Engine.latency_max >= r.Engine.stats.Engine.latency_avg);
+  (* no deliveries: zeroes *)
+  let quiet =
+    Engine.run { Engine.default with Engine.n = 1 }
+      {
+        Engine.init = (fun _ -> ((), []));
+        on_message = (fun () ~self:_ ~src:_ ~payload:_ ~now:_ -> ((), []));
+        on_timer = (fun () ~self:_ ~tag:_ ~now:_ -> ((), []));
+      }
+  in
+  check (Alcotest.float 0.001) "zero when silent" 0.0
+    quiet.Engine.stats.Engine.latency_avg
+
+let test_engine_validates_config () =
+  check tbool "bad crash pid" true
+    (try
+       ignore (Engine.run { Engine.default with crashes = [ (1.0, 9) ] } (broadcast_handlers 4));
+       false
+     with Invalid_argument _ -> true);
+  check tbool "bad delays" true
+    (try
+       ignore
+         (Engine.run
+            { Engine.default with min_delay = 5.0; max_delay = 1.0 }
+            (broadcast_handlers 4));
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("engine validates config", `Quick, test_engine_validates_config);
+    ("engine latency stats", `Quick, test_engine_latency_stats);
+    ("rng bounds", `Quick, test_rng_bounds);
+    ("rng distribution", `Quick, test_rng_distribution);
+    ("rng split", `Quick, test_rng_split_independent);
+    ("rng copy", `Quick, test_rng_copy);
+    ("pqueue order", `Quick, test_pqueue_order);
+    ("pqueue tie-break", `Quick, test_pqueue_tie_break);
+    ("pqueue stress", `Quick, test_pqueue_stress);
+    ("engine broadcast", `Quick, test_engine_broadcast);
+    ("engine determinism", `Quick, test_engine_determinism);
+    ("engine seed sensitivity", `Quick, test_engine_seed_sensitivity);
+    ("engine fifo", `Quick, test_engine_fifo);
+    ("engine drops", `Quick, test_engine_drops);
+    ("engine timers", `Quick, test_engine_timers);
+    ("engine crash silences", `Quick, test_engine_crash_silences);
+    ("engine self message", `Quick, test_engine_self_message);
+    ("engine max steps", `Quick, test_engine_max_steps);
+  ]

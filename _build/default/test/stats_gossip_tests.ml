@@ -1,0 +1,147 @@
+(* Trace profiling and gossip dissemination modes. *)
+open Hpl_core
+open Hpl_protocols
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let p0 = Fixtures.p0
+let p1 = Fixtures.p1
+let p2 = Fixtures.p2
+
+let m01 = Msg.make ~src:p0 ~dst:p1 ~seq:0 ~payload:"work:3"
+let m12 = Msg.make ~src:p1 ~dst:p2 ~seq:0 ~payload:"work:1"
+
+let relay =
+  Trace.of_list
+    [
+      Event.send ~pid:p0 ~lseq:0 m01;
+      Event.receive ~pid:p1 ~lseq:0 m01;
+      Event.send ~pid:p1 ~lseq:1 m12;
+      Event.receive ~pid:p2 ~lseq:0 m12;
+    ]
+
+let indep =
+  Trace.of_list
+    [ Event.internal ~pid:p0 ~lseq:0 "a"; Event.internal ~pid:p1 ~lseq:0 "b" ]
+
+(* -- trace stats -------------------------------------------------------- *)
+
+let test_stats_counts () =
+  let s = Trace_stats.compute ~n:3 relay in
+  check tint "events" 4 s.Trace_stats.events;
+  check tint "sends" 2 s.Trace_stats.sends;
+  check tint "receives" 2 s.Trace_stats.receives;
+  check tint "internals" 0 s.Trace_stats.internals;
+  check tint "in flight" 0 s.Trace_stats.in_flight_at_end;
+  check Alcotest.(list (pair string int)) "tags" [ ("work", 2) ] s.Trace_stats.by_tag
+
+let test_stats_causal_depth_chain () =
+  let s = Trace_stats.compute ~n:3 relay in
+  (* the relay is one chain: depth = 4, no concurrency *)
+  check tint "depth" 4 s.Trace_stats.causal_depth;
+  check (Alcotest.float 0.0001) "no concurrency" 0.0 s.Trace_stats.concurrency_ratio
+
+let test_stats_concurrency () =
+  let s = Trace_stats.compute ~n:2 indep in
+  check tint "depth 1" 1 s.Trace_stats.causal_depth;
+  check (Alcotest.float 0.0001) "fully concurrent" 1.0 s.Trace_stats.concurrency_ratio
+
+let test_stats_empty () =
+  let s = Trace_stats.compute ~n:2 Trace.empty in
+  check tint "depth 0" 0 s.Trace_stats.causal_depth;
+  check tint "events 0" 0 s.Trace_stats.events
+
+let test_critical_path () =
+  let path = Trace_stats.critical_path ~n:3 relay in
+  check tint "length = depth" 4 (List.length path);
+  (* consecutive path elements are causally ordered *)
+  let ts = Causality.compute ~n:3 relay in
+  let positions =
+    List.map
+      (fun e ->
+        match Causality.position_of ts e with
+        | Some i -> i
+        | None -> Alcotest.fail "path event missing")
+      path
+  in
+  let rec ordered = function
+    | a :: b :: rest -> Causality.hb ts a b && ordered (b :: rest)
+    | _ -> true
+  in
+  check tbool "chain ordered" true (ordered positions)
+
+let test_stats_depth_bounds_knowledge () =
+  (* causal depth of the two-generals ladder = its event count (pure
+     chain), and the max nested-knowledge depth (rounds) is below it *)
+  let z = Two_generals.ladder_trace ~rounds:3 in
+  let s = Trace_stats.compute ~n:2 z in
+  check tint "ladder depth" (Trace.length z) s.Trace_stats.causal_depth;
+  let u = Universe.enumerate Two_generals.spec ~depth:9 in
+  check tbool "knowledge depth ≤ causal depth" true
+    (Two_generals.max_depth_at u z <= s.Trace_stats.causal_depth)
+
+let test_pp_smoke () =
+  let s = Trace_stats.compute ~n:3 relay in
+  check tbool "renders" true
+    (String.length (Format.asprintf "%a" Trace_stats.pp s) > 20)
+
+(* -- gossip modes --------------------------------------------------------- *)
+
+let run_mode mode =
+  Gossip.run { Gossip.default with mode; n = 12; seed = 21L }
+
+let test_all_modes_inform_everyone () =
+  List.iter
+    (fun mode ->
+      let o = run_mode mode in
+      check tbool "all informed" true o.Gossip.all_informed)
+    [ Gossip.Push; Gossip.Pull; Gossip.Push_pull ]
+
+let test_pull_goes_quiet () =
+  (* pull stops generating traffic once everyone is informed, so its
+     message count is bounded; push keeps pushing until the horizon *)
+  let pull = run_mode Gossip.Pull in
+  let push = run_mode Gossip.Push in
+  check tbool "pull cheaper than push over a long horizon" true
+    (pull.Gossip.messages < push.Gossip.messages)
+
+let test_push_pull_fastest () =
+  (* push-pull completes dissemination no later than pull alone *)
+  let t_all o =
+    Array.fold_left
+      (fun acc t -> match t with Some t -> max acc t | None -> infinity)
+      0.0 o.Gossip.informed_time
+  in
+  let pp = run_mode Gossip.Push_pull in
+  let pull = run_mode Gossip.Pull in
+  check tbool "push-pull ≤ pull" true (t_all pp <= t_all pull)
+
+let test_pull_chain_still_holds () =
+  (* theorem 5 doesn't care how the rumor moved: chains from origin *)
+  let o = run_mode Gossip.Pull in
+  let z = o.Gossip.trace in
+  let informed = Gossip.informed_positions ~n:12 z in
+  Array.iteri
+    (fun i pos ->
+      if i > 0 && pos <> None then
+        check tbool "chain exists" true
+          (Chain.exists ~n:12 ~z
+             [ Pset.singleton (Pid.of_int 0); Pset.singleton (Pid.of_int i) ]))
+    informed
+
+let suite =
+  [
+    ("stats counts", `Quick, test_stats_counts);
+    ("stats causal depth", `Quick, test_stats_causal_depth_chain);
+    ("stats concurrency", `Quick, test_stats_concurrency);
+    ("stats empty", `Quick, test_stats_empty);
+    ("critical path", `Quick, test_critical_path);
+    ("depth bounds knowledge", `Quick, test_stats_depth_bounds_knowledge);
+    ("stats pp", `Quick, test_pp_smoke);
+    ("gossip all modes inform", `Quick, test_all_modes_inform_everyone);
+    ("gossip pull goes quiet", `Quick, test_pull_goes_quiet);
+    ("gossip push-pull fastest", `Quick, test_push_pull_fastest);
+    ("gossip pull chains", `Quick, test_pull_chain_still_holds);
+  ]

@@ -1,0 +1,179 @@
+(* §5 termination detection: the workload, the four detectors, and the
+   message lower bound. *)
+open Hpl_core
+open Hpl_protocols
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let params ?(n = 5) ?(budget = 60) ?(seed = 3L) () =
+  { Underlying.default with n; budget; seed }
+
+let config seed = { Hpl_sim.Engine.default with seed }
+
+(* -- underlying workload ------------------------------------------------- *)
+
+let test_underlying_budget_respected () =
+  List.iter
+    (fun seed ->
+      let r = Underlying.run ~config:(config seed) (params ~budget:40 ()) in
+      let m = Underlying.work_messages r.Hpl_sim.Engine.trace in
+      check tbool "within budget" true (m <= 40))
+    [ 1L; 2L; 3L; 4L ]
+
+let test_underlying_terminates () =
+  let r = Underlying.run (params ()) in
+  check tbool "terminated" true (Underlying.terminated_by r.Hpl_sim.Engine.trace);
+  check tbool "position found" true
+    (Underlying.termination_position r.Hpl_sim.Engine.trace <> None)
+
+let test_underlying_trace_well_formed () =
+  let r = Underlying.run (params ()) in
+  check tbool "well-formed" true (Trace.well_formed r.Hpl_sim.Engine.trace)
+
+let test_termination_position_semantics () =
+  let r = Underlying.run (params ()) in
+  let z = r.Hpl_sim.Engine.trace in
+  match Underlying.termination_position z with
+  | None -> Alcotest.fail "should terminate"
+  | Some pos ->
+      let events = Trace.to_list z in
+      (* the event closing the computation is the final work delivery *)
+      (if pos > 0 then
+         check tbool "last work delivery at pos-1" true
+           (match List.nth_opt events (pos - 1) with
+           | Some e -> (
+               match e.Event.kind with
+               | Event.Receive m -> Underlying.is_work m.Msg.payload
+               | _ -> false)
+           | None -> false));
+      (* the prefix of length pos has no work in flight; one shorter does *)
+      let prefix = Trace.of_list (List.filteri (fun i _ -> i < pos) events) in
+      check tbool "terminated at pos" true (Underlying.terminated_by prefix);
+      if pos > 0 then begin
+        let shorter = Trace.of_list (List.filteri (fun i _ -> i < pos - 1) events) in
+        check tbool "not terminated just before" false (Underlying.terminated_by shorter)
+      end
+
+(* -- detectors: correctness across seeds ---------------------------------- *)
+
+let seeds = [ 1L; 2L; 3L; 5L; 8L; 13L ]
+
+let all_detectors p cfg =
+  [
+    Dijkstra_scholten.run ~config:cfg p;
+    Safra.run ~config:cfg p;
+    Credit.run ~config:cfg p;
+    Probe.run ~config:cfg ~mode:`Four_counter p;
+  ]
+
+let test_sound_detectors_across_seeds () =
+  List.iter
+    (fun seed ->
+      let p = params ~seed () in
+      List.iter
+        (fun r ->
+          check tbool (r.Termination.detector ^ " detected") true r.Termination.detected;
+          check tbool (r.Termination.detector ^ " sound") true r.Termination.sound;
+          check tbool (r.Termination.detector ^ " terminated") true r.Termination.terminated)
+        (all_detectors p (config seed)))
+    seeds
+
+let test_detectors_on_trivial_workload () =
+  (* budget 0: root spawns nothing; detectors must still announce *)
+  let p = params ~budget:0 () in
+  List.iter
+    (fun r ->
+      check tbool (r.Termination.detector ^ " detected") true r.Termination.detected;
+      check tbool (r.Termination.detector ^ " sound") true r.Termination.sound)
+    (all_detectors p (config 1L))
+
+let test_ds_overhead_exactly_m () =
+  (* DS sends exactly one signal per work message *)
+  List.iter
+    (fun seed ->
+      let r = Dijkstra_scholten.run ~config:(config seed) (params ~seed ()) in
+      check tint "overhead = M" r.Termination.underlying_msgs
+        r.Termination.overhead_msgs)
+    seeds
+
+let test_credit_overhead_at_most_m () =
+  (* one report per work message handled away from the root *)
+  List.iter
+    (fun seed ->
+      let r = Credit.run ~config:(config seed) (params ~seed ()) in
+      check tbool "overhead ≤ M" true
+        (r.Termination.overhead_msgs <= r.Termination.underlying_msgs))
+    seeds
+
+let test_naive_probe_unsound_somewhere () =
+  (* the naive probe declares on instantaneous idleness; across seeds it
+     must announce early at least once — the §5 cautionary result *)
+  let unsound =
+    List.exists
+      (fun seed ->
+        let r = Probe.run ~config:(config seed) ~mode:`Naive (params ~seed ~budget:150 ()) in
+        not r.Termination.sound)
+      seeds
+  in
+  check tbool "naive probe caught announcing early" true unsound
+
+let test_detection_latency_nonnegative () =
+  List.iter
+    (fun r ->
+      match r.Termination.detection_latency_events with
+      | Some l -> check tbool "latency ≥ 0" true (l >= 0)
+      | None -> Alcotest.fail "expected detection")
+    (all_detectors (params ()) (config 2L))
+
+(* -- the lower bound (the paper's main quantitative claim) ----------------- *)
+
+let trickle ~budget ~seed =
+  (* a sequential chain of work messages: the adversarial regime where
+     activity lingers and every detector keeps paying *)
+  { Underlying.default with n = 6; budget; fanout = 1; spawn_prob = 1.0; seed }
+
+let test_lower_bound_ds_and_credit () =
+  (* for acknowledgement-based detectors, overhead ≥ M - (root's own
+     handled messages) on every workload, and = M for DS *)
+  List.iter
+    (fun seed ->
+      let p = trickle ~budget:80 ~seed in
+      let ds = Dijkstra_scholten.run ~config:(config seed) p in
+      check tbool "ds ratio 1" true
+        (ds.Termination.overhead_msgs = ds.Termination.underlying_msgs))
+    seeds
+
+let test_lower_bound_safra_trickle () =
+  (* on a long trickle with a round delay shorter than the workload's
+     lifetime, Safra's token rounds accumulate: overhead ≥ M *)
+  let p = trickle ~budget:60 ~seed:21L in
+  let r = Safra.run ~config:(config 21L) ~round_delay:2.0 p in
+  check tbool "sound" true r.Termination.sound;
+  check tbool "overhead ≥ M on adversarial workload" true
+    (r.Termination.overhead_msgs >= r.Termination.underlying_msgs)
+
+let test_lower_bound_four_counter_trickle () =
+  let p = trickle ~budget:60 ~seed:22L in
+  let r = Probe.run ~config:(config 22L) ~wave_delay:2.0 ~mode:`Four_counter p in
+  check tbool "sound" true r.Termination.sound;
+  check tbool "overhead ≥ M on adversarial workload" true
+    (r.Termination.overhead_msgs >= r.Termination.underlying_msgs)
+
+let suite =
+  [
+    ("underlying budget", `Quick, test_underlying_budget_respected);
+    ("underlying terminates", `Quick, test_underlying_terminates);
+    ("underlying well-formed", `Quick, test_underlying_trace_well_formed);
+    ("termination position", `Quick, test_termination_position_semantics);
+    ("detectors sound across seeds", `Slow, test_sound_detectors_across_seeds);
+    ("detectors on empty workload", `Quick, test_detectors_on_trivial_workload);
+    ("ds overhead = M", `Quick, test_ds_overhead_exactly_m);
+    ("credit overhead ≤ M", `Quick, test_credit_overhead_at_most_m);
+    ("naive probe unsound", `Quick, test_naive_probe_unsound_somewhere);
+    ("latency nonnegative", `Quick, test_detection_latency_nonnegative);
+    ("lower bound: ds", `Quick, test_lower_bound_ds_and_credit);
+    ("lower bound: safra trickle", `Quick, test_lower_bound_safra_trickle);
+    ("lower bound: 4counter trickle", `Quick, test_lower_bound_four_counter_trickle);
+  ]

@@ -1,0 +1,130 @@
+(* Two-phase commit: agreement/validity, the blocking window, and the
+   exact knowledge statement behind it. *)
+open Hpl_core
+open Hpl_protocols
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let test_all_yes_commits () =
+  let o = Two_phase_commit.run Two_phase_commit.default in
+  check tbool "agreement" true o.Two_phase_commit.agreement;
+  check tbool "validity" true o.Two_phase_commit.validity;
+  check tint "nobody blocked" 0 o.Two_phase_commit.blocked;
+  Array.iter
+    (fun d -> check Alcotest.(option string) "commit" (Some "commit") d)
+    o.Two_phase_commit.decisions
+
+let test_one_no_aborts () =
+  let o =
+    Two_phase_commit.run { Two_phase_commit.default with no_voters = [ 2 ] }
+  in
+  check tbool "agreement" true o.Two_phase_commit.agreement;
+  check tbool "validity" true o.Two_phase_commit.validity;
+  Array.iter
+    (fun d -> check Alcotest.(option string) "abort" (Some "abort") d)
+    o.Two_phase_commit.decisions
+
+let test_crash_in_window_blocks () =
+  (* with seed 37 the last vote lands after t=10: crashing the
+     coordinator at t=10 leaves every participant undecided although
+     they have already voted *)
+  let o =
+    Two_phase_commit.run
+      { Two_phase_commit.default with crash_coordinator_at = Some 10.0 }
+  in
+  check tint "all participants blocked" 3 o.Two_phase_commit.blocked;
+  (* they really did vote before the crash *)
+  let votes_sent =
+    List.length
+      (List.filter
+         (fun m -> Wire.is "2pc-yes" m.Msg.payload)
+         (Trace.sent o.Two_phase_commit.trace))
+  in
+  check tbool "votes were cast" true (votes_sent >= 1);
+  check tbool "agreement still holds (vacuously)" true o.Two_phase_commit.agreement
+
+let test_crash_after_broadcast_harmless () =
+  let o =
+    Two_phase_commit.run
+      { Two_phase_commit.default with crash_coordinator_at = Some 100.0 }
+  in
+  check tint "nobody blocked" 0 o.Two_phase_commit.blocked
+
+let test_agreement_across_seeds_and_votes () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun no_voters ->
+          let o =
+            Two_phase_commit.run { Two_phase_commit.default with seed; no_voters }
+          in
+          check tbool "agreement" true o.Two_phase_commit.agreement;
+          check tbool "validity" true o.Two_phase_commit.validity)
+        [ []; [ 1 ]; [ 1; 3 ] ])
+    [ 1L; 2L; 3L ]
+
+let test_message_count () =
+  (* n-1 prepares + n-1 votes + n-1 outcomes *)
+  let o = Two_phase_commit.run Two_phase_commit.default in
+  check tint "3(n-1)" (3 * 3) o.Two_phase_commit.messages
+
+(* -- exact ----------------------------------------------------------------- *)
+
+let u = Universe.enumerate ~mode:`Canonical Two_phase_commit.spec ~depth:8
+
+let test_uncertainty_window_exists () =
+  check tbool "uncertainty is real" true (Two_phase_commit.uncertainty_is_real u)
+
+let test_knowledge_requires_receive () =
+  (* §4.3 corollary instantiated: 'committed' is local to the
+     coordinator, so a participant can only come to know it by
+     receiving — verified over all pairs in the universe *)
+  let a = Pset.singleton (Pid.of_int 1) in
+  Universe.iter
+    (fun _ x ->
+      Universe.iter
+        (fun _ y ->
+          check tbool "gain => receive" true
+            (Transfer.corollary_gain_receives u ~p:a
+               ~b:Two_phase_commit.committed ~x ~y))
+        u)
+    u
+
+let test_decision_mutually_exclusive () =
+  Universe.iter
+    (fun _ z ->
+      check tbool "not both" false
+        (Prop.eval Two_phase_commit.committed z
+        && Prop.eval Two_phase_commit.aborted z))
+    u
+
+let test_commit_requires_both_yes () =
+  (* validity at the spec level: committed implies both voted yes *)
+  Universe.iter
+    (fun _ z ->
+      if Prop.eval Two_phase_commit.committed z then begin
+        let yes_votes =
+          List.length
+            (List.filter
+               (fun m -> String.equal m.Msg.payload "yes")
+               (Trace.received z))
+        in
+        check tbool "two yes votes received" true (yes_votes >= 2)
+      end)
+    u
+
+let suite =
+  [
+    ("all yes commits", `Quick, test_all_yes_commits);
+    ("one no aborts", `Quick, test_one_no_aborts);
+    ("crash in window blocks", `Quick, test_crash_in_window_blocks);
+    ("crash after broadcast harmless", `Quick, test_crash_after_broadcast_harmless);
+    ("agreement across seeds", `Quick, test_agreement_across_seeds_and_votes);
+    ("message count", `Quick, test_message_count);
+    ("uncertainty window exists", `Quick, test_uncertainty_window_exists);
+    ("knowledge requires receive", `Slow, test_knowledge_requires_receive);
+    ("decisions exclusive", `Quick, test_decision_mutually_exclusive);
+    ("commit requires yes votes", `Quick, test_commit_requires_both_yes);
+  ]

@@ -1,0 +1,204 @@
+(* Tests for universe enumeration and the canonical quotient. *)
+open Hpl_core
+
+let check = Alcotest.check
+let tbool = Alcotest.bool
+let tint = Alcotest.int
+
+let test_one_msg_counts () =
+  (* computations: ε, [send], [send;recv] — a single chain, so full and
+     canonical agree *)
+  let ufull = Universe.enumerate ~mode:`Full Fixtures.one_msg ~depth:5 in
+  let ucan = Universe.enumerate ~mode:`Canonical Fixtures.one_msg ~depth:5 in
+  check tint "full size" 3 (Universe.size ufull);
+  check tint "canonical size" 3 (Universe.size ucan)
+
+let test_indep_counts () =
+  (* ε, a, b, ab, ba: full 5; canonical merges ab/ba: 4 *)
+  let ufull = Universe.enumerate ~mode:`Full Fixtures.indep ~depth:5 in
+  let ucan = Universe.enumerate ~mode:`Canonical Fixtures.indep ~depth:5 in
+  check tint "full" 5 (Universe.size ufull);
+  check tint "canonical" 4 (Universe.size ucan)
+
+let test_depth_truncation () =
+  let u = Universe.enumerate ~mode:`Full Fixtures.one_msg ~depth:1 in
+  check tint "depth 1" 2 (Universe.size u);
+  let u0 = Universe.enumerate ~mode:`Full Fixtures.one_msg ~depth:0 in
+  check tint "depth 0" 1 (Universe.size u0)
+
+let test_ticks_counts () =
+  (* 2 processes, 2 ticks each. Full: interleavings of two sequences of
+     length ≤2 each: Σ_{i≤2,j≤2} C(i+j,i) = 1+1+1 +1+2+3 +1+3+6 = 19.
+     Canonical: one per (i,j) pair: 9. *)
+  let ufull = Universe.enumerate ~mode:`Full (Fixtures.ticks ~n:2 ~k:2) ~depth:10 in
+  let ucan =
+    Universe.enumerate ~mode:`Canonical (Fixtures.ticks ~n:2 ~k:2) ~depth:10
+  in
+  check tint "full 19" 19 (Universe.size ufull);
+  check tint "canonical 9" 9 (Universe.size ucan)
+
+let test_all_enumerated_valid () =
+  List.iter
+    (fun mode ->
+      let u = Universe.enumerate ~mode Fixtures.ping_pong ~depth:4 in
+      Universe.iter
+        (fun _ z ->
+          check tbool "valid" true (Spec.valid Fixtures.ping_pong z))
+        u)
+    [ `Full; `Canonical ]
+
+let test_canonical_is_canonical () =
+  let u = Universe.enumerate ~mode:`Canonical (Fixtures.chatter ~n:3 ~k:2) ~depth:4 in
+  Universe.iter
+    (fun _ z -> check tbool "fixpoint of canon" true (Trace.equal z (Universe.canon u z)))
+    u
+
+let test_canon_is_class_invariant () =
+  (* all interleavings of a class canonicalize to the same representative *)
+  let u = Universe.enumerate ~mode:`Full Fixtures.indep ~depth:5 in
+  let ab = ref None in
+  Universe.iter
+    (fun _ z ->
+      if Trace.length z = 2 then begin
+        let c = Universe.canon u z in
+        match !ab with
+        | None -> ab := Some c
+        | Some c' -> check tbool "same canon" true (Trace.equal c c')
+      end)
+    u;
+  check tbool "saw classes" true (!ab <> None)
+
+let test_full_covers_canonical_classes () =
+  (* every full-universe computation's canonical form is in the
+     canonical universe, and the canonical one is [D]-equivalent *)
+  let spec = Fixtures.chatter ~n:2 ~k:2 in
+  let ufull = Universe.enumerate ~mode:`Full spec ~depth:4 in
+  let ucan = Universe.enumerate ~mode:`Canonical spec ~depth:4 in
+  Universe.iter
+    (fun _ z ->
+      match Universe.find ucan z with
+      | None -> Alcotest.fail "class missing from canonical universe"
+      | Some i ->
+          check tbool "[D]-equivalent" true
+            (Trace.permutation_of z (Universe.comp ucan i)))
+    ufull
+
+let test_find_and_index () =
+  let u = Universe.enumerate ~mode:`Canonical Fixtures.indep ~depth:5 in
+  let a = Event.internal ~pid:Fixtures.p0 ~lseq:0 "a" in
+  let b = Event.internal ~pid:Fixtures.p1 ~lseq:0 "b" in
+  let ba = Trace.of_list [ b; a ] in
+  (* ba is non-canonical, so exact index fails but find succeeds *)
+  check tbool "index misses interleaving" true (Universe.index u ba = None);
+  check tbool "find canonicalizes" true (Universe.find u ba <> None);
+  check tbool "find_exn raises outside" true
+    (try
+       ignore (Universe.find_exn u (Trace.of_list [ Event.internal ~pid:Fixtures.p0 ~lseq:0 "zz" ]));
+       false
+     with Not_found -> true)
+
+let test_class_ids_match_projection () =
+  let u = Universe.enumerate ~mode:`Full (Fixtures.chatter ~n:2 ~k:2) ~depth:3 in
+  let ids = Universe.class_ids u Fixtures.p0 in
+  Universe.iter
+    (fun i x ->
+      Universe.iter
+        (fun j y ->
+          let same_class = ids.(i) = ids.(j) in
+          let same_proj =
+            List.equal Event.equal (Trace.proj x Fixtures.p0) (Trace.proj y Fixtures.p0)
+          in
+          check tbool "class iff proj" true (same_class = same_proj))
+        u)
+    u
+
+let test_pset_class_ids () =
+  let u = Universe.enumerate ~mode:`Full (Fixtures.ticks ~n:2 ~k:1) ~depth:4 in
+  let d = Pset.all 2 in
+  let ids_d = Universe.pset_class_ids u d in
+  Universe.iter
+    (fun i x ->
+      Universe.iter
+        (fun j y ->
+          check tbool "[D] iff permutation" true
+            ((ids_d.(i) = ids_d.(j)) = Trace.permutation_of x y))
+        u)
+    u;
+  (* empty set: everything equivalent *)
+  let ids_e = Universe.pset_class_ids u Pset.empty in
+  Array.iter (fun id -> check tint "one class" 0 id) ids_e
+
+let test_class_members () =
+  let u = Universe.enumerate ~mode:`Full Fixtures.indep ~depth:5 in
+  Universe.iter
+    (fun i _ ->
+      let members = Universe.class_members u (Pset.singleton Fixtures.p0) i in
+      check tbool "contains self" true (Bitset.mem members i))
+    u
+
+let test_prefixes_of () =
+  let u = Universe.enumerate ~mode:`Full Fixtures.one_msg ~depth:5 in
+  (* the 2-event computation has 3 prefixes: ε, send, itself *)
+  let long = ref None in
+  Universe.iter (fun i z -> if Trace.length z = 2 then long := Some i) u;
+  match !long with
+  | None -> Alcotest.fail "expected 2-event computation"
+  | Some i -> check tint "prefixes" 3 (List.length (Universe.prefixes_of u i))
+
+let test_prefix_closed_universe () =
+  (* the stored set is prefix-closed in both modes (canonical prefixes
+     of canonical words are canonical) *)
+  List.iter
+    (fun mode ->
+      let u = Universe.enumerate ~mode (Fixtures.chatter ~n:3 ~k:2) ~depth:4 in
+      Universe.iter
+        (fun _ z ->
+          if not (Trace.is_empty z) then begin
+            let es = Trace.to_list z in
+            let prefix = Trace.of_list (List.filteri (fun i _ -> i < List.length es - 1) es) in
+            check tbool "immediate prefix stored" true (Universe.index u prefix <> None)
+          end)
+        u)
+    [ `Full; `Canonical ]
+
+let qcheck_props =
+  let spec = Fixtures.chatter ~n:2 ~k:2 in
+  let ucan = Universe.enumerate ~mode:`Canonical spec ~depth:4 in
+  let ufull = Universe.enumerate ~mode:`Full spec ~depth:4 in
+  let gen_idx =
+    QCheck.make ~print:string_of_int (QCheck.Gen.int_range 0 (Universe.size ufull - 1))
+  in
+  [
+    QCheck.Test.make ~name:"canon preserves projections" ~count:200 gen_idx (fun i ->
+        let z = Universe.comp ufull i in
+        let c = Universe.canon ufull z in
+        Trace.permutation_of z c);
+    QCheck.Test.make ~name:"canon idempotent" ~count:200 gen_idx (fun i ->
+        let c = Universe.canon ufull (Universe.comp ufull i) in
+        Trace.equal c (Universe.canon ufull c));
+    QCheck.Test.make ~name:"find consistent across modes" ~count:200 gen_idx
+      (fun i ->
+        let z = Universe.comp ufull i in
+        match Universe.find ucan z with
+        | None -> false
+        | Some j -> Trace.permutation_of z (Universe.comp ucan j));
+  ]
+
+let suite =
+  [
+    ("one-msg counts", `Quick, test_one_msg_counts);
+    ("indep counts", `Quick, test_indep_counts);
+    ("depth truncation", `Quick, test_depth_truncation);
+    ("ticks counts", `Quick, test_ticks_counts);
+    ("all enumerated valid", `Quick, test_all_enumerated_valid);
+    ("canonical fixpoint", `Quick, test_canonical_is_canonical);
+    ("canon class-invariant", `Quick, test_canon_is_class_invariant);
+    ("full covers canonical", `Quick, test_full_covers_canonical_classes);
+    ("find vs index", `Quick, test_find_and_index);
+    ("class ids = projection classes", `Quick, test_class_ids_match_projection);
+    ("pset class ids", `Quick, test_pset_class_ids);
+    ("class members", `Quick, test_class_members);
+    ("prefixes_of", `Quick, test_prefixes_of);
+    ("prefix-closed storage", `Quick, test_prefix_closed_universe);
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~verbose:false) qcheck_props
