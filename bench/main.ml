@@ -45,6 +45,28 @@ let enumeration_bench mode name ~depth =
     (Staged.stage (fun () ->
          ignore (Universe.enumerate ~mode (chatter ~n:3 ~k:2) ~depth)))
 
+(* -- P6: parallel enumeration / extent (scaling with ?domains) --------- *)
+
+let enumeration_domains_bench ~depth ~domains =
+  Test.make
+    ~name:(Printf.sprintf "enumerate/depth=%d/domains=%d" depth domains)
+    (Staged.stage (fun () ->
+         ignore
+           (Universe.enumerate ~mode:`Canonical ~domains (chatter ~n:3 ~k:3)
+              ~depth)))
+
+let extent_domains_bench ~depth ~domains =
+  let u = Universe.enumerate ~mode:`Canonical (chatter ~n:3 ~k:3) ~depth in
+  let busy =
+    (* deliberately heavier than a field probe, so the per-index work
+       dominates the fork/join overhead being measured *)
+    Prop.make "busy" (fun z ->
+        List.length (Universe.canon u z |> Trace.to_list) mod 2 = 0)
+  in
+  Test.make
+    ~name:(Printf.sprintf "extent/U=%d/domains=%d" (Universe.size u) domains)
+    (Staged.stage (fun () -> ignore (Prop.extent ~domains u busy)))
+
 (* -- P3: chain detection vs trace length ------------------------------- *)
 
 let relay_trace len =
@@ -147,6 +169,14 @@ let all_tests =
       knows_naive_bench ~depth:4;
       enumeration_bench `Full "enumerate/full" ~depth:5;
       enumeration_bench `Canonical "enumerate/canonical" ~depth:5;
+      enumeration_domains_bench ~depth:6 ~domains:1;
+      enumeration_domains_bench ~depth:6 ~domains:2;
+      enumeration_domains_bench ~depth:6 ~domains:4;
+      enumeration_domains_bench ~depth:7 ~domains:1;
+      enumeration_domains_bench ~depth:7 ~domains:2;
+      enumeration_domains_bench ~depth:7 ~domains:4;
+      extent_domains_bench ~depth:6 ~domains:1;
+      extent_domains_bench ~depth:6 ~domains:4;
       chain_bench 50;
       chain_bench 200;
       chain_bench 800;
@@ -156,6 +186,35 @@ let all_tests =
       bitset_bench 10_000;
       bitset_bench 100_000;
     ]
+
+(* Machine-readable results so successive PRs can track the perf
+   trajectory. One JSON object per benchmark: {name, ns_per_run, r2};
+   unavailable estimates are emitted as null. *)
+let write_bench_json path rows =
+  let oc = open_out path in
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let fnum = function Some v -> Printf.sprintf "%.6g" v | None -> "null" in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (name, ns, r2) ->
+      Printf.fprintf oc "  {\"name\": \"%s\", \"ns_per_run\": %s, \"r2\": %s}%s\n"
+        (escape name) (fnum ns) (fnum r2)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "\nwrote %d benchmark results to %s\n" (List.length rows) path
 
 let run_benchmarks () =
   print_endline "\n=== microbenchmarks (bechamel, monotonic clock) ===";
@@ -170,24 +229,31 @@ let run_benchmarks () =
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
-  Printf.printf "  %-28s %16s %10s\n" "benchmark" "time/run" "r²";
+  let estimate ols =
+    match Analyze.OLS.estimates ols with Some [ est ] -> Some est | _ -> None
+  in
+  Printf.printf "  %-34s %16s %10s\n" "benchmark" "time/run" "r²";
   List.iter
     (fun (name, ols) ->
       let time =
-        match Analyze.OLS.estimates ols with
-        | Some [ est ] ->
+        match estimate ols with
+        | Some est ->
             if est > 1e6 then Printf.sprintf "%10.2f ms" (est /. 1e6)
             else if est > 1e3 then Printf.sprintf "%10.2f µs" (est /. 1e3)
             else Printf.sprintf "%10.0f ns" est
-        | _ -> "-"
+        | None -> "-"
       in
       let r2 =
         match Analyze.OLS.r_square ols with
         | Some r -> Printf.sprintf "%.4f" r
         | None -> "-"
       in
-      Printf.printf "  %-28s %16s %10s\n" name time r2)
-    rows
+      Printf.printf "  %-34s %16s %10s\n" name time r2)
+    rows;
+  write_bench_json "BENCH.json"
+    (List.map
+       (fun (name, ols) -> (name, estimate ols, Analyze.OLS.r_square ols))
+       rows)
 
 let () =
   Experiments.run_all ();

@@ -1,10 +1,17 @@
 (* A trace stores its events in reverse so that [snoc] is O(1); every
-   ordered observation reverses on demand. *)
-type t = { rev : Event.t list; len : int }
+   ordered observation reverses on demand.
 
-let empty = { rev = []; len = 0 }
-let snoc z e = { rev = e :: z.rev; len = z.len + 1 }
-let of_list es = { rev = List.rev es; len = List.length es }
+   [h] is a structural hash of the event sequence, maintained
+   incrementally by [snoc]: it is a pure function of the ordered event
+   hashes, so [equal a b] implies [a.h = b.h] and hashtable probes
+   ([Universe.TraceTbl]) need no O(length) rebuild. *)
+type t = { rev : Event.t list; len : int; h : int }
+
+(* FNV-1a-style step: order-sensitive, cheap, and stable across runs. *)
+let mix h eh = ((h * 0x01000193) lxor eh) land max_int
+let empty = { rev = []; len = 0; h = 0x811c9dc5 }
+let snoc z e = { rev = e :: z.rev; len = z.len + 1; h = mix z.h (Event.hash e) }
+let of_list es = List.fold_left snoc empty es
 let to_list z = List.rev z.rev
 let length z = z.len
 let is_empty z = z.len = 0
@@ -14,13 +21,16 @@ let nth z i =
   if i < 0 || i >= z.len then invalid_arg "Trace.nth: out of bounds";
   List.nth z.rev (z.len - 1 - i)
 
-let equal a b = a.len = b.len && List.equal Event.equal a.rev b.rev
+(* The cached hash is a fast-path reject: unequal hashes cannot be equal
+   traces, equal hashes fall through to the structural check. *)
+let equal a b =
+  a.len = b.len && a.h = b.h && List.equal Event.equal a.rev b.rev
 
 let compare a b =
   let c = Int.compare a.len b.len in
   if c <> 0 then c else List.compare Event.compare a.rev b.rev
 
-let hash z = Hashtbl.hash (List.map Event.hash z.rev)
+let hash z = z.h
 
 let proj z p =
   List.fold_left
@@ -79,8 +89,17 @@ let received z =
     [] z.rev
 
 let in_flight z =
-  let recvd = received z in
-  List.filter (fun m -> not (List.exists (Msg.equal m) recvd)) (sent z)
+  (* O(S+R): index received message keys instead of scanning the receive
+     list once per send. Keys [(src,seq)] identify messages in any
+     well-formed trace (each key is sent at most once). *)
+  let recvd : (Pid.t * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      match e.Event.kind with
+      | Event.Receive m -> Hashtbl.replace recvd (Msg.key m) ()
+      | Event.Send _ | Event.Internal _ -> ())
+    z.rev;
+  List.filter (fun m -> not (Hashtbl.mem recvd (Msg.key m))) (sent z)
 
 let well_formed_error z =
   let events = to_list z in

@@ -29,7 +29,11 @@ val nth : t -> int -> Event.t
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
 val hash : t -> int
+(** O(1): a structural hash of the ordered event sequence, cached inside
+    the trace and maintained incrementally by {!snoc}/{!of_list}.
+    [equal a b] implies [hash a = hash b]. *)
 
 val proj : t -> Pid.t -> Event.t list
 (** [proj z p] is [z]p — the subsequence of events on [p] (§2). *)

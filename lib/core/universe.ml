@@ -7,11 +7,16 @@ module TraceTbl = Hashtbl.Make (struct
   let hash = Trace.hash
 end)
 
-module ProjTbl = Hashtbl.Make (struct
-  type t = Event.t list
+(* Interning table for incremental per-process projections. A local
+   computation is identified by the pair (class id of its immediate
+   prefix, final event) — a hash-consed trie over local histories, so
+   extending a projection by one event costs O(1) instead of hashing
+   the whole event list. *)
+module StepTbl = Hashtbl.Make (struct
+  type t = int * Event.t
 
-  let equal = List.equal Event.equal
-  let hash l = Hashtbl.hash (List.map Event.hash l)
+  let equal (i, e) (j, f) = Int.equal i j && Event.equal e f
+  let hash (i, e) = Hashtbl.hash (i, Event.hash e)
 end)
 
 type t = {
@@ -86,54 +91,115 @@ let snoc_is_canonical z e =
 
 (* --- enumeration --------------------------------------------------- *)
 
-let enumerate ?(mode = `Canonical) spec ~depth =
+(* Each BFS node carries its trace plus the vector of per-process class
+   ids of its projections. A child differs from its parent in exactly
+   one slot (the extending event's process), so maintaining the vector
+   is O(n) per child and the post-hoc O(N·n·depth) re-projection pass
+   is gone entirely.
+
+   Parallelism: the effect-free, expensive half of a level — enabled
+   events, the canonicity filter, [Trace.snoc] — is fanned out across
+   [domains] stdlib domains in contiguous frontier blocks; each worker
+   writes only its own slots of the output array. The effectful half
+   (class-id interning, appending to the accumulator) runs sequentially
+   in frontier order afterwards, so [comps], [idx] and every class id
+   are bit-identical for any [domains]. *)
+let enumerate ?(mode = `Canonical) ?(domains = 1) spec ~depth =
   if depth < 0 then invalid_arg "Universe.enumerate: negative depth";
-  let acc = ref [ Trace.empty ] and count = ref 1 in
+  if domains < 1 then invalid_arg "Universe.enumerate: domains < 1";
+  let n = Spec.n spec in
+  let step_tbls = Array.init n (fun _ -> StepTbl.create 64) in
+  let next_ids = Array.make n 1 in
+  (* class id 0 is the empty projection; every distinct one-event
+     extension of an interned projection gets the next id on first
+     sight, in discovery order — the same first-occurrence order the
+     old comps scan produced. *)
+  let intern pi parent_id e =
+    let key = (parent_id, e) in
+    match StepTbl.find_opt step_tbls.(pi) key with
+    | Some id -> id
+    | None ->
+        let id = next_ids.(pi) in
+        next_ids.(pi) <- id + 1;
+        StepTbl.add step_tbls.(pi) key id;
+        id
+  in
   let keep z e =
     match mode with `Full -> true | `Canonical -> snoc_is_canonical z e
   in
-  let rec level frontier d =
-    if d >= depth || frontier = [] then ()
+  let children z =
+    List.filter_map
+      (fun e -> if keep z e then Some (e, Trace.snoc z e) else None)
+      (Spec.enabled spec z)
+  in
+  let expand frontier =
+    let m = Array.length frontier in
+    let out = Array.make m [] in
+    let fill lo hi =
+      for i = lo to hi - 1 do
+        let z, _ = frontier.(i) in
+        out.(i) <- children z
+      done
+    in
+    let k = if domains > 1 && m >= 2 * domains then domains else 1 in
+    if k = 1 then fill 0 m
     else begin
-      let next =
-        List.concat_map
-          (fun z ->
-            List.filter_map
-              (fun e -> if keep z e then Some (Trace.snoc z e) else None)
-              (Spec.enabled spec z))
-          frontier
+      let block w = (w * m / k, (w + 1) * m / k) in
+      let workers =
+        List.init (k - 1) (fun w ->
+            let lo, hi = block (w + 1) in
+            Domain.spawn (fun () -> fill lo hi))
       in
-      List.iter
-        (fun z ->
-          acc := z :: !acc;
-          incr count)
-        next;
-      level next (d + 1)
+      let lo, hi = block 0 in
+      fill lo hi;
+      (* the joins establish happens-before on every [out] slot *)
+      List.iter Domain.join workers
+    end;
+    out
+  in
+  let acc = ref [] and count = ref 0 in
+  let push node =
+    acc := node :: !acc;
+    incr count
+  in
+  let root = (Trace.empty, Array.make n 0) in
+  push root;
+  let rec level frontier d =
+    if d >= depth || Array.length frontier = 0 then ()
+    else begin
+      let childlists = expand frontier in
+      (* deterministic merge: frontier order, then per-parent order *)
+      let next = ref [] in
+      Array.iteri
+        (fun i kids ->
+          let _, pids = frontier.(i) in
+          List.iter
+            (fun (e, z') ->
+              let pi = Pid.to_int e.Event.pid in
+              let ids = Array.copy pids in
+              ids.(pi) <- intern pi pids.(pi) e;
+              let node = (z', ids) in
+              push node;
+              next := node :: !next)
+            kids)
+        childlists;
+      level (Array.of_list (List.rev !next)) (d + 1)
     end
   in
-  level [ Trace.empty ] 0;
+  level [| root |] 0;
   let comps = Array.make !count Trace.empty in
-  (* [!acc] holds computations in reverse discovery order *)
-  List.iteri (fun k z -> comps.(!count - 1 - k) <- z) !acc;
+  let class_ids_by_pid = Array.init n (fun _ -> Array.make !count 0) in
+  (* [!acc] holds nodes in reverse discovery order *)
+  List.iteri
+    (fun k (z, ids) ->
+      let i = !count - 1 - k in
+      comps.(i) <- z;
+      for pi = 0 to n - 1 do
+        class_ids_by_pid.(pi).(i) <- ids.(pi)
+      done)
+    !acc;
   let idx = TraceTbl.create (2 * !count) in
   Array.iteri (fun i z -> TraceTbl.replace idx z i) comps;
-  let class_ids_by_pid =
-    Array.init (Spec.n spec) (fun pi ->
-        let p = Pid.of_int pi in
-        let tbl = ProjTbl.create (2 * !count) in
-        let next = ref 0 in
-        Array.map
-          (fun z ->
-            let key = Trace.proj z p in
-            match ProjTbl.find_opt tbl key with
-            | Some id -> id
-            | None ->
-                let id = !next in
-                incr next;
-                ProjTbl.add tbl key id;
-                id)
-          comps)
-  in
   {
     spec;
     mode;

@@ -23,9 +23,16 @@ type mode = [ `Full | `Canonical ]
 
 type t
 
-val enumerate : ?mode:mode -> Spec.t -> depth:int -> t
+val enumerate : ?mode:mode -> ?domains:int -> Spec.t -> depth:int -> t
 (** [enumerate spec ~depth] explores breadth-first from the empty
-    computation. Default mode is [`Canonical]. *)
+    computation. Default mode is [`Canonical].
+
+    [domains] (default 1) expands each BFS level in parallel across
+    that many stdlib domains. The result is bit-identical to the
+    sequential run for any [domains]: workers only compute candidate
+    extensions, and all state (computation indices, class-id interning)
+    is merged sequentially in frontier order. Raises [Invalid_argument]
+    if [domains < 1]. *)
 
 val spec : t -> Spec.t
 val mode : t -> mode
