@@ -1,7 +1,8 @@
 (* hpl — explore "How Processes Learn" systems from the command line.
 
    Subcommands:
-     enumerate    enumerate a built-in system's computations
+     list         show every registered protocol
+     enumerate    enumerate a registered protocol's computations
      diagram      emit the isomorphism diagram of a universe as DOT
      knows        evaluate knowledge along the canonical run of a system
      termination  run the §5 termination-detector comparison
@@ -12,65 +13,43 @@ open Cmdliner
 open Hpl_core
 open Hpl_protocols
 
-(* -- built-in systems ------------------------------------------------- *)
+(* -- protocol selection ------------------------------------------------ *)
 
-type system = Ping_pong | Token_bus of int | Two_generals | Chatter of int
+(* Every protocol comes from the registry: one generic [name[:v1[:v2]]]
+   parser replaces the old hardcoded system variant. *)
+let () = Builtins.init ()
 
-let system_of_string s =
-  match String.split_on_char ':' s with
-  | [ "ping-pong" ] -> Ok Ping_pong
-  | [ "two-generals" ] -> Ok Two_generals
-  | [ "token-bus" ] -> Ok (Token_bus 5)
-  | [ "token-bus"; n ] -> (
-      match int_of_string_opt n with
-      | Some n when n >= 2 -> Ok (Token_bus n)
-      | _ -> Error (`Msg "token-bus:<n> needs n >= 2"))
-  | [ "chatter" ] -> Ok (Chatter 2)
-  | [ "chatter"; n ] -> (
-      match int_of_string_opt n with
-      | Some n when n >= 1 -> Ok (Chatter n)
-      | _ -> Error (`Msg "chatter:<n> needs n >= 1"))
-  | _ ->
-      Error
-        (`Msg
-           "unknown system (try: ping-pong, token-bus[:n], two-generals, chatter[:n])")
+let proto_conv =
+  Arg.conv
+    ( (fun s ->
+        match Protocol.Registry.parse s with
+        | Ok i -> Ok i
+        | Error e -> Error (`Msg e)),
+      fun fmt i -> Format.pp_print_string fmt (Protocol.instance_name i) )
 
-let spec_of = function
-  | Ping_pong ->
-      Spec.make ~n:2 (fun p history ->
-          if Pid.to_int p = 0 then
-            match history with
-            | [] -> [ Spec.Send_to (Pid.of_int 1, "ping") ]
-            | _ -> [ Spec.Recv_any ]
-          else
-            match history with
-            | [] -> [ Spec.Recv_any ]
-            | [ _ ] -> [ Spec.Send_to (Pid.of_int 0, "pong") ]
-            | _ -> [])
-  | Token_bus n -> Token_bus.spec ~n
-  | Two_generals -> Two_generals.spec
-  | Chatter n ->
-      Spec.make ~n (fun p history ->
-          if List.length history >= 2 then []
-          else
-            let right = Pid.of_int ((Pid.to_int p + 1) mod n) in
-            [ Spec.Send_to (right, "c"); Spec.Do "idle"; Spec.Recv_any ])
+let default_instance =
+  match Protocol.Registry.parse "ping-pong" with
+  | Ok i -> i
+  | Error e -> failwith e
 
-let system_conv =
-  Arg.conv (system_of_string, fun fmt _ -> Format.pp_print_string fmt "<system>")
-
-let system_arg =
+let proto_arg =
   Arg.(
     value
-    & opt system_conv Ping_pong
-    & info [ "s"; "system" ] ~docv:"SYSTEM"
+    & opt proto_conv default_instance
+    & info [ "s"; "system" ] ~docv:"PROTOCOL"
         ~doc:
-          "Built-in system: ping-pong, token-bus[:n], two-generals, chatter[:n].")
+          "Registered protocol, as $(b,name[:v1[:v2...]]) with positional \
+           integer parameters, e.g. $(b,token-bus:7). Run $(b,hpl list) for \
+           the full registry.")
 
 let depth_arg =
   Arg.(
-    value & opt int 6
-    & info [ "d"; "depth" ] ~docv:"DEPTH" ~doc:"Enumeration depth bound.")
+    value
+    & opt (some int) None
+    & info [ "d"; "depth" ] ~docv:"DEPTH"
+        ~doc:"Enumeration depth bound (default: the protocol's suggested depth).")
+
+let depth_of inst = function Some d -> d | None -> Protocol.depth_of inst
 
 let mode_arg =
   let mode_of_string = function
@@ -91,10 +70,17 @@ let mode_arg =
     & info [ "m"; "mode" ] ~docv:"MODE"
         ~doc:"Enumeration mode: 'full' (all interleavings) or 'canonical'.")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"D"
+        ~doc:"Worker domains for parallel enumeration (results are deterministic).")
+
 (* -- enumerate ---------------------------------------------------------- *)
 
-let enumerate system depth mode verbose =
-  let u = Universe.enumerate ~mode (spec_of system) ~depth in
+let enumerate inst depth mode domains verbose =
+  let depth = depth_of inst depth in
+  let u = Universe.enumerate ~mode ~domains (Protocol.spec_of inst) ~depth in
   Format.printf "%a@." Universe.pp_stats u;
   if verbose then
     Universe.iter (fun i z -> Format.printf "%4d: %a@." i Trace.pp z) u
@@ -104,13 +90,14 @@ let enumerate_cmd =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every computation.")
   in
   Cmd.v
-    (Cmd.info "enumerate" ~doc:"Enumerate a system's bounded computation universe")
-    Term.(const enumerate $ system_arg $ depth_arg $ mode_arg $ verbose)
+    (Cmd.info "enumerate" ~doc:"Enumerate a protocol's bounded computation universe")
+    Term.(const enumerate $ proto_arg $ depth_arg $ mode_arg $ domains_arg $ verbose)
 
 (* -- diagram ------------------------------------------------------------- *)
 
-let diagram system depth mode limit =
-  let u = Universe.enumerate ~mode (spec_of system) ~depth in
+let diagram inst depth mode limit =
+  let depth = depth_of inst depth in
+  let u = Universe.enumerate ~mode (Protocol.spec_of inst) ~depth in
   let size = min limit (Universe.size u) in
   let named =
     Universe.fold
@@ -131,42 +118,39 @@ let diagram_cmd =
   in
   Cmd.v
     (Cmd.info "diagram" ~doc:"Emit the isomorphism diagram as Graphviz DOT")
-    Term.(const diagram $ system_arg $ depth_arg $ mode_arg $ limit)
+    Term.(const diagram $ proto_arg $ depth_arg $ mode_arg $ limit)
 
 (* -- knows ---------------------------------------------------------------- *)
 
-let knows system depth =
-  let spec = spec_of system in
-  let u = Universe.enumerate (spec_of system) ~depth in
+let knows inst depth =
+  let depth = depth_of inst depth in
+  let spec = Protocol.spec_of inst in
+  let u = Universe.enumerate spec ~depth in
   Format.printf "%a@.@." Universe.pp_stats u;
-  (* one interesting local predicate per system *)
-  let facts =
-    match system with
-    | Ping_pong | Chatter _ ->
-        [ Prop.make "p0 sent something" (fun z -> Trace.send_count z (Pid.of_int 0) > 0) ]
-    | Token_bus n ->
-        List.init n (fun i -> Token_bus.holds (Pid.of_int i))
-    | Two_generals -> [ Two_generals.attack_decided ]
-  in
   let n = Spec.n spec in
-  List.iter
-    (fun fact ->
-      Format.printf "fact: %a@." Prop.pp fact;
-      for i = 0 to n - 1 do
-        let p = Pid.of_int i in
-        let k = Knowledge.knows_p u p fact in
-        let count =
-          Universe.fold (fun _ z acc -> if Prop.eval k z then acc + 1 else acc) u 0
-        in
-        Format.printf "  %a knows it in %d / %d computations@." Pid.pp p count
-          (Universe.size u)
-      done)
-    facts
+  (match Protocol.atoms_of inst with
+  | [] -> Format.printf "(no atoms registered for %s)@." (Protocol.instance_name inst)
+  | atoms ->
+      List.iter
+        (fun (name, fact) ->
+          Format.printf "fact %s: %a@." name Prop.pp fact;
+          for i = 0 to n - 1 do
+            let p = Pid.of_int i in
+            let k = Knowledge.knows_p u p fact in
+            let count =
+              Universe.fold
+                (fun _ z acc -> if Prop.eval k z then acc + 1 else acc)
+                u 0
+            in
+            Format.printf "  %a knows it in %d / %d computations@." Pid.pp p
+              count (Universe.size u)
+          done)
+        atoms)
 
 let knows_cmd =
   Cmd.v
     (Cmd.info "knows" ~doc:"Summarize who knows what across a universe")
-    Term.(const knows $ system_arg $ depth_arg)
+    Term.(const knows $ proto_arg $ depth_arg)
 
 (* -- termination ------------------------------------------------------------ *)
 
@@ -488,40 +472,19 @@ let commit_cmd =
 
 (* -- check (epistemic-temporal model checking) ------------------------------------ *)
 
-(* each built-in system exports named atoms for formulas *)
-let atom_env system : string -> Prop.t option =
-  let holds i = Some (Token_bus.holds (Pid.of_int i)) in
-  match system with
-  | Token_bus n ->
-      fun name ->
-        let l = String.length name in
-        if l > 5 && String.sub name 0 5 = "holds" then
-          match int_of_string_opt (String.sub name 5 (l - 5)) with
-          | Some i when i < n -> holds i
-          | _ -> None
-        else None
-  | Two_generals -> (
-      function "attack" -> Some Two_generals.attack_decided | _ -> None)
-  | Ping_pong | Chatter _ -> (
-      function
-      | "sent" ->
-          Some (Prop.make "sent" (fun z -> Trace.send_count z (Pid.of_int 0) > 0))
-      | "received" ->
-          Some
-            (Prop.make "received" (fun z ->
-                 List.exists Event.is_receive (Trace.proj z (Pid.of_int 1))))
-      | _ -> None)
-
-let check_formula system depth mode formula_text =
+let check_formula inst depth mode domains formula_text =
   match Formula.parse formula_text with
   | Error e ->
       Printf.eprintf "parse error: %s\n" e;
       exit 1
   | Ok f -> (
-      let u = Universe.enumerate ~mode (spec_of system) ~depth in
+      let depth = depth_of inst depth in
+      let u =
+        Universe.enumerate ~mode ~domains (Protocol.spec_of inst) ~depth
+      in
       Format.printf "%a@." Universe.pp_stats u;
       Format.printf "formula: %a@." Formula.pp f;
-      match Formula.check u ~env:(atom_env system) f with
+      match Formula.check u ~env:(Protocol.atom_env inst) f with
       | Error e ->
           Printf.eprintf "error: %s\n" e;
           exit 1
@@ -543,7 +506,7 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Model-check an epistemic-temporal formula over a system's universe")
-    Term.(const check_formula $ system_arg $ depth_arg $ mode_arg $ formula)
+    Term.(const check_formula $ proto_arg $ depth_arg $ mode_arg $ domains_arg $ formula)
 
 (* -- snapshot ------------------------------------------------------------------- *)
 
@@ -567,12 +530,50 @@ let snapshot_cmd =
     (Cmd.info "snapshot" ~doc:"Take a Chandy–Lamport snapshot")
     Term.(const snapshot $ n $ at)
 
+(* -- list ----------------------------------------------------------------- *)
+
+let list_protocols verbose =
+  List.iter
+    (fun t ->
+      Printf.printf "%-21s %s\n" (Protocol.name t) (Protocol.doc t);
+      if verbose then begin
+        List.iter
+          (fun p ->
+            Printf.printf "    param %-10s default %d, %s%s  %s\n" p.Protocol.key
+              p.Protocol.default
+              (Printf.sprintf ">= %d" p.Protocol.lo)
+              (match p.Protocol.hi with
+              | Some hi -> Printf.sprintf ", <= %d" hi
+              | None -> "")
+              p.Protocol.pdoc)
+          (Protocol.params t);
+        let inst = Protocol.default_instance t in
+        (match Protocol.atoms_of inst with
+        | [] -> ()
+        | atoms ->
+            Printf.printf "    atoms: %s\n"
+              (String.concat " " (List.map fst atoms)));
+        Printf.printf "    suggested depth: %d\n" (Protocol.suggested_depth t)
+      end)
+    (Protocol.Registry.list ())
+
+let list_cmd =
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ] ~doc:"Also print parameters, atoms, and depths.")
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List every registered protocol")
+    Term.(const list_protocols $ verbose)
+
 let () =
   let doc = "explore the systems of 'How Processes Learn' (Chandy & Misra 1985)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "hpl" ~version:"1.0.0" ~doc)
           [
+            list_cmd;
             enumerate_cmd;
             diagram_cmd;
             knows_cmd;

@@ -2,11 +2,21 @@
 
      dune exec examples/formula_tour.exe
 
-   Each row parses an epistemic-temporal formula, checks it over the
-   named system's universe, and prints the verdict — the library as a
-   model checker for statements about how processes learn. *)
+   Each row names a protocol from the registry, parses an
+   epistemic-temporal formula, checks it over the protocol's universe,
+   and prints the verdict — no protocol-specific code: systems and
+   their atoms both come from `Protocol.Registry`, exactly as in
+   `hpl check -s <name>`. *)
 open Hpl_core
 open Hpl_protocols
+
+let () = Builtins.init ()
+
+let universe_of ~depth name =
+  match Protocol.Registry.parse name with
+  | Error e -> failwith (name ^ ": " ^ e)
+  | Ok inst ->
+      (Universe.enumerate ~mode:`Canonical (Protocol.spec_of inst) ~depth, inst)
 
 let verdict u env text =
   match Formula.parse text with
@@ -19,47 +29,37 @@ let verdict u env text =
       | Error e -> "error: " ^ e)
 
 let () =
-  (* token bus, the paper's own example *)
-  let tb = Universe.enumerate (Token_bus.spec ~n:5) ~depth:8 in
-  let tb_env name =
-    let l = String.length name in
-    if l > 5 && String.sub name 0 5 = "holds" then
-      match int_of_string_opt (String.sub name 5 (l - 5)) with
-      | Some i when i < 5 -> Some (Token_bus.holds (Pid.of_int i))
-      | _ -> None
-    else None
+  let systems =
+    [
+      ("token-bus:5", 8);  (* the paper's own example *)
+      ("two-generals", 9);
+      ("failure-detector:2", 5);  (* the crashable pair *)
+    ]
   in
-  (* two generals *)
-  let tg = Universe.enumerate Two_generals.spec ~depth:9 in
-  let tg_env = function
-    | "attack" -> Some Two_generals.attack_decided
-    | _ -> None
-  in
-  (* crashable pair *)
-  let fd = Universe.enumerate (Failure_detector.crashable_spec ~n:2) ~depth:5 in
-  let fd_env = function
-    | "crashed0" -> Some (Failure_detector.crashed (Pid.of_int 0))
-    | _ -> None
+  let universes =
+    List.map (fun (name, depth) -> (name, universe_of ~depth name)) systems
   in
   let rows =
     [
-      ("token-bus", tb, tb_env, "AG (holds2 -> K p2 (K p1 (~holds0) & K p3 (~holds4)))");
-      ("token-bus", tb, tb_env, "AG (holds2 -> ~holds0)");
-      ("token-bus", tb, tb_env, "K p1 (~holds0)");
-      ("token-bus", tb, tb_env, "EF holds4");
-      ("two-generals", tg, tg_env, "EF (K p1 attack)");
-      ("two-generals", tg, tg_env, "EF (K p0 (K p1 attack))");
-      ("two-generals", tg, tg_env, "CK attack");
-      ("two-generals", tg, tg_env, "AG (K p1 attack -> attack)");
-      ("crashable", fd, fd_env, "EF crashed0");
-      ("crashable", fd, fd_env, "EF (K p1 crashed0)");
-      ("crashable", fd, fd_env, "AG (~K p1 crashed0)");
+      ("token-bus:5", "AG (holds2 -> K p2 (K p1 (~holds0) & K p3 (~holds4)))");
+      ("token-bus:5", "AG (holds2 -> ~holds0)");
+      ("token-bus:5", "K p1 (~holds0)");
+      ("token-bus:5", "EF holds4");
+      ("two-generals", "EF (K p1 attack)");
+      ("two-generals", "EF (K p0 (K p1 attack))");
+      ("two-generals", "CK attack");
+      ("two-generals", "AG (K p1 attack -> attack)");
+      ("failure-detector:2", "EF crashed0");
+      ("failure-detector:2", "EF (K p1 crashed0)");
+      ("failure-detector:2", "AG (~K p1 crashed0)");
     ]
   in
-  Printf.printf "%-14s %-58s %s\n" "system" "formula" "verdict";
+  Printf.printf "%-18s %-58s %s\n" "system" "formula" "verdict";
   List.iter
-    (fun (name, u, env, text) ->
-      Printf.printf "%-14s %-58s %s\n" name text (verdict u env text))
+    (fun (name, text) ->
+      let u, inst = List.assoc name universes in
+      Printf.printf "%-18s %-58s %s\n" name text
+        (verdict u (Protocol.atom_env inst) text))
     rows;
   print_newline ();
   print_endline "Highlights: the §4.1 bus assertion is VALID; 'K p1 (~holds0)'";

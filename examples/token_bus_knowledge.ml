@@ -14,9 +14,19 @@ let () =
   List.iteri
     (fun i name -> Pid.set_name (Pid.of_int i) name)
     [ "p"; "q"; "r"; "s"; "t" ];
-  let spec = Token_bus.spec ~n:5 in
-  let u = Universe.enumerate spec ~depth:10 in
+  (* the system comes from the registry, like any other protocol *)
+  Builtins.init ();
+  let inst =
+    match Protocol.Registry.parse "token-bus:5" with
+    | Ok inst -> inst
+    | Error e -> failwith e
+  in
+  let u = Universe.enumerate (Protocol.spec_of inst) ~depth:10 in
   Format.printf "token bus: %a@.@." Universe.pp_stats u;
+
+  (* its registered atoms are the formula-language surface *)
+  Format.printf "registered atoms: %s@.@."
+    (String.concat " " (List.map fst (Protocol.atoms_of inst)));
 
   (* the assertion, under its own name *)
   let assertion = Token_bus.paper_assertion u in

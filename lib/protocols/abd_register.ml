@@ -273,3 +273,25 @@ let run ?config params =
     blocked_ops = List.length ops - completed_ops;
     messages = result.Engine.stats.Engine.sent;
   }
+
+(* -- registry ----------------------------------------------------------- *)
+
+(* knowledge-view spec: one quorum write — the write completes only
+   when p0 knows a majority of replicas stored it (the forced process
+   chain of E20) *)
+let protocol =
+  Protocol.make ~name:"abd-register"
+    ~doc:"ABD quorum write: completion = knowledge of majority storage"
+    ~params:[ Protocol.param ~lo:2 "n" 3 "processes (p0 writes, rest replicate)" ]
+    ~atoms:(fun vs ->
+      let n = Protocol.get vs "n" in
+      ("written", Protocol.did_prop "written" (Pid.of_int 0) "wdone")
+      :: List.init (n - 1) (fun i ->
+             (Printf.sprintf "stored%d" (i + 1),
+              Protocol.received_prop (Printf.sprintf "stored%d" (i + 1))
+                (Pid.of_int (i + 1)) "write")))
+    ~suggested_depth:6
+    (fun vs ->
+      let n = Protocol.get vs "n" in
+      Protocol.star_spec ~n ~quorum:(((n - 1) / 2) + 1) ~request:"write"
+        ~reply:"wack" ~finish:"wdone" ())

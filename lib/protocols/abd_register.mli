@@ -53,3 +53,7 @@ type outcome = {
 }
 
 val run : ?config:Hpl_sim.Engine.config -> params -> outcome
+
+val protocol : Protocol.t
+(** Registry entry (see {!Protocol.Registry}); for simulation-first
+    modules this carries the bounded knowledge-view spec. *)

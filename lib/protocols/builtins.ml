@@ -1,0 +1,39 @@
+(* Central registration point. Linking this module (any reference to
+   [init]) populates the registry with every in-tree protocol; keeping
+   the calls here rather than as module-initialization side effects in
+   each protocol file makes registration order deterministic and
+   independent of the linker's dead-module elimination. *)
+
+let all : Protocol.t list =
+  [
+    Abd_register.protocol;
+    Bully.protocol;
+    Causal_broadcast.protocol;
+    Chang_roberts.protocol;
+    Chatter.protocol;
+    Credit.protocol;
+    Deadlock.protocol;
+    Dijkstra_scholten.protocol;
+    Echo.protocol;
+    Failure_detector.protocol;
+    Gossip.protocol;
+    Lamport_mutex.protocol;
+    Paxos.protocol;
+    Ping_pong.protocol;
+    Probe.protocol;
+    Ricart_agrawala.protocol;
+    Safra.protocol;
+    Snapshot.protocol;
+    Snapshot_term.protocol;
+    Token_bus.protocol;
+    Token_ring.protocol;
+    Total_order.protocol;
+    Tracking.protocol;
+    Tracking.notify_protocol;
+    Two_generals.protocol;
+    Two_phase_commit.protocol;
+    Underlying.protocol;
+  ]
+
+let () = List.iter Protocol.Registry.register all
+let init () = ()

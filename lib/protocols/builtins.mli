@@ -1,0 +1,10 @@
+(** Registers every in-tree protocol with {!Protocol.Registry}.
+
+    Call {!init} (a no-op) early in any executable that wants the
+    registry populated — the reference forces this module to link, and
+    its initializer performs the registrations. *)
+
+val all : Protocol.t list
+(** Every built-in protocol, in registration order. *)
+
+val init : unit -> unit

@@ -114,3 +114,41 @@ let run ?config params =
     safe = List.length coordinators <= 1;
     messages = result.Engine.stats.Engine.sent;
   }
+
+(* -- registry ----------------------------------------------------------- *)
+
+(* knowledge-view spec: the lowest process challenges everyone above
+   it; the highest answers by claiming coordinatorship *)
+let election_spec ~n =
+  if n < 2 then invalid_arg "Bully.election_spec: need at least two processes";
+  let top = n - 1 in
+  Spec.make ~n (fun p history ->
+      let i = Pid.to_int p in
+      if i = 0 then
+        let s = Protocol.sends history in
+        (if s < n - 1 then [ Spec.Send_to (Pid.of_int (s + 1), "elect") ]
+         else [])
+        @ [ Spec.Recv_any ]
+      else if i = top then
+        if Protocol.recvs_of history "elect" = 0 then [ Spec.Recv_any ]
+        else
+          let s = Protocol.sends_of history "coord" in
+          if s < n - 1 then
+            [ Spec.Send_to (Pid.of_int s, "coord"); Spec.Recv_any ]
+          else if Protocol.did history "lead" then [ Spec.Recv_any ]
+          else [ Spec.Do "lead" ]
+      else [ Spec.Recv_any ])
+
+let protocol =
+  Protocol.make ~name:"bully"
+    ~doc:"bully election: p0 challenges, the highest id claims the crown"
+    ~params:[ Protocol.param ~lo:2 "n" 3 "processes (ids = indices)" ]
+    ~atoms:(fun vs ->
+      let n = Protocol.get vs "n" in
+      ("crowned", Protocol.did_prop "crowned" (Pid.of_int (n - 1)) "lead")
+      :: List.init (n - 1) (fun i ->
+             (Printf.sprintf "learned%d" i,
+              Protocol.received_prop (Printf.sprintf "learned%d" i)
+                (Pid.of_int i) "coord")))
+    ~suggested_depth:6
+    (fun vs -> election_spec ~n:(Protocol.get vs "n"))

@@ -157,3 +157,43 @@ let run ?config params =
     all_delivered = delivered_total = expected;
     messages = result.Engine.stats.Engine.sent;
   }
+
+(* -- registry ----------------------------------------------------------- *)
+
+(* knowledge-view spec: the causal triangle — p0 posts m1 to p1 then m2
+   to p2; p1 relays m1 to p2. Whether p2 sees the relay before m2 is
+   exactly the causal-delivery question *)
+let triangle_spec =
+  let p0 = Pid.of_int 0 and p1 = Pid.of_int 1 and p2 = Pid.of_int 2 in
+  Spec.make ~n:3 (fun p history ->
+      if Pid.equal p p0 then
+        match Protocol.sends history with
+        | 0 -> [ Spec.Send_to (p1, "m1") ]
+        | 1 -> [ Spec.Send_to (p2, "m2") ]
+        | _ -> []
+      else if Pid.equal p p1 then
+        if Protocol.recvs_of history "m1" > 0 && Protocol.sends history = 0 then
+          [ Spec.Send_to (p2, "relay") ]
+        else [ Spec.Recv_any ]
+      else [ Spec.Recv_any ])
+
+let relay_first =
+  Prop.make "relayfirst" (fun z ->
+      match List.filter Event.is_receive (Trace.proj z (Pid.of_int 2)) with
+      | e :: _ -> (
+          match Event.message e with
+          | Some m -> String.equal m.Msg.payload "relay"
+          | None -> false)
+      | [] -> false)
+
+let protocol =
+  Protocol.make ~name:"causal-broadcast"
+    ~doc:"the causal triangle: does the relay beat the later direct send?"
+    ~atoms:(fun _ ->
+      [
+        ("relayfirst", relay_first);
+        ("sawrelay", Protocol.received_prop "sawrelay" (Pid.of_int 2) "relay");
+        ("sawdirect", Protocol.received_prop "sawdirect" (Pid.of_int 2) "m2");
+      ])
+    ~suggested_depth:6
+    (fun _ -> triangle_spec)

@@ -114,3 +114,48 @@ let run ?config params =
           (List.init params.n (fun i -> i))
   in
   { trace = z; leader; agreed; messages; election_messages; announcement_chain }
+
+(* -- registry ----------------------------------------------------------- *)
+
+(* knowledge-view spec: ids are ring positions; every process emits its
+   id once, forwards larger ids, and the maximum declares itself
+   elected when its own id completes the circuit *)
+let election_spec ~n =
+  if n < 2 then
+    invalid_arg "Chang_roberts.election_spec: need at least two processes";
+  Spec.make ~n (fun p history ->
+      let i = Pid.to_int p in
+      let right = Pid.of_int ((i + 1) mod n) in
+      let mine = string_of_int i in
+      let starts =
+        if Protocol.sends_of history mine = 0 then
+          [ Spec.Send_to (right, mine) ]
+        else []
+      in
+      let forwards =
+        List.filter_map
+          (fun j ->
+            let cand = string_of_int j in
+            if
+              j > i
+              && Protocol.recvs_of history cand > Protocol.sends_of history cand
+            then Some (Spec.Send_to (right, cand))
+            else None)
+          (List.init n (fun j -> j))
+      in
+      let crown =
+        if Protocol.recvs_of history mine > 0 && not (Protocol.did history "elected")
+        then [ Spec.Do "elected" ]
+        else []
+      in
+      (Spec.Recv_any :: starts) @ forwards @ crown)
+
+let protocol =
+  Protocol.make ~name:"chang-roberts"
+    ~doc:"ring election: forward larger ids; max id's return crowns it"
+    ~params:[ Protocol.param ~lo:2 "n" 3 "ring size (ids = positions)" ]
+    ~atoms:(fun vs ->
+      let n = Protocol.get vs "n" in
+      [ ("elected", Protocol.did_prop "elected" (Pid.of_int (n - 1)) "elected") ])
+    ~suggested_depth:6
+    (fun vs -> election_spec ~n:(Protocol.get vs "n"))

@@ -1,0 +1,17 @@
+(** Chatter: a maximally nondeterministic ring.
+
+    Each of [n] processes is willing — for its first two steps — to
+    send "c" to its right neighbour, to idle, or to receive. Formerly
+    inlined in [bin/hpl.ml]; registered as a branching-factor stress
+    test for enumeration and the canonical-interleaving quotient. *)
+
+val spec : n:int -> Hpl_core.Spec.t
+(** Raises [Invalid_argument] if [n < 1]. *)
+
+val sent : Hpl_core.Prop.t
+(** "p0 sent something" — local to p0. *)
+
+val idled : Hpl_core.Prop.t
+(** "p0 performed an idle step" — local to p0. *)
+
+val protocol : Protocol.t

@@ -74,3 +74,18 @@ let run_raw ?(config = Engine.default) params =
 let run ?config params =
   let _, trace = run_raw ?config params in
   Termination.score ~detector:name ~detect_tag trace
+
+(* -- registry ----------------------------------------------------------- *)
+
+(* knowledge-view spec: credit recovery — the root lends a credit with
+   each work message and detects when every credit is refunded *)
+let protocol =
+  Protocol.make ~name:"credit"
+    ~doc:"credit-counting termination: detection = all credit refunded"
+    ~params:[ Protocol.param ~lo:2 "n" 2 "processes (p0 holds the bank)" ]
+    ~atoms:(fun _ ->
+      [ ("detected", Protocol.did_prop "detected" (Pid.of_int 0) detect_tag) ])
+    ~suggested_depth:6
+    (fun vs ->
+      Protocol.star_spec ~n:(Protocol.get vs "n") ~work:"worked"
+        ~request:"credit" ~reply:"refund" ~finish:detect_tag ())

@@ -106,3 +106,36 @@ let run ?config params =
     correct = Array.for_all2 Bool.equal declared on_cycle;
     probes = result.Engine.stats.Engine.sent;
   }
+
+(* -- registry ----------------------------------------------------------- *)
+
+(* knowledge-view spec: a CMH probe around a fully blocked ring — the
+   probe's return is p0's knowledge of the cycle *)
+let probe_spec ~n =
+  if n < 2 then invalid_arg "Deadlock.probe_spec: need at least two processes";
+  Spec.make ~n (fun p history ->
+      let i = Pid.to_int p in
+      let right = Pid.of_int ((i + 1) mod n) in
+      if i = 0 then
+        (if Protocol.sends history = 0 then [ Spec.Send_to (right, "probe") ]
+         else [])
+        @ (if
+             Protocol.recvs_of history "probe" > 0
+             && not (Protocol.did history declares_tag)
+           then [ Spec.Do declares_tag ]
+           else [])
+        @ [ Spec.Recv_any ]
+      else
+        (if Protocol.recvs_of history "probe" > Protocol.sends history then
+           [ Spec.Send_to (right, "probe") ]
+         else [])
+        @ [ Spec.Recv_any ])
+
+let protocol =
+  Protocol.make ~name:"deadlock"
+    ~doc:"CMH probe on a blocked ring: the probe's return proves the cycle"
+    ~params:[ Protocol.param ~lo:2 "n" 3 "ring size (all blocked)" ]
+    ~atoms:(fun _ ->
+      [ ("deadlocked", Protocol.did_prop "deadlocked" (Pid.of_int 0) declares_tag) ])
+    ~suggested_depth:7
+    (fun vs -> probe_spec ~n:(Protocol.get vs "n"))

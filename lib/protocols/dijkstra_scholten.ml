@@ -77,3 +77,24 @@ let run_raw ?(config = Engine.default) params =
 let run ?config params =
   let _, trace = run_raw ?config params in
   Termination.score ~detector:name ~detect_tag trace
+
+(* -- registry ----------------------------------------------------------- *)
+
+(* knowledge-view spec: a one-level DS tree — the root engages every
+   process, signals flow back, and detection is the root's knowledge
+   that its deficit reached zero *)
+let protocol =
+  Protocol.make ~name:"dijkstra-scholten"
+    ~doc:"DS termination: engage children, signals retire the tree"
+    ~params:[ Protocol.param ~lo:2 "n" 2 "processes (p0 is the root)" ]
+    ~atoms:(fun vs ->
+      let n = Protocol.get vs "n" in
+      ("detected", Protocol.did_prop "detected" (Pid.of_int 0) detect_tag)
+      :: List.init (n - 1) (fun i ->
+             (Printf.sprintf "worked%d" (i + 1),
+              Protocol.did_prop (Printf.sprintf "worked%d" (i + 1))
+                (Pid.of_int (i + 1)) "worked")))
+    ~suggested_depth:6
+    (fun vs ->
+      Protocol.star_spec ~n:(Protocol.get vs "n") ~work:"worked"
+        ~request:Underlying.work_tag ~reply:ack ~finish:detect_tag ())

@@ -22,3 +22,7 @@ val run_raw :
   Underlying.params ->
   Hpl_sim.Engine.stats * Hpl_core.Trace.t
 (** The raw run, for tests that inspect the trace. *)
+
+val protocol : Protocol.t
+(** Registry entry (see {!Protocol.Registry}); for simulation-first
+    modules this carries the bounded knowledge-view spec. *)

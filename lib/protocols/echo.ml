@@ -126,3 +126,27 @@ let run ?config params =
     all_informed;
     completion_knows_all;
   }
+
+(* -- registry ----------------------------------------------------------- *)
+
+(* knowledge-view spec: the wave as a star — the initiator informs every
+   process, acks collapse back, and the completion event is exactly the
+   point where p0 knows the wave reached everyone *)
+let wave_spec ~n =
+  Protocol.star_spec ~n ~request:wave_tag ~reply:"ack" ~finish:done_tag ()
+
+let protocol =
+  Protocol.make ~name:"echo"
+    ~doc:"echo/PIF wave: flood out, acks collapse back, initiator completes"
+    ~params:[ Protocol.param ~lo:2 "n" 3 "processes (p0 initiates)" ]
+    ~atoms:(fun vs ->
+      let n = Protocol.get vs "n" in
+      ( "completed",
+        Protocol.did_prop "completed" (Pid.of_int 0) done_tag )
+      :: List.init (n - 1) (fun i ->
+             let p = Pid.of_int (i + 1) in
+             (Printf.sprintf "informed%d" (i + 1),
+              Protocol.received_prop (Printf.sprintf "informed%d" (i + 1)) p
+                wave_tag)))
+    ~suggested_depth:6
+    (fun vs -> wave_spec ~n:(Protocol.get vs "n"))

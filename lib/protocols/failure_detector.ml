@@ -176,3 +176,16 @@ let run ?(config = Engine.default) params =
     missed = !missed;
     detection_time;
   }
+
+(* -- registry ----------------------------------------------------------- *)
+
+let protocol =
+  Protocol.make ~name:"failure-detector"
+    ~doc:"crashable processes: nobody ever knows a crash (no timeouts)"
+    ~params:[ Protocol.param ~lo:2 "n" 2 "processes" ]
+    ~atoms:(fun vs ->
+      let n = Protocol.get vs "n" in
+      List.init n (fun i ->
+          (Printf.sprintf "crashed%d" i, crashed (Pid.of_int i))))
+    ~suggested_depth:4
+    (fun vs -> crashable_spec ~n:(Protocol.get vs "n"))

@@ -206,3 +206,48 @@ let run ?(config = Engine.default) params =
     messages = result.Engine.stats.Engine.sent;
     depth2_complete_time;
   }
+
+(* -- registry ----------------------------------------------------------- *)
+
+(* knowledge-view spec: push gossip around a ring, each process
+   forwarding the rumor once — the minimal chain along which "p0 knows
+   the rumor" propagates *)
+let ring_spec ~n =
+  if n < 2 then invalid_arg "Gossip.ring_spec: need at least two processes";
+  Spec.make ~n (fun p history ->
+      let i = Pid.to_int p in
+      let informed = i = 0 || Protocol.recvs_of history rumor_tag > 0 in
+      Spec.Recv_any
+      ::
+      (if informed && Protocol.sends_of history rumor_tag = 0 then
+         [ Spec.Send_to (Pid.of_int ((i + 1) mod n), rumor_tag) ]
+       else []))
+
+let informed_prop ~i =
+  Prop.make (Printf.sprintf "informed%d" i) (fun z ->
+      i = 0 || Protocol.recvs_of (Trace.proj z (Pid.of_int i)) rumor_tag > 0)
+
+let relay_ring vs =
+  let n = Protocol.get vs "n" in
+  let rec go k z =
+    if k >= n - 1 then z
+    else
+      let src = Pid.of_int k and dst = Pid.of_int (k + 1) in
+      let m = Msg.make ~src ~dst ~seq:0 ~payload:rumor_tag in
+      let send_lseq = if k = 0 then 0 else 1 in
+      go (k + 1)
+        (Trace.append z
+           [ Event.send ~pid:src ~lseq:send_lseq m;
+             Event.receive ~pid:dst ~lseq:0 m ])
+  in
+  go 0 Trace.empty
+
+let protocol =
+  Protocol.make ~name:"gossip"
+    ~doc:"push rumor around a ring; informedness spreads one hop per send"
+    ~params:[ Protocol.param ~lo:2 "n" 3 "ring size (p0 starts informed)" ]
+    ~atoms:(fun vs ->
+      List.init (Protocol.get vs "n") (fun i ->
+          (Printf.sprintf "informed%d" i, informed_prop ~i)))
+    ~canonical_trace:relay_ring ~suggested_depth:6
+    (fun vs -> ring_spec ~n:(Protocol.get vs "n"))

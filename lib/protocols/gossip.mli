@@ -51,3 +51,7 @@ val run : ?config:Hpl_sim.Engine.config -> params -> outcome
 val informed_positions : n:int -> Hpl_core.Trace.t -> int option array
 (** Per process, trace position of its first rumor receipt (position 0
     for the origin). *)
+
+val protocol : Protocol.t
+(** Registry entry (see {!Protocol.Registry}); for simulation-first
+    modules this carries the bounded knowledge-view spec. *)

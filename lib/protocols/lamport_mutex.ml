@@ -231,3 +231,22 @@ let run ?config params =
       (if total_entries = 0 then 0.0
        else float_of_int result.Engine.stats.Engine.sent /. float_of_int total_entries);
   }
+
+(* -- registry ----------------------------------------------------------- *)
+
+(* knowledge-view spec: one requester; entering the critical section
+   requires acknowledgements from everyone — knowledge that every
+   process has timestamped the request *)
+let protocol =
+  Protocol.make ~name:"lamport-mutex"
+    ~doc:"timestamp mutex, one requester: CS entry needs every ack"
+    ~params:[ Protocol.param ~lo:2 "n" 2 "processes (p0 requests)" ]
+    ~atoms:(fun _ ->
+      [
+        ("incs", Protocol.did_prop "incs" (Pid.of_int 0) "cs");
+        ("requested", Protocol.sent_prop "requested" (Pid.of_int 0) "req");
+      ])
+    ~suggested_depth:5
+    (fun vs ->
+      Protocol.star_spec ~n:(Protocol.get vs "n") ~request:"req" ~reply:"ack"
+        ~finish:"cs" ())

@@ -219,3 +219,54 @@ let run ?config params =
     ballots_started;
     messages = result.Engine.stats.Engine.sent;
   }
+
+(* -- registry ----------------------------------------------------------- *)
+
+(* knowledge-view spec: one proposer, one ballot — deciding requires
+   knowing a quorum promised and then a quorum accepted *)
+let ballot_spec ~acceptors =
+  if acceptors < 1 then invalid_arg "Paxos.ballot_spec: need an acceptor";
+  let n = acceptors + 1 in
+  let q = (acceptors / 2) + 1 in
+  let p0 = Pid.of_int 0 in
+  Spec.make ~n (fun p history ->
+      if Pid.equal p p0 then begin
+        let prep = Protocol.sends_of history "prepare" in
+        let prom = Protocol.recvs_of history "promise" in
+        let acc = Protocol.sends_of history "accept" in
+        let accd = Protocol.recvs_of history "accepted" in
+        if prep < acceptors then
+          [ Spec.Send_to (Pid.of_int (prep + 1), "prepare") ]
+        else if prom < q then [ Spec.Recv_any ]
+        else if acc < acceptors then
+          [ Spec.Send_to (Pid.of_int (acc + 1), "accept") ]
+        else if accd < q then [ Spec.Recv_any ]
+        else if Protocol.did history "decide" then [ Spec.Recv_any ]
+        else [ Spec.Do "decide" ]
+      end
+      else
+        (if
+           Protocol.recvs_of history "prepare"
+           > Protocol.sends_of history "promise"
+         then [ Spec.Send_to (p0, "promise") ]
+         else [])
+        @ (if
+             Protocol.recvs_of history "accept"
+             > Protocol.sends_of history "accepted"
+           then [ Spec.Send_to (p0, "accepted") ]
+           else [])
+        @ [ Spec.Recv_any ])
+
+let protocol =
+  Protocol.make ~name:"paxos"
+    ~doc:"single-ballot Paxos: decide = know a quorum promised + accepted"
+    ~params:[ Protocol.param ~lo:1 "acceptors" 2 "acceptor count (p0 proposes)" ]
+    ~atoms:(fun vs ->
+      let a = Protocol.get vs "acceptors" in
+      ("decided", Protocol.did_prop "decided" (Pid.of_int 0) "decide")
+      :: List.init a (fun i ->
+             (Printf.sprintf "promised%d" (i + 1),
+              Protocol.sent_prop (Printf.sprintf "promised%d" (i + 1))
+                (Pid.of_int (i + 1)) "promise")))
+    ~suggested_depth:6
+    (fun vs -> ballot_spec ~acceptors:(Protocol.get vs "acceptors"))

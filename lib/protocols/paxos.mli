@@ -42,3 +42,7 @@ val run : ?config:Hpl_sim.Engine.config -> params -> outcome
 val proposal_of : int -> int
 (** The value proposer [i] champions (distinct per proposer, so
     agreement is observable). *)
+
+val protocol : Protocol.t
+(** Registry entry (see {!Protocol.Registry}); for simulation-first
+    modules this carries the bounded knowledge-view spec. *)

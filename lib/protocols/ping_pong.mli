@@ -1,0 +1,21 @@
+(** Ping-pong: one request, one reply.
+
+    The two-process warm-up system (formerly inlined in [bin/hpl.ml]):
+    p0 sends "ping" to p1, p1 answers "pong". Its universe at depth 4
+    is complete and is the first example of knowledge gain via a
+    process chain — after the pong is delivered, p0 knows p1 received
+    the ping. *)
+
+val spec : Hpl_core.Spec.t
+
+val sent : Hpl_core.Prop.t
+(** "p0 sent something" — local to p0. *)
+
+val received : Hpl_core.Prop.t
+(** "p1 received something" — local to p1. *)
+
+val round_trip : Hpl_core.Trace.t
+(** The canonical full exchange: ping sent and delivered, pong sent and
+    delivered. *)
+
+val protocol : Protocol.t

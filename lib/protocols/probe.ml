@@ -136,3 +136,21 @@ let run_raw ?(config = Engine.default) ?(wave_delay = 25.0) ~mode params =
 let run ?config ?wave_delay ~mode params =
   let _, trace = run_raw ?config ?wave_delay ~mode params in
   Termination.score ~detector:(name mode) ~detect_tag:(detect_tag mode) trace
+
+(* -- registry ----------------------------------------------------------- *)
+
+(* knowledge-view spec: one probe wave — query every process, count the
+   echoes, detect on a complete wave *)
+let protocol =
+  Protocol.make ~name:"probe"
+    ~doc:"probe-wave termination: one wave of query/echo, then detect"
+    ~params:[ Protocol.param ~lo:2 "n" 2 "processes (p0 probes)" ]
+    ~atoms:(fun _ ->
+      [
+        ("detected",
+         Protocol.did_prop "detected" (Pid.of_int 0) (detect_tag `Four_counter));
+      ])
+    ~suggested_depth:5
+    (fun vs ->
+      Protocol.star_spec ~n:(Protocol.get vs "n") ~request:"probe"
+        ~reply:"echo" ~finish:(detect_tag `Four_counter) ())

@@ -166,3 +166,42 @@ let run ?config params =
       (if total = 0 then 0.0
        else float_of_int result.Engine.stats.Engine.sent /. float_of_int total);
   }
+
+(* -- registry ----------------------------------------------------------- *)
+
+(* knowledge-view spec (two contenders): both request; p1 grants
+   immediately, p0 defers its grant until after its own critical
+   section — the deferral that makes RA exclusion a knowledge fact *)
+let contention_spec =
+  let p0 = Pid.of_int 0 and p1 = Pid.of_int 1 in
+  Spec.make ~n:2 (fun p history ->
+      if Pid.equal p p0 then
+        if Protocol.sends_of history "req" = 0 then [ Spec.Send_to (p1, "req") ]
+        else if not (Protocol.did history "cs") then
+          (if Protocol.recvs_of history "ok" > 0 then [ Spec.Do "cs" ] else [])
+          @ [ Spec.Recv_any ]
+        else if
+          Protocol.recvs_of history "req" > Protocol.sends_of history "ok"
+        then [ Spec.Send_to (p1, "ok") ]
+        else [ Spec.Recv_any ]
+      else if Protocol.sends_of history "req" = 0 then [ Spec.Send_to (p0, "req") ]
+      else
+        (if Protocol.recvs_of history "req" > Protocol.sends_of history "ok"
+         then [ Spec.Send_to (p0, "ok") ]
+         else [])
+        @ (if
+             Protocol.recvs_of history "ok" > 0 && not (Protocol.did history "cs")
+           then [ Spec.Do "cs" ]
+           else [])
+        @ [ Spec.Recv_any ])
+
+let protocol =
+  Protocol.make ~name:"ricart-agrawala"
+    ~doc:"RA mutex, two contenders: deferred grants order the sections"
+    ~atoms:(fun _ ->
+      [
+        ("cs0", Protocol.did_prop "cs0" (Pid.of_int 0) "cs");
+        ("cs1", Protocol.did_prop "cs1" (Pid.of_int 1) "cs");
+      ])
+    ~suggested_depth:7
+    (fun _ -> contention_spec)

@@ -99,3 +99,33 @@ let run_raw ?(config = Engine.default) ?(round_delay = 25.0) params =
 let run ?config ?round_delay params =
   let _, trace = run_raw ?config ?round_delay params in
   Termination.score ~detector:name ~detect_tag trace
+
+(* -- registry ----------------------------------------------------------- *)
+
+(* knowledge-view spec: one circuit of the ring token — every process
+   works, passes the token on, and its return tells p0 the ring is
+   quiet *)
+let ring_spec ~n =
+  if n < 2 then invalid_arg "Safra.ring_spec: need at least two processes";
+  Spec.make ~n (fun p history ->
+      let i = Pid.to_int p in
+      let right = Pid.of_int ((i + 1) mod n) in
+      if i = 0 then
+        if not (Protocol.did history "worked") then [ Spec.Do "worked" ]
+        else if Protocol.sends history = 0 then [ Spec.Send_to (right, "token") ]
+        else if Protocol.recvs history = 0 then [ Spec.Recv_any ]
+        else if Protocol.did history detect_tag then []
+        else [ Spec.Do detect_tag ]
+      else if Protocol.recvs history = 0 then [ Spec.Recv_any ]
+      else if not (Protocol.did history "worked") then [ Spec.Do "worked" ]
+      else if Protocol.sends history = 0 then [ Spec.Send_to (right, "token") ]
+      else [])
+
+let protocol =
+  Protocol.make ~name:"safra"
+    ~doc:"Safra-style ring termination: the token's full circuit detects"
+    ~params:[ Protocol.param ~lo:2 "n" 2 "ring size (p0 starts the token)" ]
+    ~atoms:(fun _ ->
+      [ ("detected", Protocol.did_prop "detected" (Pid.of_int 0) detect_tag) ])
+    ~suggested_depth:7
+    (fun vs -> ring_spec ~n:(Protocol.get vs "n"))

@@ -253,3 +253,35 @@ let run ?(config = Engine.default) params =
     conservation;
     trace = z;
   }
+
+(* -- registry ----------------------------------------------------------- *)
+
+(* knowledge-view spec: Chandy-Lamport markers over a hub — p0 records,
+   floods markers; each process records on its first marker and markers
+   back, so the cut is consistent by construction *)
+let marker_spec ~n =
+  if n < 2 then invalid_arg "Snapshot.marker_spec: need at least two processes";
+  let p0 = Pid.of_int 0 in
+  Spec.make ~n (fun p history ->
+      if Pid.equal p p0 then
+        if not (Protocol.did history "record") then [ Spec.Do "record" ]
+        else
+          let s = Protocol.sends history in
+          if s < n - 1 then [ Spec.Send_to (Pid.of_int (s + 1), "marker") ]
+          else [ Spec.Recv_any ]
+      else if Protocol.recvs history = 0 then [ Spec.Recv_any ]
+      else if not (Protocol.did history "record") then [ Spec.Do "record" ]
+      else if Protocol.sends history = 0 then [ Spec.Send_to (p0, "marker") ]
+      else [])
+
+let protocol =
+  Protocol.make ~name:"snapshot"
+    ~doc:"Chandy-Lamport markers: record on first marker, flood on"
+    ~params:[ Protocol.param ~lo:2 "n" 2 "processes (p0 initiates)" ]
+    ~atoms:(fun vs ->
+      List.init (Protocol.get vs "n") (fun i ->
+          (Printf.sprintf "recorded%d" i,
+           Protocol.did_prop (Printf.sprintf "recorded%d" i) (Pid.of_int i)
+             "record")))
+    ~suggested_depth:6
+    (fun vs -> marker_spec ~n:(Protocol.get vs "n"))

@@ -44,3 +44,7 @@ val cut_is_consistent :
 (** Standalone checker: no {e application} message is received inside
     the cut but sent outside it. Marker messages are excluded — they
     cross the cut by construction. *)
+
+val protocol : Protocol.t
+(** Registry entry (see {!Protocol.Registry}); for simulation-first
+    modules this carries the bounded knowledge-view spec. *)

@@ -212,3 +212,18 @@ let run_raw ?(config = Engine.default) ?(attempt_delay = 10.0) params =
 let run ?config ?attempt_delay params =
   let _, trace = run_raw ?config ?attempt_delay params in
   Termination.score ~detector:name ~detect_tag trace
+
+(* -- registry ----------------------------------------------------------- *)
+
+(* knowledge-view spec: one snapshot attempt — collect every process's
+   state, then declare termination *)
+let protocol =
+  Protocol.make ~name:"snapshot-termination"
+    ~doc:"snapshot-based termination: collect states, declare if quiet"
+    ~params:[ Protocol.param ~lo:2 "n" 2 "processes (p0 initiates)" ]
+    ~atoms:(fun _ ->
+      [ ("detected", Protocol.did_prop "detected" (Pid.of_int 0) detect_tag) ])
+    ~suggested_depth:5
+    (fun vs ->
+      Protocol.star_spec ~n:(Protocol.get vs "n") ~request:"snap"
+        ~reply:"state" ~finish:detect_tag ())

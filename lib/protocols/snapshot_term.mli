@@ -26,3 +26,7 @@ val run_raw :
   ?attempt_delay:float ->
   Underlying.params ->
   Hpl_sim.Engine.stats * Hpl_core.Trace.t
+
+val protocol : Protocol.t
+(** Registry entry (see {!Protocol.Registry}); for simulation-first
+    modules this carries the bounded knowledge-view spec. *)

@@ -78,3 +78,26 @@ let check_paper_claim u =
     (fun _ z -> if Prop.eval r_holds z && not (Prop.eval assertion z) then ok := false)
     u;
   !ok
+
+(* -- registry ----------------------------------------------------------- *)
+
+let first_pass _ =
+  let m =
+    Msg.make ~src:(Pid.of_int 0) ~dst:(Pid.of_int 1) ~seq:0 ~payload:token
+  in
+  Trace.of_list
+    [
+      Event.send ~pid:(Pid.of_int 0) ~lseq:0 m;
+      Event.receive ~pid:(Pid.of_int 1) ~lseq:0 m;
+    ]
+
+let protocol =
+  Protocol.make ~name:"token-bus"
+    ~doc:"\xc2\xa74.1 linear token passing; the paper's nested-knowledge showcase"
+    ~params:[ Protocol.param ~lo:2 "n" 5 "bus length" ]
+    ~atoms:(fun vs ->
+      let n = Protocol.get vs "n" in
+      List.init n (fun i -> (Printf.sprintf "holds%d" i, holds (Pid.of_int i)))
+      @ [ ("inflight", token_in_flight) ])
+    ~canonical_trace:first_pass ~suggested_depth:6
+    (fun vs -> spec ~n:(Protocol.get vs "n"))

@@ -37,3 +37,7 @@ val check_paper_claim : Hpl_core.Universe.t -> bool
 
 val holder_at : n:int -> Hpl_core.Trace.t -> Hpl_core.Pid.t option
 (** Who holds the token (None while in flight). *)
+
+val protocol : Protocol.t
+(** Registry entry (see {!Protocol.Registry}); for simulation-first
+    modules this carries the bounded knowledge-view spec. *)

@@ -124,3 +124,34 @@ let run ?(config = Engine.default) params =
       List.length
         (List.filter (fun m -> Wire.is token_tag m.Msg.payload) (Trace.sent z));
   }
+
+(* -- registry ----------------------------------------------------------- *)
+
+(* knowledge-view spec: the token circulates; holding is determined by
+   a process's own send/receive balance, so it is a local predicate *)
+let ring_spec ~n =
+  if n < 2 then invalid_arg "Token_ring.ring_spec: need at least two processes";
+  Spec.make ~n (fun p history ->
+      let i = Pid.to_int p in
+      let bal =
+        (if i = 0 then 1 else 0) + Protocol.recvs history - Protocol.sends history
+      in
+      Spec.Recv_any
+      ::
+      (if bal = 1 then [ Spec.Send_to (Pid.of_int ((i + 1) mod n), "token") ]
+       else []))
+
+let holds_prop ~i =
+  Prop.make (Printf.sprintf "holds%d" i) (fun z ->
+      let h = Trace.proj z (Pid.of_int i) in
+      (if i = 0 then 1 else 0) + Protocol.recvs h - Protocol.sends h = 1)
+
+let protocol =
+  Protocol.make ~name:"token-ring"
+    ~doc:"token circulates a ring; holding is a local predicate"
+    ~params:[ Protocol.param ~lo:2 "n" 3 "ring size" ]
+    ~atoms:(fun vs ->
+      List.init (Protocol.get vs "n") (fun i ->
+          (Printf.sprintf "holds%d" i, holds_prop ~i)))
+    ~suggested_depth:6
+    (fun vs -> ring_spec ~n:(Protocol.get vs "n"))

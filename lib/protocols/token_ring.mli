@@ -36,3 +36,7 @@ val check_exclusion : Hpl_core.Trace.t -> bool
 
 val enter_tag : string
 val exit_tag : string
+
+val protocol : Protocol.t
+(** Registry entry (see {!Protocol.Registry}); for simulation-first
+    modules this carries the bounded knowledge-view spec. *)

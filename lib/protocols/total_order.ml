@@ -142,3 +142,42 @@ let run ?config params =
         0 result.Engine.states;
     messages = result.Engine.stats.Engine.sent;
   }
+
+(* -- registry ----------------------------------------------------------- *)
+
+(* knowledge-view spec: a sequencer at p0 — publications go to the hub,
+   the hub emits the stamped order to every subscriber *)
+let sequencer_spec ~n =
+  if n < 2 then
+    invalid_arg "Total_order.sequencer_spec: need at least two processes";
+  let p0 = Pid.of_int 0 in
+  Spec.make ~n (fun p history ->
+      let i = Pid.to_int p in
+      if i = 0 then begin
+        let owed =
+          (Protocol.recvs_of history "pub" * (n - 1)) - Protocol.sends history
+        in
+        (if owed > 0 then
+           [ Spec.Send_to (Pid.of_int (1 + (Protocol.sends history mod (n - 1))), "ord") ]
+         else [])
+        @ [ Spec.Recv_any ]
+      end
+      else
+        (if Protocol.sends_of history "pub" = 0 then
+           [ Spec.Send_to (p0, "pub") ]
+         else [])
+        @ [ Spec.Recv_any ])
+
+let protocol =
+  Protocol.make ~name:"total-order"
+    ~doc:"sequencer broadcast: the hub's stamp makes delivery order common"
+    ~params:[ Protocol.param ~lo:2 "n" 3 "processes (p0 sequences)" ]
+    ~atoms:(fun vs ->
+      let n = Protocol.get vs "n" in
+      ("sequenced", Protocol.sent_prop "sequenced" (Pid.of_int 0) "ord")
+      :: List.init (n - 1) (fun i ->
+             (Printf.sprintf "delivered%d" (i + 1),
+              Protocol.received_prop (Printf.sprintf "delivered%d" (i + 1))
+                (Pid.of_int (i + 1)) "ord")))
+    ~suggested_depth:6
+    (fun vs -> sequencer_spec ~n:(Protocol.get vs "n"))

@@ -89,3 +89,28 @@ let change_requires_known_unsureness u ~tracker =
         if not (Prop.eval knows_unsure z) then ok := false)
     u;
   !ok
+
+(* -- registry ----------------------------------------------------------- *)
+
+let protocol =
+  Protocol.make ~name:"tracking"
+    ~doc:"remote tracking, silent flipper: trackers stay unsure forever"
+    ~params:
+      [
+        Protocol.param ~lo:2 "n" 2 "processes (p0 flips, the rest track)";
+        Protocol.param ~lo:0 "flips" 2 "bit flips available to p0";
+        Protocol.param ~lo:0 "ticks" 2 "internal ticks per tracker";
+      ]
+    ~atoms:(fun _ -> [ ("bit", bit) ])
+    ~suggested_depth:4
+    (fun vs ->
+      silent_spec ~n:(Protocol.get vs "n") ~flips:(Protocol.get vs "flips")
+        ~ticks:(Protocol.get vs "ticks"))
+
+let notify_protocol =
+  Protocol.make ~name:"tracking-notify"
+    ~doc:"remote tracking with notify+ack: the tightest tracking allowed"
+    ~params:[ Protocol.param ~lo:0 "flips" 1 "bit flips by p0" ]
+    ~atoms:(fun _ -> [ ("bit", bit) ])
+    ~suggested_depth:5
+    (fun vs -> notify_spec ~flips:(Protocol.get vs "flips"))

@@ -45,3 +45,9 @@ val change_requires_known_unsureness :
 (** The paper's necessary condition, on every computation of the
     universe: if [(z; flip)] is a computation, then at [z] p0 knows
     that the tracker is unsure of {!bit}. *)
+
+val protocol : Protocol.t
+(** Registry entry for the silent-flipper system. *)
+
+val notify_protocol : Protocol.t
+(** Registry entry for the notify+ack system. *)

@@ -101,3 +101,13 @@ let common_knowledge_never u =
   let ok = ref true in
   Universe.iter (fun _ z -> if Prop.eval ck z then ok := false) u;
   !ok
+
+(* -- registry ----------------------------------------------------------- *)
+
+let protocol =
+  Protocol.make ~name:"two-generals"
+    ~doc:"coordinated attack: a knowledge ladder that never reaches CK"
+    ~atoms:(fun _ -> [ ("attack", attack_decided) ])
+    ~canonical_trace:(fun _ -> ladder_trace ~rounds:2)
+    ~suggested_depth:6
+    (fun _ -> spec)

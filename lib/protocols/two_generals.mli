@@ -38,3 +38,7 @@ val max_depth_at : Hpl_core.Universe.t -> Hpl_core.Trace.t -> int
 
 val common_knowledge_never : Hpl_core.Universe.t -> bool
 (** CK(attack_decided) is false at every computation of the universe. *)
+
+val protocol : Protocol.t
+(** Registry entry (see {!Protocol.Registry}); for simulation-first
+    modules this carries the bounded knowledge-view spec. *)

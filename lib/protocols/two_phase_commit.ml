@@ -230,3 +230,12 @@ let uncertainty_is_real u =
       && (not (Prop.eval k_commit z))
       && not (Prop.eval k_abort z))
     u false
+
+(* -- registry ----------------------------------------------------------- *)
+
+let protocol =
+  Protocol.make ~name:"two-phase-commit"
+    ~doc:"2PC, coordinator + 2 participants; blocking = unresolvable unknowledge"
+    ~atoms:(fun _ -> [ ("committed", committed); ("aborted", aborted) ])
+    ~suggested_depth:6
+    (fun _ -> spec)

@@ -60,3 +60,7 @@ val uncertainty_is_real : Hpl_core.Universe.t -> bool
     p1 has voted YES, the coordinator has decided, and p1 neither knows
     [committed] nor knows [aborted] — the uncertainty window exists and
     the §4.3 corollary applies (only a receive can resolve it). *)
+
+val protocol : Protocol.t
+(** Registry entry (see {!Protocol.Registry}); for simulation-first
+    modules this carries the bounded knowledge-view spec. *)

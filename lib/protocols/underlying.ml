@@ -100,3 +100,34 @@ let termination_position z =
       | _ -> ())
     events;
   if !flights > 0 then None else Some (!last_recv + 1)
+
+(* -- registry ----------------------------------------------------------- *)
+
+(* knowledge-view spec: a depth-(n-1) diffusing chain — work hops down
+   the line, each process acting once *)
+let chain_spec ~n =
+  if n < 2 then invalid_arg "Underlying.chain_spec: need at least two processes";
+  Spec.make ~n (fun p history ->
+      let i = Pid.to_int p in
+      if i = 0 then
+        if Protocol.sends history = 0 then
+          [ Spec.Send_to (Pid.of_int 1, work_tag) ]
+        else []
+      else if Protocol.recvs history = 0 then [ Spec.Recv_any ]
+      else if not (Protocol.did history "worked") then [ Spec.Do "worked" ]
+      else if i < n - 1 && Protocol.sends history = 0 then
+        [ Spec.Send_to (Pid.of_int (i + 1), work_tag) ]
+      else [])
+
+let protocol =
+  Protocol.make ~name:"underlying"
+    ~doc:"the diffusing workload detectors ride on: work hops down a chain"
+    ~params:[ Protocol.param ~lo:2 "n" 3 "chain length (p0 is the root)" ]
+    ~atoms:(fun vs ->
+      let n = Protocol.get vs "n" in
+      [
+        ("chaindone",
+         Protocol.did_prop "chaindone" (Pid.of_int (n - 1)) "worked");
+      ])
+    ~suggested_depth:6
+    (fun vs -> chain_spec ~n:(Protocol.get vs "n"))

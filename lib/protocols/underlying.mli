@@ -63,3 +63,7 @@ val termination_position : Hpl_core.Trace.t -> int option
     work was ever sent — or [None] when work is still in flight at the
     end of the trace. An announcement at trace index [d] is sound iff
     [d ≥] this position. *)
+
+val protocol : Protocol.t
+(** Registry entry (see {!Protocol.Registry}); for simulation-first
+    modules this carries the bounded knowledge-view spec. *)
