@@ -121,6 +121,19 @@ let bitset_bench n =
     ~name:(Printf.sprintf "bitset/n=%d" n)
     (Staged.stage (fun () -> ignore (Bitset.cardinal (Bitset.inter a b))))
 
+(* -- P7: fault-transformed enumeration (lib/faults daemon routing) ------ *)
+
+let fault_enumeration_bench tag scenario ~depth =
+  let s =
+    match Hpl_faults.Faults.Scenario.parse scenario with
+    | Ok t -> Hpl_faults.Faults.Scenario.apply_exn t (chatter ~n:3 ~k:3)
+    | Error e -> failwith e
+  in
+  Test.make
+    ~name:(Printf.sprintf "enumerate/faults=%s/depth=%d" tag depth)
+    (Staged.stage (fun () ->
+         ignore (Universe.enumerate ~mode:`Canonical s ~depth)))
+
 let formula_bench () =
   let u = Universe.enumerate ~mode:`Canonical (chatter ~n:3 ~k:3) ~depth:6 in
   let sent = Prop.make "sent" (fun z -> Trace.send_count z p0 > 0) in
@@ -169,6 +182,8 @@ let all_tests =
       knows_naive_bench ~depth:4;
       enumeration_bench `Full "enumerate/full" ~depth:5;
       enumeration_bench `Canonical "enumerate/canonical" ~depth:5;
+      fault_enumeration_bench "drop" "drop:p0->p1" ~depth:6;
+      fault_enumeration_bench "crash" "crash-any:1" ~depth:6;
       enumeration_domains_bench ~depth:6 ~domains:1;
       enumeration_domains_bench ~depth:6 ~domains:2;
       enumeration_domains_bench ~depth:6 ~domains:4;
@@ -255,7 +270,36 @@ let run_benchmarks () =
        (fun (name, ols) -> (name, estimate ols, Analyze.OLS.r_square ols))
        rows)
 
+(* --quick: CI smoke mode. Skips the paper experiments and runs a tiny
+   benchmark subset with a minimal quota, without touching BENCH.json —
+   it exists to prove the binary links and the hot paths execute, not to
+   produce publishable numbers. *)
+let run_quick () =
+  print_endline "=== bench smoke (--quick) ===";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.05) ~stabilize:false ()
+  in
+  let tests =
+    Test.make_grouped ~name:"hpl"
+      [
+        knows_bench ~depth:4;
+        enumeration_bench `Canonical "enumerate/canonical" ~depth:5;
+        fault_enumeration_bench "drop" "drop:p0->p1" ~depth:6;
+        fault_enumeration_bench "crash" "crash-any:1" ~depth:6;
+      ]
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter (fun name _ -> Printf.printf "  ran %s\n" name) results;
+  print_endline "bench smoke passed"
+
 let () =
-  Experiments.run_all ();
-  run_benchmarks ();
-  print_endline "\nall experiments completed"
+  if Array.exists (fun a -> a = "--quick") Sys.argv then run_quick ()
+  else begin
+    Experiments.run_all ();
+    run_benchmarks ();
+    print_endline "\nall experiments completed"
+  end

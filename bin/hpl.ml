@@ -11,7 +11,25 @@
      snapshot     take a Chandy–Lamport snapshot of a running system *)
 open Cmdliner
 open Hpl_core
+open Hpl_faults
 open Hpl_protocols
+
+(* Exit codes: 0 ok; 1 property violated; 2 bad arguments; 3 the
+   enumeration budget truncated the universe. *)
+let exit_violated = 1
+let exit_usage = 2
+let exit_truncated = 3
+
+(* Bad [-s]/[--depth]/[--faults]/budget arguments die with one line on
+   stderr and exit 2 — which is why those flags are parsed here as
+   strings rather than through [Arg.conv] (whose failures exit with
+   cmdliner's generic CLI error code). *)
+let die_usage fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("hpl: " ^ m);
+      exit exit_usage)
+    fmt
 
 (* -- protocol selection ------------------------------------------------ *)
 
@@ -19,23 +37,10 @@ open Hpl_protocols
    parser replaces the old hardcoded system variant. *)
 let () = Builtins.init ()
 
-let proto_conv =
-  Arg.conv
-    ( (fun s ->
-        match Protocol.Registry.parse s with
-        | Ok i -> Ok i
-        | Error e -> Error (`Msg e)),
-      fun fmt i -> Format.pp_print_string fmt (Protocol.instance_name i) )
-
-let default_instance =
-  match Protocol.Registry.parse "ping-pong" with
-  | Ok i -> i
-  | Error e -> failwith e
-
 let proto_arg =
   Arg.(
     value
-    & opt proto_conv default_instance
+    & opt string "ping-pong"
     & info [ "s"; "system" ] ~docv:"PROTOCOL"
         ~doc:
           "Registered protocol, as $(b,name[:v1[:v2...]]) with positional \
@@ -45,11 +50,118 @@ let proto_arg =
 let depth_arg =
   Arg.(
     value
-    & opt (some int) None
+    & opt (some string) None
     & info [ "d"; "depth" ] ~docv:"DEPTH"
         ~doc:"Enumeration depth bound (default: the protocol's suggested depth).")
 
-let depth_of inst = function Some d -> d | None -> Protocol.depth_of inst
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SCENARIO"
+        ~doc:
+          "Fault scenario applied to the system before enumeration, e.g. \
+           $(b,crash:p1\\@2,drop:p0->p1) or $(b,drop:*). Items: \
+           $(b,crash:pN\\@K), $(b,crash-any:K), $(b,drop:pA->pB), \
+           $(b,dup:pA->pB).")
+
+let max_states_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "max-states" ] ~docv:"N"
+        ~doc:
+          "Stop enumerating after N stored computations (graceful \
+           truncation, exit code 3).")
+
+let max_seconds_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "max-seconds" ] ~docv:"S"
+        ~doc:"Stop enumerating after S seconds of CPU time (exit code 3).")
+
+(* Everything a universe-driven subcommand needs, resolved from the raw
+   string arguments (with exit-2 diagnostics on bad input). *)
+type setup = {
+  inst : Protocol.instance;
+  spec : Spec.t;  (** fault-transformed when [--faults] is given *)
+  base_n : int;  (** process count before fault routing *)
+  depth : int;
+  budget : Universe.budget;
+  view : Trace.t -> Trace.t;
+      (** faulty computation -> fault-free observation *)
+}
+
+let resolve proto_str depth_str faults_str max_states_str max_seconds_str =
+  let inst =
+    match Protocol.Registry.parse proto_str with
+    | Ok i -> i
+    | Error e -> die_usage "%s" e
+  in
+  let scenario =
+    match faults_str with
+    | None -> None
+    | Some s -> (
+        match Faults.Scenario.parse s with
+        | Ok t -> Some t
+        | Error e -> die_usage "--faults: %s" e)
+  in
+  let base = Protocol.spec_of inst in
+  let base_n = Spec.n base in
+  let spec =
+    match scenario with
+    | None -> base
+    | Some t -> (
+        match Faults.Scenario.apply t base with
+        | Ok s -> s
+        | Error e -> die_usage "--faults: %s" e)
+  in
+  let depth =
+    match depth_str with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some d when d >= 0 -> d
+        | _ -> die_usage "bad --depth %S (want a nonnegative integer)" s)
+    | None -> (
+        let d = Protocol.depth_of inst in
+        match scenario with
+        | None -> d
+        | Some t -> Faults.Scenario.suggested_depth t d)
+  in
+  let max_states =
+    match max_states_str with
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some k when k >= 1 -> Some k
+        | _ -> die_usage "bad --max-states %S (want a positive integer)" s)
+  in
+  let max_seconds =
+    match max_seconds_str with
+    | None -> None
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some v when v > 0.0 -> Some v
+        | _ -> die_usage "bad --max-seconds %S (want a positive number)" s)
+  in
+  let budget = Universe.budget ?max_states ?max_seconds () in
+  let view =
+    match scenario with
+    | None -> Fun.id
+    | Some t -> Faults.Scenario.view t ~n:base_n
+  in
+  { inst; spec; base_n; depth; budget; view }
+
+(* Report a truncated universe on stderr and exit 3 — after the
+   subcommand has printed what it could (graceful degradation). *)
+let exit_on_truncation u =
+  match Universe.status u with
+  | Universe.Complete -> ()
+  | Universe.Truncated r ->
+      Printf.eprintf "hpl: enumeration truncated: %s\n"
+        (Universe.reason_to_string r);
+      exit exit_truncated
 
 let mode_arg =
   let mode_of_string = function
@@ -78,12 +190,13 @@ let domains_arg =
 
 (* -- enumerate ---------------------------------------------------------- *)
 
-let enumerate inst depth mode domains verbose =
-  let depth = depth_of inst depth in
-  let u = Universe.enumerate ~mode ~domains (Protocol.spec_of inst) ~depth in
+let enumerate proto depth faults max_states max_seconds mode domains verbose =
+  let st = resolve proto depth faults max_states max_seconds in
+  let u = Universe.enumerate ~mode ~domains ~budget:st.budget st.spec ~depth:st.depth in
   Format.printf "%a@." Universe.pp_stats u;
   if verbose then
-    Universe.iter (fun i z -> Format.printf "%4d: %a@." i Trace.pp z) u
+    Universe.iter (fun i z -> Format.printf "%4d: %a@." i Trace.pp z) u;
+  exit_on_truncation u
 
 let enumerate_cmd =
   let verbose =
@@ -91,13 +204,15 @@ let enumerate_cmd =
   in
   Cmd.v
     (Cmd.info "enumerate" ~doc:"Enumerate a protocol's bounded computation universe")
-    Term.(const enumerate $ proto_arg $ depth_arg $ mode_arg $ domains_arg $ verbose)
+    Term.(
+      const enumerate $ proto_arg $ depth_arg $ faults_arg $ max_states_arg
+      $ max_seconds_arg $ mode_arg $ domains_arg $ verbose)
 
 (* -- diagram ------------------------------------------------------------- *)
 
-let diagram inst depth mode limit =
-  let depth = depth_of inst depth in
-  let u = Universe.enumerate ~mode (Protocol.spec_of inst) ~depth in
+let diagram proto depth faults max_states max_seconds mode limit =
+  let st = resolve proto depth faults max_states max_seconds in
+  let u = Universe.enumerate ~mode ~budget:st.budget st.spec ~depth:st.depth in
   let size = min limit (Universe.size u) in
   let named =
     Universe.fold
@@ -108,7 +223,8 @@ let diagram inst depth mode limit =
   let dg =
     Iso_diagram.of_computations ~all:(Spec.all (Universe.spec u)) named
   in
-  print_string (Iso_diagram.to_dot dg)
+  print_string (Iso_diagram.to_dot dg);
+  exit_on_truncation u
 
 let diagram_cmd =
   let limit =
@@ -118,23 +234,29 @@ let diagram_cmd =
   in
   Cmd.v
     (Cmd.info "diagram" ~doc:"Emit the isomorphism diagram as Graphviz DOT")
-    Term.(const diagram $ proto_arg $ depth_arg $ mode_arg $ limit)
+    Term.(
+      const diagram $ proto_arg $ depth_arg $ faults_arg $ max_states_arg
+      $ max_seconds_arg $ mode_arg $ limit)
 
 (* -- knows ---------------------------------------------------------------- *)
 
-let knows inst depth =
-  let depth = depth_of inst depth in
-  let spec = Protocol.spec_of inst in
-  let u = Universe.enumerate spec ~depth in
+let knows proto depth faults max_states max_seconds =
+  let st = resolve proto depth faults max_states max_seconds in
+  let u = Universe.enumerate ~budget:st.budget st.spec ~depth:st.depth in
   Format.printf "%a@.@." Universe.pp_stats u;
-  let n = Spec.n spec in
-  (match Protocol.atoms_of inst with
-  | [] -> Format.printf "(no atoms registered for %s)@." (Protocol.instance_name inst)
+  (match Protocol.atoms_of st.inst with
+  | [] ->
+      Format.printf "(no atoms registered for %s)@."
+        (Protocol.instance_name st.inst)
   | atoms ->
       List.iter
         (fun (name, fact) ->
+          (* atoms are written against the fault-free system; evaluate
+             them through the fault view so they apply unchanged *)
+          let fact = Prop.make (Prop.name fact) (fun z -> Prop.eval fact (st.view z)) in
           Format.printf "fact %s: %a@." name Prop.pp fact;
-          for i = 0 to n - 1 do
+          (* report the real processes only, not fault daemons *)
+          for i = 0 to st.base_n - 1 do
             let p = Pid.of_int i in
             let k = Knowledge.knows_p u p fact in
             let count =
@@ -145,12 +267,15 @@ let knows inst depth =
             Format.printf "  %a knows it in %d / %d computations@." Pid.pp p
               count (Universe.size u)
           done)
-        atoms)
+        atoms);
+  exit_on_truncation u
 
 let knows_cmd =
   Cmd.v
     (Cmd.info "knows" ~doc:"Summarize who knows what across a universe")
-    Term.(const knows $ proto_arg $ depth_arg)
+    Term.(
+      const knows $ proto_arg $ depth_arg $ faults_arg $ max_states_arg
+      $ max_seconds_arg)
 
 (* -- termination ------------------------------------------------------------ *)
 
@@ -472,26 +597,34 @@ let commit_cmd =
 
 (* -- check (epistemic-temporal model checking) ------------------------------------ *)
 
-let check_formula inst depth mode domains formula_text =
+let check_formula proto depth faults max_states max_seconds mode domains
+    formula_text =
   match Formula.parse formula_text with
-  | Error e ->
-      Printf.eprintf "parse error: %s\n" e;
-      exit 1
+  | Error e -> die_usage "parse error: %s" e
   | Ok f -> (
-      let depth = depth_of inst depth in
+      let st = resolve proto depth faults max_states max_seconds in
       let u =
-        Universe.enumerate ~mode ~domains (Protocol.spec_of inst) ~depth
+        Universe.enumerate ~mode ~domains ~budget:st.budget st.spec
+          ~depth:st.depth
       in
       Format.printf "%a@." Universe.pp_stats u;
       Format.printf "formula: %a@." Formula.pp f;
-      match Formula.check u ~env:(Protocol.atom_env inst) f with
-      | Error e ->
-          Printf.eprintf "error: %s\n" e;
-          exit 1
-      | Ok `Valid -> Format.printf "VALID at every computation@."
+      let env name =
+        (* formula atoms are fault-free predicates; route them through
+           the fault view *)
+        Option.map
+          (fun b -> Prop.make (Prop.name b) (fun z -> Prop.eval b (st.view z)))
+          (Protocol.atom_env st.inst name)
+      in
+      match Formula.check u ~env f with
+      | Error e -> die_usage "%s" e
+      | Ok `Valid ->
+          Format.printf "VALID at every computation@.";
+          (* a VALID verdict on a truncated universe is not a proof *)
+          exit_on_truncation u
       | Ok (`Fails_at z) ->
           Format.printf "FAILS — witness computation:@.  %a@." Trace.pp z;
-          exit 2)
+          exit exit_violated)
 
 let check_cmd =
   let formula =
@@ -506,7 +639,9 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Model-check an epistemic-temporal formula over a system's universe")
-    Term.(const check_formula $ proto_arg $ depth_arg $ mode_arg $ domains_arg $ formula)
+    Term.(
+      const check_formula $ proto_arg $ depth_arg $ faults_arg $ max_states_arg
+      $ max_seconds_arg $ mode_arg $ domains_arg $ formula)
 
 (* -- snapshot ------------------------------------------------------------------- *)
 
@@ -553,7 +688,11 @@ let list_protocols verbose =
         | atoms ->
             Printf.printf "    atoms: %s\n"
               (String.concat " " (List.map fst atoms)));
-        Printf.printf "    suggested depth: %d\n" (Protocol.suggested_depth t)
+        Printf.printf "    suggested depth: %d\n" (Protocol.suggested_depth t);
+        match Protocol.fault_scenarios t with
+        | [] -> ()
+        | fs ->
+            Printf.printf "    fault scenarios: %s\n" (String.concat " " fs)
       end)
     (Protocol.Registry.list ())
 

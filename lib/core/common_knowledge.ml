@@ -33,6 +33,10 @@ let rec level u k b =
     in
     Prop.of_extent u (Printf.sprintf "E^%d(%s)" k (Prop.name b)) ck_k
 
+let attainable ?level:lvl u b =
+  let p = match lvl with None -> common u b | Some k -> level u k b in
+  not (Bitset.is_empty (Prop.extent u p))
+
 let constancy_holds u b =
   Spec.n (Universe.spec u) < 2 || Prop.is_constant u (common u b)
 

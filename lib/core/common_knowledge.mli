@@ -18,6 +18,14 @@ val level : Universe.t -> int -> Prop.t -> Prop.t
 (** [level u k b] is the depth-[k] approximation: [b] for [k = 0],
     [b ∧ ⋀p (p knows (level (k-1)))] otherwise. [common] is its limit. *)
 
+val attainable : ?level:int -> Universe.t -> Prop.t -> bool
+(** [attainable u b]: does ["b is CK"] hold at {e some} computation of
+    [u]? With [~level:k] it asks about the [E^k] approximation instead
+    (everyone knows … [k] deep). By the constancy corollary, full CK is
+    attainable iff it holds at the empty computation — so over a lossy
+    channel a fact that is not initially common knowledge never becomes
+    so, while [E^k] levels can still climb as messages are delivered. *)
+
 val constancy_holds : Universe.t -> Prop.t -> bool
 (** The corollary checker: with ≥ 2 processes, ["b is CK"] is constant
     over the universe. *)

@@ -38,6 +38,67 @@ let sure u ps b =
 
 let unsure u ps b = Prop.not_ (sure u ps b)
 
+(* -- robustness under faults ----------------------------------------- *)
+
+type verdict = Robust | Degraded | Destroyed | Vacuous
+
+type robustness = {
+  verdict : verdict;
+  baseline_hits : int;
+  baseline_size : int;
+  faulty_hits : int;
+  faulty_size : int;
+  baseline_status : Universe.status;
+  faulty_status : Universe.status;
+}
+
+let verdict_to_string = function
+  | Robust -> "robust"
+  | Degraded -> "degraded"
+  | Destroyed -> "destroyed"
+  | Vacuous -> "vacuous"
+
+let pp_robustness fmt r =
+  Format.fprintf fmt "%s (fault-free: %d/%d%s; faulty: %d/%d%s)"
+    (verdict_to_string r.verdict) r.baseline_hits r.baseline_size
+    (match r.baseline_status with
+    | Universe.Complete -> ""
+    | Universe.Truncated _ -> " truncated")
+    r.faulty_hits r.faulty_size
+    (match r.faulty_status with
+    | Universe.Complete -> ""
+    | Universe.Truncated _ -> " truncated")
+
+let robust_under ?(mode = `Canonical) ?(budget = Universe.no_budget)
+    ?faulty_depth ?(view = Fun.id) spec ~transform ~depth ps b =
+  let u0 = Universe.enumerate ~mode ~budget spec ~depth in
+  let faulty_depth = Option.value faulty_depth ~default:depth in
+  let u1 = Universe.enumerate ~mode ~budget (transform spec) ~depth:faulty_depth in
+  (* [b] is written against the fault-free system; [view] translates a
+     faulty computation back to its fault-free observation first *)
+  let b' = Prop.make (Prop.name b) (fun z -> Prop.eval b (view z)) in
+  let hits u bb = Bitset.cardinal (knows_ext u ps (Prop.extent u bb)) in
+  let baseline_hits = hits u0 b and faulty_hits = hits u1 b' in
+  let baseline_size = Universe.size u0 and faulty_size = Universe.size u1 in
+  let verdict =
+    if baseline_hits = 0 then Vacuous
+    else if faulty_hits = 0 then Destroyed
+    else if
+      (* compare prevalence as exact rationals: hits1/size1 vs hits0/size0 *)
+      faulty_hits * baseline_size >= baseline_hits * faulty_size
+    then Robust
+    else Degraded
+  in
+  {
+    verdict;
+    baseline_hits;
+    baseline_size;
+    faulty_hits;
+    faulty_size;
+    baseline_status = Universe.status u0;
+    faulty_status = Universe.status u1;
+  }
+
 module Laws = struct
   let ext_knows u ps b = knows_ext u ps (Prop.extent u b)
 

@@ -41,6 +41,57 @@ val sure : Universe.t -> Pset.t -> Prop.t -> Prop.t
 val unsure : Universe.t -> Pset.t -> Prop.t -> Prop.t
 (** [¬ (P sure b)]. *)
 
+(** {1 Robustness under faults}
+
+    How much of a predicate's knowledge extent survives a fault model?
+    The comparison enumerates the same spec twice — untransformed and
+    through a fault transformer (e.g. {!Spec_algebra}-style functions
+    from the [Hpl_faults] library) — and compares how prevalent
+    [P knows b] is in each universe. *)
+
+type verdict =
+  | Robust  (** knowledge at least as prevalent under faults *)
+  | Degraded  (** still attainable under faults, but strictly rarer *)
+  | Destroyed  (** attainable fault-free, never attained under faults *)
+  | Vacuous  (** never attained even fault-free — nothing to compare *)
+
+type robustness = {
+  verdict : verdict;
+  baseline_hits : int;  (** computations where [P knows b], fault-free *)
+  baseline_size : int;
+  faulty_hits : int;  (** same count in the transformed universe *)
+  faulty_size : int;
+  baseline_status : Universe.status;
+  faulty_status : Universe.status;
+      (** truncated universes make the verdict relative to the explored
+          prefix — check these before trusting a [Destroyed] *)
+}
+
+val verdict_to_string : verdict -> string
+val pp_robustness : Format.formatter -> robustness -> unit
+
+val robust_under :
+  ?mode:Universe.mode ->
+  ?budget:Universe.budget ->
+  ?faulty_depth:int ->
+  ?view:(Trace.t -> Trace.t) ->
+  Spec.t ->
+  transform:(Spec.t -> Spec.t) ->
+  depth:int ->
+  Pset.t ->
+  Prop.t ->
+  robustness
+(** [robust_under spec ~transform ~depth ps b] compares the prevalence
+    of [ps knows b] across [enumerate spec ~depth] and
+    [enumerate (transform spec) ~depth:faulty_depth] (default
+    [faulty_depth = depth]; routed fault models need roughly double —
+    see [Hpl_faults.Faults.Scenario.suggested_depth]). [view] (default
+    identity) translates each faulty computation to its fault-free
+    observation before evaluating [b], so predicates written against
+    the original system apply unchanged ([Hpl_faults.Faults.view] for
+    routed models). Prevalences are compared as exact rationals, so
+    different universe sizes are handled correctly. *)
+
 (** The paper's facts about knowledge, each decided over the whole
     universe for given [P], [Q], [b], [b']. Numbering follows §4.1. *)
 module Laws : sig

@@ -13,11 +13,16 @@ let shift_event delta (e : Event.t) =
   | Event.Receive m -> Event.receive ~pid ~lseq:e.Event.lseq (shift_msg delta m)
   | Event.Internal tag -> Event.internal ~pid ~lseq:e.Event.lseq tag
 
-let shift_intent delta ~limit = function
+let shift_intent delta ~limit ~sender = function
   | Spec.Send_to (dst, payload) ->
       let d = Pid.to_int dst + delta in
       if d < fst limit || d >= snd limit then
-        invalid_arg "Spec_algebra.parallel: component addresses outside itself";
+        invalid_arg
+          (Printf.sprintf
+             "Spec_algebra.parallel: component addresses outside itself (p%d \
+              sends %S to p%d, outside its component's pids %d..%d)"
+             (Pid.to_int sender) payload (Pid.to_int dst) (fst limit - delta)
+             (snd limit - delta - 1));
       Spec.Send_to (Pid.of_int d, payload)
   | (Spec.Recv_any | Spec.Recv_from _ | Spec.Recv_if _ | Spec.Do _) as i -> (
       match i with
@@ -30,11 +35,12 @@ let parallel a b =
       let i = Pid.to_int p in
       if i < na then
         (* histories are already in component coordinates for a *)
-        List.map (shift_intent 0 ~limit:(0, na)) (Spec.rule_of a p history)
+        List.map (shift_intent 0 ~limit:(0, na) ~sender:p) (Spec.rule_of a p history)
       else
         let local = List.map (shift_event (-na)) history in
-        Spec.rule_of b (Pid.of_int (i - na)) local
-        |> List.map (shift_intent na ~limit:(na, na + nb)))
+        let cp = Pid.of_int (i - na) in
+        Spec.rule_of b cp local
+        |> List.map (shift_intent na ~limit:(na, na + nb) ~sender:cp))
 
 let restrict s keep =
   Spec.make ~n:(Spec.n s) (fun p history ->

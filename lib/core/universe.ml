@@ -1,5 +1,26 @@
 type mode = [ `Full | `Canonical ]
 
+type budget = { max_states : int option; max_seconds : float option }
+
+let budget ?max_states ?max_seconds () =
+  (match max_states with
+  | Some k when k < 1 -> invalid_arg "Universe.budget: max_states < 1"
+  | _ -> ());
+  (match max_seconds with
+  | Some s when s <= 0.0 -> invalid_arg "Universe.budget: max_seconds <= 0"
+  | _ -> ());
+  { max_states; max_seconds }
+
+let no_budget = { max_states = None; max_seconds = None }
+
+type trunc_reason = Max_states of int | Max_seconds of float
+
+type status = Complete | Truncated of trunc_reason
+
+let reason_to_string = function
+  | Max_states k -> Printf.sprintf "state budget reached (max_states = %d)" k
+  | Max_seconds s -> Printf.sprintf "time budget reached (max_seconds = %g)" s
+
 module TraceTbl = Hashtbl.Make (struct
   type t = Trace.t
 
@@ -23,6 +44,7 @@ type t = {
   spec : Spec.t;
   mode : mode;
   depth : int;
+  status : status;
   comps : Trace.t array;
   idx : int TraceTbl.t;
   class_ids_by_pid : int array array; (* pid index -> comp index -> class id *)
@@ -104,9 +126,19 @@ let snoc_is_canonical z e =
    (class-id interning, appending to the accumulator) runs sequentially
    in frontier order afterwards, so [comps], [idx] and every class id
    are bit-identical for any [domains]. *)
-let enumerate ?(mode = `Canonical) ?(domains = 1) spec ~depth =
+exception Out_of_budget of trunc_reason
+
+let enumerate ?(mode = `Canonical) ?(domains = 1) ?(budget = no_budget) spec
+    ~depth =
   if depth < 0 then invalid_arg "Universe.enumerate: negative depth";
   if domains < 1 then invalid_arg "Universe.enumerate: domains < 1";
+  let started = Sys.time () in
+  let check_time () =
+    match budget.max_seconds with
+    | Some limit when Sys.time () -. started > limit ->
+        raise (Out_of_budget (Max_seconds limit))
+    | _ -> ()
+  in
   let n = Spec.n spec in
   let step_tbls = Array.init n (fun _ -> StepTbl.create 64) in
   let next_ids = Array.make n 1 in
@@ -159,6 +191,9 @@ let enumerate ?(mode = `Canonical) ?(domains = 1) spec ~depth =
   in
   let acc = ref [] and count = ref 0 in
   let push node =
+    (match budget.max_states with
+    | Some k when !count >= k -> raise (Out_of_budget (Max_states k))
+    | _ -> ());
     acc := node :: !acc;
     incr count
   in
@@ -167,11 +202,17 @@ let enumerate ?(mode = `Canonical) ?(domains = 1) spec ~depth =
   let rec level frontier d =
     if d >= depth || Array.length frontier = 0 then ()
     else begin
+      check_time ();
       let childlists = expand frontier in
-      (* deterministic merge: frontier order, then per-parent order *)
+      (* deterministic merge: frontier order, then per-parent order.
+         Budget checks live here, in the sequential half, so the set of
+         kept states is identical for any [domains] (time-based
+         truncation is inherently wall-clock dependent, but is only
+         detected between whole parents, never mid-parent). *)
       let next = ref [] in
       Array.iteri
         (fun i kids ->
+          check_time ();
           let _, pids = frontier.(i) in
           List.iter
             (fun (e, z') ->
@@ -186,7 +227,11 @@ let enumerate ?(mode = `Canonical) ?(domains = 1) spec ~depth =
       level (Array.of_list (List.rev !next)) (d + 1)
     end
   in
-  level [| root |] 0;
+  let status =
+    match level [| root |] 0 with
+    | () -> Complete
+    | exception Out_of_budget reason -> Truncated reason
+  in
   let comps = Array.make !count Trace.empty in
   let class_ids_by_pid = Array.init n (fun _ -> Array.make !count 0) in
   (* [!acc] holds nodes in reverse discovery order *)
@@ -204,6 +249,7 @@ let enumerate ?(mode = `Canonical) ?(domains = 1) spec ~depth =
     spec;
     mode;
     depth;
+    status;
     comps;
     idx;
     class_ids_by_pid;
@@ -214,6 +260,7 @@ let enumerate ?(mode = `Canonical) ?(domains = 1) spec ~depth =
 let spec u = u.spec
 let mode u = u.mode
 let depth u = u.depth
+let status u = u.status
 let size u = Array.length u.comps
 let comp u i = u.comps.(i)
 let index u z = TraceTbl.find_opt u.idx z
@@ -294,7 +341,10 @@ let prefixes_of u i =
   List.rev (go Trace.empty (Trace.to_list z) [])
 
 let pp_stats fmt u =
-  Format.fprintf fmt "universe: %d computations, depth %d, mode %s, %d processes"
+  Format.fprintf fmt "universe: %d computations, depth %d, mode %s, %d processes%s"
     (size u) u.depth
     (match u.mode with `Full -> "full" | `Canonical -> "canonical")
     (Spec.n u.spec)
+    (match u.status with
+    | Complete -> ""
+    | Truncated r -> Printf.sprintf " [TRUNCATED: %s]" (reason_to_string r))

@@ -21,9 +21,29 @@
 
 type mode = [ `Full | `Canonical ]
 
+type budget = { max_states : int option; max_seconds : float option }
+(** Resource ceiling for {!enumerate}. Fault transformers multiply
+    branching, so an unbounded enumeration of a fault-blown state space
+    can exhaust memory or wall-clock; a budget turns that failure mode
+    into graceful degradation — a valid, prefix-closed universe plus a
+    {!status} saying it is incomplete. *)
+
+val budget : ?max_states:int -> ?max_seconds:float -> unit -> budget
+(** Smart constructor. Raises [Invalid_argument] on [max_states < 1] or
+    [max_seconds <= 0]. Omitted fields are unlimited. *)
+
+val no_budget : budget
+
+type trunc_reason = Max_states of int | Max_seconds of float
+
+type status = Complete | Truncated of trunc_reason
+
+val reason_to_string : trunc_reason -> string
+
 type t
 
-val enumerate : ?mode:mode -> ?domains:int -> Spec.t -> depth:int -> t
+val enumerate :
+  ?mode:mode -> ?domains:int -> ?budget:budget -> Spec.t -> depth:int -> t
 (** [enumerate spec ~depth] explores breadth-first from the empty
     computation. Default mode is [`Canonical].
 
@@ -32,11 +52,27 @@ val enumerate : ?mode:mode -> ?domains:int -> Spec.t -> depth:int -> t
     sequential run for any [domains]: workers only compute candidate
     extensions, and all state (computation indices, class-id interning)
     is merged sequentially in frontier order. Raises [Invalid_argument]
-    if [domains < 1]. *)
+    if [domains < 1].
+
+    [budget] (default {!no_budget}) bounds the enumeration. When a
+    ceiling is hit the BFS stops cleanly and the universe carries
+    [Truncated reason] as its {!status}; the stored computations are
+    still prefix-closed (children are only kept after their parent), so
+    every query below remains sound — it just quantifies over fewer
+    computations than the depth bound implies. [max_states] truncation
+    is deterministic (checks happen in the sequential merge, in frontier
+    order, for any [domains]); [max_seconds] is wall-clock dependent by
+    nature and detected between parent expansions. *)
 
 val spec : t -> Spec.t
 val mode : t -> mode
 val depth : t -> int
+
+val status : t -> status
+(** [Complete] unless a {!budget} ceiling stopped the enumeration. A
+    truncated universe underapproximates: [knows]/CK verdicts computed
+    on it are relative to the explored prefix of the state space. *)
+
 val size : t -> int
 
 val comp : t -> int -> Trace.t

@@ -23,4 +23,5 @@ let protocol =
     ~params:[ Protocol.param "n" 2 "ring size" ]
     ~atoms:(fun _ -> [ ("sent", sent); ("idled", idled) ])
     ~suggested_depth:4
+    ~fault_scenarios:[ "crash-any:1"; "dup:*" ]
     (fun vs -> spec ~n:(Protocol.get vs "n"))

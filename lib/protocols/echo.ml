@@ -149,4 +149,5 @@ let protocol =
               Protocol.received_prop (Printf.sprintf "informed%d" (i + 1)) p
                 wave_tag)))
     ~suggested_depth:6
+    ~fault_scenarios:[ "crash:p1@1"; "drop:p0->p1"; "crash-any:1" ]
     (fun vs -> wave_spec ~n:(Protocol.get vs "n"))

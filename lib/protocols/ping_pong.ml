@@ -42,4 +42,5 @@ let protocol =
     ~atoms:(fun _ -> [ ("sent", sent); ("received", received) ])
     ~canonical_trace:(fun _ -> round_trip)
     ~suggested_depth:4
+    ~fault_scenarios:[ "drop:p0->p1"; "dup:p1->p0"; "crash:p1@1" ]
     (fun _ -> spec)

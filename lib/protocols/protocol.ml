@@ -29,10 +29,11 @@ type t = {
   atoms : values -> (string * Prop.t) list;
   canonical_trace : (values -> Trace.t) option;
   suggested_depth : int;
+  fault_scenarios : string list;
 }
 
 let make ~name ~doc ?(params = []) ?(atoms = fun _ -> []) ?canonical_trace
-    ?(suggested_depth = 6) spec =
+    ?(suggested_depth = 6) ?(fault_scenarios = []) spec =
   if name = "" then invalid_arg "Protocol.make: empty name";
   String.iter
     (fun c ->
@@ -40,12 +41,22 @@ let make ~name ~doc ?(params = []) ?(atoms = fun _ -> []) ?canonical_trace
       | 'a' .. 'z' | '0' .. '9' | '-' -> ()
       | _ -> invalid_arg "Protocol.make: name must match [a-z0-9-]+")
     name;
-  { name; doc; params; spec; atoms; canonical_trace; suggested_depth }
+  {
+    name;
+    doc;
+    params;
+    spec;
+    atoms;
+    canonical_trace;
+    suggested_depth;
+    fault_scenarios;
+  }
 
 let name t = t.name
 let doc t = t.doc
 let params t = t.params
 let suggested_depth t = t.suggested_depth
+let fault_scenarios t = t.fault_scenarios
 let defaults t = List.map (fun p -> (p.key, p.default)) t.params
 
 (* -- instances ----------------------------------------------------------- *)

@@ -52,6 +52,10 @@ type t = {
   canonical_trace : (values -> Trace.t) option;
       (** a distinguished valid computation, when one is worth naming *)
   suggested_depth : int;  (** sensible enumeration depth bound *)
+  fault_scenarios : string list;
+      (** fault scenarios (CLI [--faults] syntax) that are meaningful
+          for this protocol — shown by [hpl list -v], exercised by the
+          registry fault tests *)
 }
 
 val make :
@@ -61,15 +65,17 @@ val make :
   ?atoms:(values -> (string * Prop.t) list) ->
   ?canonical_trace:(values -> Trace.t) ->
   ?suggested_depth:int ->
+  ?fault_scenarios:string list ->
   (values -> Spec.t) ->
   t
-(** [suggested_depth] defaults to 6. Raises [Invalid_argument] on a
-    malformed name. *)
+(** [suggested_depth] defaults to 6, [fault_scenarios] to []. Raises
+    [Invalid_argument] on a malformed name. *)
 
 val name : t -> string
 val doc : t -> string
 val params : t -> param list
 val suggested_depth : t -> int
+val fault_scenarios : t -> string list
 
 val defaults : t -> values
 (** Every parameter at its default. *)

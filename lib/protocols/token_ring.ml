@@ -154,4 +154,5 @@ let protocol =
       List.init (Protocol.get vs "n") (fun i ->
           (Printf.sprintf "holds%d" i, holds_prop ~i)))
     ~suggested_depth:6
+    ~fault_scenarios:[ "drop:p0->p1"; "crash:p1@2"; "crash-any:1" ]
     (fun vs -> ring_spec ~n:(Protocol.get vs "n"))

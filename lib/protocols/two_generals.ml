@@ -110,4 +110,5 @@ let protocol =
     ~atoms:(fun _ -> [ ("attack", attack_decided) ])
     ~canonical_trace:(fun _ -> ladder_trace ~rounds:2)
     ~suggested_depth:6
+    ~fault_scenarios:[ "drop:p0->p1"; "drop:*"; "crash:p1@2" ]
     (fun _ -> spec)

@@ -7,8 +7,14 @@ type config = {
   min_delay : float;
   max_delay : float;
   drop_prob : float;
+  drop_channels : (int * int) list;
+  dup_prob : float;
+  dup_channels : (int * int) list;
   partitions : (float * float * int list) list;
   crashes : (float * int) list;
+  crash_after_events : (int * int) list;
+  crash_prone : int list;
+  crash_prob : float;
   max_steps : int;
   max_time : float;
 }
@@ -21,8 +27,14 @@ let default =
     min_delay = 1.0;
     max_delay = 10.0;
     drop_prob = 0.0;
+    drop_channels = [];
+    dup_prob = 0.0;
+    dup_channels = [];
     partitions = [];
     crashes = [];
+    crash_after_events = [];
+    crash_prone = [];
+    crash_prob = 0.0;
     max_steps = 100_000;
     max_time = 1e6;
   }
@@ -44,6 +56,7 @@ type stats = {
   sent : int;
   delivered : int;
   dropped : int;
+  duplicated : int;
   timers_fired : int;
   end_time : float;
   steps : int;
@@ -65,6 +78,7 @@ type item =
       msg_seq : int;
       payload : string;
       sent_at : float;
+      dup : bool;
     }
   | Timer of { pid : Pid.t; tag : string }
   | Crash_at of { pid : Pid.t }
@@ -78,6 +92,24 @@ let run cfg handlers =
       if pid < 0 || pid >= cfg.n then
         invalid_arg (Printf.sprintf "Engine.run: crash pid %d out of range" pid))
     cfg.crashes;
+  List.iter
+    (fun (pid, after) ->
+      if pid < 0 || pid >= cfg.n then
+        invalid_arg (Printf.sprintf "Engine.run: crash pid %d out of range" pid);
+      if after < 0 then
+        invalid_arg "Engine.run: negative crash_after_events count")
+    cfg.crash_after_events;
+  List.iter
+    (fun pid ->
+      if pid < 0 || pid >= cfg.n then
+        invalid_arg
+          (Printf.sprintf "Engine.run: crash-prone pid %d out of range" pid))
+    cfg.crash_prone;
+  List.iter
+    (fun p ->
+      if p < 0.0 || p > 1.0 then
+        invalid_arg "Engine.run: probabilities must be within [0, 1]")
+    [ cfg.drop_prob; cfg.dup_prob; cfg.crash_prob ];
   let rng = Rng.create cfg.seed in
   let queue : item Pqueue.t = Pqueue.create () in
   let seqno = ref 0 in
@@ -95,9 +127,15 @@ let run cfg handlers =
   let record pid mk =
     let i = Pid.to_int pid in
     trace := Trace.snoc !trace (mk ~lseq:lseq.(i));
-    lseq.(i) <- lseq.(i) + 1
+    lseq.(i) <- lseq.(i) + 1;
+    (* scheduled-by-event-count crashes are silent, like Faults.crash_stop:
+       the process simply stops once it has performed its quota *)
+    List.iter
+      (fun (pid', after) -> if pid' = i && lseq.(i) >= after then crashed.(i) <- true)
+      cfg.crash_after_events
   in
   let sent = ref 0 and delivered = ref 0 and dropped = ref 0 in
+  let duplicated = ref 0 in
   let timers_fired = ref 0 in
   let latency_sum = ref 0.0 and latency_max = ref 0.0 in
   let last_delivery = Hashtbl.create 16 (* (src,dst) -> latest delivery time *) in
@@ -109,6 +147,10 @@ let run cfg handlers =
         && List.mem (Pid.to_int src) group <> List.mem (Pid.to_int dst) group)
       cfg.partitions
   in
+  (* [channels = []] means every channel is subject to the fault *)
+  let on_channel channels src dst =
+    channels = [] || List.mem (Pid.to_int src, Pid.to_int dst) channels
+  in
   let do_send self dst payload =
     let i = Pid.to_int self in
     let m = Msg.make ~src:self ~dst ~seq:send_seq.(i) ~payload in
@@ -116,13 +158,13 @@ let run cfg handlers =
     record self (fun ~lseq -> Event.send ~pid:self ~lseq m);
     incr sent;
     if partitioned self dst !now then incr dropped
-    else if cfg.drop_prob > 0.0 && Rng.float rng 1.0 < cfg.drop_prob then incr dropped
+    else if
+      cfg.drop_prob > 0.0
+      && on_channel cfg.drop_channels self dst
+      && Rng.float rng 1.0 < cfg.drop_prob
+    then incr dropped
     else begin
-      let delay =
-        cfg.min_delay +. Rng.float rng (max 0.0 (cfg.max_delay -. cfg.min_delay))
-      in
-      let t = !now +. delay in
-      let t =
+      let fifo_slot t =
         if cfg.fifo then begin
           let key = (Pid.to_int self, Pid.to_int dst) in
           let t' =
@@ -135,7 +177,23 @@ let run cfg handlers =
         end
         else t
       in
-      schedule t (Deliver { src = self; dst; msg_seq = m.Msg.seq; payload; sent_at = !now })
+      let delay () =
+        cfg.min_delay +. Rng.float rng (max 0.0 (cfg.max_delay -. cfg.min_delay))
+      in
+      let t = fifo_slot (!now +. delay ()) in
+      schedule t
+        (Deliver
+           { src = self; dst; msg_seq = m.Msg.seq; payload; sent_at = !now; dup = false });
+      if
+        cfg.dup_prob > 0.0
+        && on_channel cfg.dup_channels self dst
+        && Rng.float rng 1.0 < cfg.dup_prob
+      then begin
+        let t' = fifo_slot (t +. delay ()) in
+        schedule t'
+          (Deliver
+             { src = self; dst; msg_seq = m.Msg.seq; payload; sent_at = !now; dup = true })
+      end
     end
   in
   let rec apply self actions =
@@ -154,11 +212,20 @@ let run cfg handlers =
       actions
   and step_handler self f =
     let i = Pid.to_int self in
-    if not crashed.(i) then begin
-      let state', actions = f states.(i) in
-      states.(i) <- state';
-      apply self actions
-    end
+    if not crashed.(i) then
+      if
+        cfg.crash_prob > 0.0
+        && List.mem i cfg.crash_prone
+        && Rng.float rng 1.0 < cfg.crash_prob
+      then begin
+        crashed.(i) <- true;
+        record self (fun ~lseq -> Event.internal ~pid:self ~lseq "crash")
+      end
+      else begin
+        let state', actions = f states.(i) in
+        states.(i) <- state';
+        apply self actions
+      end
   in
   (* scheduled crashes *)
   List.iter
@@ -178,15 +245,25 @@ let run cfg handlers =
             now := t;
             incr steps;
             (match item with
-            | Deliver { src; dst; msg_seq; payload; sent_at } ->
+            | Deliver { src; dst; msg_seq; payload; sent_at; dup } ->
                 let i = Pid.to_int dst in
                 if not crashed.(i) then begin
-                  let m = Msg.make ~src ~dst ~seq:msg_seq ~payload in
-                  record dst (fun ~lseq -> Event.receive ~pid:dst ~lseq m);
-                  incr delivered;
-                  let lat = t -. sent_at in
-                  latency_sum := !latency_sum +. lat;
-                  if lat > !latency_max then latency_max := lat;
+                  (if dup then begin
+                     (* a second receive of the same message would break
+                        trace well-formedness, so duplicates are recorded
+                        as internal events — the handler still runs *)
+                     record dst (fun ~lseq ->
+                         Event.internal ~pid:dst ~lseq ("dup-deliver:" ^ payload));
+                     incr duplicated
+                   end
+                   else begin
+                     let m = Msg.make ~src ~dst ~seq:msg_seq ~payload in
+                     record dst (fun ~lseq -> Event.receive ~pid:dst ~lseq m);
+                     incr delivered;
+                     let lat = t -. sent_at in
+                     latency_sum := !latency_sum +. lat;
+                     if lat > !latency_max then latency_max := lat
+                   end);
                   step_handler dst (fun s ->
                       handlers.on_message s ~self:dst ~src ~payload ~now:t)
                 end
@@ -215,6 +292,7 @@ let run cfg handlers =
         sent = !sent;
         delivered = !delivered;
         dropped = !dropped;
+        duplicated = !duplicated;
         timers_fired = !timers_fired;
         end_time = !now;
         steps = !steps;

@@ -23,17 +23,35 @@ type config = {
   min_delay : float;
   max_delay : float;
   drop_prob : float;  (** probability a message is lost *)
+  drop_channels : (int * int) list;
+      (** channels [(src, dst)] subject to [drop_prob]; [[]] = all *)
+  dup_prob : float;
+      (** probability a delivered message is delivered a second time;
+          the duplicate arrives as an internal ["dup-deliver:payload"]
+          event (a second receive of the same message would break trace
+          well-formedness) but still runs [on_message] *)
+  dup_channels : (int * int) list;
+      (** channels subject to [dup_prob]; [[]] = all *)
   partitions : (float * float * int list) list;
       (** [(t0, t1, group)]: during \[t0, t1), messages crossing the
           boundary between [group] and its complement are lost *)
   crashes : (float * int) list;  (** scheduled (time, pid) crashes *)
+  crash_after_events : (int * int) list;
+      (** [(pid, k)]: pid halts silently once it has performed [k]
+          local events — the scheduled counterpart of
+          [Hpl_faults.Faults.crash_stop] *)
+  crash_prone : int list;
+      (** pids that may crash spontaneously before handling an event *)
+  crash_prob : float;
+      (** per-handled-event crash probability for [crash_prone] pids;
+          a spontaneous crash records a visible ["crash"] event *)
   max_steps : int;  (** hard event budget *)
   max_time : float;  (** simulated-time horizon *)
 }
 
 val default : config
-(** 4 processes, seed 1, FIFO, delays in [1, 10], no drops, no
-    partitions, no crashes, 100_000 steps, horizon 1e6. *)
+(** 4 processes, seed 1, FIFO, delays in [1, 10], no faults (no drops,
+    duplicates, partitions, or crashes), 100_000 steps, horizon 1e6. *)
 
 type action =
   | Send of Hpl_core.Pid.t * string  (** send payload to a process *)
@@ -59,6 +77,7 @@ type stats = {
   sent : int;
   delivered : int;
   dropped : int;
+  duplicated : int;  (** duplicate deliveries injected by [dup_prob] *)
   timers_fired : int;
   end_time : float;
   steps : int;

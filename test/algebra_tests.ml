@@ -61,17 +61,27 @@ let test_parallel_knowledge_independence () =
     uab
 
 let test_parallel_rejects_cross_talk () =
-  (* a component that addresses a process outside itself is caught *)
+  (* a component that addresses a process outside itself is caught, and
+     the error names the offending pid and payload *)
   let rogue =
     Spec.make ~n:1 (fun _ h ->
         if h = [] then [ Spec.Send_to (Pid.of_int 1, "out") ] else [])
   in
   let ab = Spec_algebra.parallel rogue spec_a in
-  check tbool "raises at enumeration" true
-    (try
-       ignore (Universe.enumerate ab ~depth:2);
-       false
-     with Invalid_argument _ -> true)
+  let msg =
+    try
+      ignore (Universe.enumerate ab ~depth:2);
+      "no exception raised"
+    with Invalid_argument m -> m
+  in
+  let contains needle =
+    let nl = String.length needle and ml = String.length msg in
+    let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check tbool "names the sender" true (contains "p0");
+  check tbool "names the payload" true (contains {|"out"|});
+  check tbool "names the bad destination" true (contains "p1")
 
 (* -- restrict / bound / rename ------------------------------------------- *)
 

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Exit-code discipline of the hpl CLI:
+#   0 = ok, 1 = property violated, 2 = bad arguments, 3 = budget-truncated.
+# Bad -s/--depth/--faults/budget arguments must produce ONE line on
+# stderr and exit 2 — not a backtrace, not cmdliner's generic error.
+set -u
+HPL="$1"
+fails=0
+
+expect() { # expect <code> <what> -- <args...>
+  local want="$1" what="$2"; shift 3
+  local err
+  err=$("$HPL" "$@" 2>&1 >/dev/null)
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $what: expected exit $want, got $got" >&2
+    fails=$((fails + 1))
+  fi
+  case "$want" in
+  2)
+    if [ "$(printf '%s\n' "$err" | grep -c .)" -ne 1 ]; then
+      echo "FAIL: $what: expected one-line stderr, got:" >&2
+      printf '%s\n' "$err" >&2
+      fails=$((fails + 1))
+    fi
+    if printf '%s' "$err" | grep -qi backtrace; then
+      echo "FAIL: $what: stderr contains a backtrace" >&2
+      fails=$((fails + 1))
+    fi
+    ;;
+  esac
+}
+
+# ok paths
+expect 0 "plain enumerate" -- enumerate -s ping-pong
+expect 0 "faulty enumerate" -- enumerate -s ping-pong --faults 'drop:p0->p1'
+expect 0 "valid check" -- check -s token-ring 'AG (holds0 -> ~holds1)'
+
+# bad arguments: one line, exit 2
+expect 2 "unknown protocol" -- enumerate -s no-such-protocol
+expect 2 "bad protocol params" -- enumerate -s token-ring:1
+expect 2 "non-integer depth" -- enumerate -s ping-pong --depth=x
+expect 2 "negative depth" -- enumerate -s ping-pong --depth=-3
+expect 2 "unknown fault item" -- knows -s ping-pong --faults 'explode:p0'
+expect 2 "malformed crash item" -- knows -s ping-pong --faults 'crash:p1'
+expect 2 "fault pid out of range" -- knows -s ping-pong --faults 'crash:p7@1'
+expect 2 "bad max-states" -- enumerate -s ping-pong --max-states 0
+expect 2 "bad max-seconds" -- enumerate -s ping-pong --max-seconds nope
+expect 2 "formula parse error" -- check -s ping-pong 'AG (('
+
+# property violated: exit 1
+expect 1 "failing formula" -- check -s token-ring 'AG holds0'
+
+# budget truncation: exit 3
+expect 3 "state budget" -- enumerate -s chatter:3 -d 8 --max-states 50
+
+if [ "$fails" -ne 0 ]; then
+  echo "cli_errors: $fails failure(s)" >&2
+  exit 1
+fi
+echo "cli_errors: all checks passed"
