@@ -162,6 +162,51 @@ let replay_bench () =
   Test.make ~name:"replay/6-event-universe"
     (Staged.stage (fun () -> ignore (Replay.universe_of_trace ~n:3 z)))
 
+(* -- P8: static lint vs enumeration (lib/analysis) ---------------------- *)
+
+let lint_all_bench () =
+  Hpl_protocols.Builtins.init ();
+  let protos = Hpl_protocols.Protocol.Registry.list () in
+  assert (protos <> []);
+  Test.make ~name:"lint/all-protocols"
+    (Staged.stage (fun () ->
+         List.iter
+           (fun t ->
+             ignore
+               (Hpl_analysis.Lint.lint_instance
+                  (Hpl_protocols.Protocol.default_instance t)))
+           protos))
+
+(* the whole point of the static pass: the same question — "can K p1
+   sent ever be gained?" — answered from the channel graph (local
+   histories, Theorems 4-5) vs. by enumerating interleavings and
+   evaluating knowledge *)
+let lint_vs_enumerate_bench which ~depth =
+  (* 6 processes: the interleaving universe explodes, the per-process
+     local behaviour (histories of length <= 2) does not *)
+  let spec = chatter ~n:6 ~k:2 in
+  let sent = Prop.make "sent" (fun z -> Trace.send_count z p0 > 0) in
+  match which with
+  | `Static ->
+      let nest =
+        match Formula.parse "K p1 sent" with
+        | Ok f -> List.hd (Formula.nests f)
+        | Error e -> failwith e
+      in
+      Test.make
+        ~name:(Printf.sprintf "lint-vs-enumerate/static/depth=%d" depth)
+        (Staged.stage (fun () ->
+             let g = Hpl_analysis.Channel_graph.extract ~fuel:depth spec in
+             ignore (Hpl_analysis.Chain_check.gain g ~origins:(Some [ 0 ]) nest)))
+  | `Enumerate ->
+      Test.make
+        ~name:(Printf.sprintf "lint-vs-enumerate/enumerate/depth=%d" depth)
+        (Staged.stage (fun () ->
+             let u = Universe.enumerate ~mode:`Canonical spec ~depth in
+             ignore
+               (Prop.extent u
+                  (Knowledge.knows u (Pset.singleton (Pid.of_int 1)) sent))))
+
 let dependency_bench hops =
   let z = relay_trace hops in
   Test.make
@@ -192,6 +237,8 @@ let all_tests =
       enumeration_domains_bench ~depth:7 ~domains:4;
       extent_domains_bench ~depth:6 ~domains:1;
       extent_domains_bench ~depth:6 ~domains:4;
+      lint_vs_enumerate_bench `Static ~depth:5;
+      lint_vs_enumerate_bench `Enumerate ~depth:5;
       chain_bench 50;
       chain_bench 200;
       chain_bench 800;
@@ -242,6 +289,17 @@ let run_benchmarks () =
   in
   let raw = Benchmark.all cfg instances all_tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
+  (* one run of the registry-wide lint takes ~0.5s, so it needs a wider
+     quota than the micro-benchmarks to get a stable estimate *)
+  let heavy_cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 5.0) ~stabilize:true ()
+  in
+  let heavy =
+    Benchmark.all heavy_cfg instances
+      (Test.make_grouped ~name:"hpl" [ lint_all_bench () ])
+  in
+  let heavy_results = Analyze.all ols Instance.monotonic_clock heavy in
+  Hashtbl.iter (fun name ols -> Hashtbl.replace results name ols) heavy_results;
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
   let estimate ols =

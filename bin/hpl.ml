@@ -13,6 +13,7 @@ open Cmdliner
 open Hpl_core
 open Hpl_faults
 open Hpl_protocols
+open Hpl_analysis
 
 (* Exit codes: 0 ok; 1 property violated; 2 bad arguments; 3 the
    enumeration budget truncated the universe. *)
@@ -61,8 +62,8 @@ let faults_arg =
     & info [ "faults" ] ~docv:"SCENARIO"
         ~doc:
           "Fault scenario applied to the system before enumeration, e.g. \
-           $(b,crash:p1\\@2,drop:p0->p1) or $(b,drop:*). Items: \
-           $(b,crash:pN\\@K), $(b,crash-any:K), $(b,drop:pA->pB), \
+           $(b,crash:p1@2,drop:p0->p1) or $(b,drop:*). Items: \
+           $(b,crash:pN@K), $(b,crash-any:K), $(b,drop:pA->pB), \
            $(b,dup:pA->pB).")
 
 let max_states_arg =
@@ -146,6 +147,39 @@ let resolve proto_str depth_str faults_str max_states_str max_seconds_str =
         | _ -> die_usage "bad --max-seconds %S (want a positive number)" s)
   in
   let budget = Universe.budget ?max_states ?max_seconds () in
+  (* an explicitly named drop/dup channel must exist in the spec:
+     [Scenario.apply] only range-checks pids, so [drop:p0->p2] on a
+     3-process ring would silently route a channel that carries no
+     message. The static channel graph knows the real channels; reject
+     when its scope covers this enumeration depth. *)
+  (match scenario with
+  | Some t
+    when List.exists
+           (function
+             | Faults.Scenario.Drop (Faults.Scenario.Channel _)
+             | Faults.Scenario.Dup (Faults.Scenario.Channel _) ->
+                 true
+             | _ -> false)
+           t -> (
+      let g =
+        Channel_graph.extract
+          ~fuel:(max 1 (min 16 depth))
+          ~max_states:60_000 base
+      in
+      let covered =
+        match Channel_graph.scope g with
+        | Channel_graph.Exact -> true
+        | Channel_graph.Up_to_depth f -> depth <= f
+        | Channel_graph.Incomplete -> false
+      in
+      if covered then
+        match
+          Faults.Scenario.validate_channels t
+            ~channels:(Channel_graph.channels g)
+        with
+        | Ok () -> ()
+        | Error e -> die_usage "--faults: %s" e)
+  | _ -> ());
   let view =
     match scenario with
     | None -> Fun.id
@@ -643,6 +677,105 @@ let check_cmd =
       const check_formula $ proto_arg $ depth_arg $ faults_arg $ max_states_arg
       $ max_seconds_arg $ mode_arg $ domains_arg $ formula)
 
+(* -- lint (static analysis, no enumeration) -------------------------------- *)
+
+let lint proto all faults_str formula_texts depth_str fuel_str max_states_str =
+  let scenario =
+    match faults_str with
+    | None -> None
+    | Some s -> (
+        match Faults.Scenario.parse s with
+        | Ok t -> Some t
+        | Error e -> die_usage "--faults: %s" e)
+  in
+  let formulas =
+    List.map
+      (fun text ->
+        match Formula.parse text with
+        | Ok f -> f
+        | Error e -> die_usage "--formula: parse error: %s" e)
+      formula_texts
+  in
+  let depth =
+    match depth_str with
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some d when d >= 0 -> Some d
+        | _ -> die_usage "bad --depth %S (want a nonnegative integer)" s)
+  in
+  let fuel =
+    match fuel_str with
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some f when f >= 1 -> Some f
+        | _ -> die_usage "bad --fuel %S (want a positive integer)" s)
+  in
+  let max_states =
+    match max_states_str with
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some k when k >= 1 -> Some k
+        | _ -> die_usage "bad --max-states %S (want a positive integer)" s)
+  in
+  let reports =
+    if all then begin
+      if formula_texts <> [] || faults_str <> None then
+        die_usage "--all lints the whole registry; it cannot be combined with \
+                   --formula or --faults";
+      List.map
+        (fun t ->
+          Lint.lint_instance ?fuel ?max_states ?depth
+            (Protocol.default_instance t))
+        (Protocol.Registry.list ())
+    end
+    else
+      let inst =
+        match Protocol.Registry.parse proto with
+        | Ok i -> i
+        | Error e -> die_usage "%s" e
+      in
+      [ Lint.lint_instance ?fuel ?max_states ?depth ~formulas ?faults:scenario
+          inst ]
+  in
+  List.iter (fun r -> Format.printf "%a@." Lint.pp_report r) reports;
+  exit (Lint.exit_code reports)
+
+let lint_cmd =
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Lint every registered protocol (the CI gate).")
+  in
+  let formula =
+    Arg.(
+      value & opt_all string []
+      & info [ "formula" ] ~docv:"FORMULA"
+          ~doc:
+            "Assert a formula and statically check its knowledge chains \
+             (repeatable). Findings on asserted formulas gate the exit code.")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:
+            "Local-history exploration bound for channel-graph extraction \
+             (default: max 16 depth).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze a protocol: channel graph, spec hygiene, \
+          knowledge-chain feasibility (Theorems 4-6) — without enumerating \
+          the universe")
+    Term.(
+      const lint $ proto_arg $ all $ faults_arg $ formula $ depth_arg $ fuel
+      $ max_states_arg)
+
 (* -- snapshot ------------------------------------------------------------------- *)
 
 let snapshot n at =
@@ -725,6 +858,7 @@ let () =
             mutex_cmd;
             election_cmd;
             check_cmd;
+            lint_cmd;
             knew_cmd;
             paxos_cmd;
             commit_cmd;

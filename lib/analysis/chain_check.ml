@@ -1,0 +1,189 @@
+open Hpl_core
+
+type verdict =
+  | Feasible of { chain : int list; paths : int list list; min_hops : int }
+  | Infeasible of { level : int option; detail : string }
+  | Unknown of string
+
+(* A stage of the chain: one knowledge level (or the body-locality
+   origin), with the processes that may realize it. [`Joint] needs some
+   member on the chain (K of a group, S); [`Each] needs every member,
+   each with its own feasible continuation (E). *)
+type stage = {
+  kind : [ `Joint | `Each ];
+  members : int list;
+  label : string;
+  level : int option;
+}
+
+let pids_to_string = function
+  | [ p ] -> Printf.sprintf "p%d" p
+  | ps ->
+      "{" ^ String.concat "," (List.map (Printf.sprintf "p%d") ps) ^ "}"
+
+let stage_of_level idx (l : Formula.nest_level) =
+  let kind, opname =
+    match l.Formula.op with
+    | `Everyone -> (`Each, "E")
+    | `Know -> (`Joint, "K")
+    | `Someone -> (`Joint, "S")
+  in
+  {
+    kind;
+    members = List.sort_uniq Int.compare l.Formula.pset;
+    label = Printf.sprintf "%s %s" opname (pids_to_string l.Formula.pset);
+    level = Some idx;
+  }
+
+let origin_stage origins =
+  {
+    kind = `Joint;
+    members = List.sort_uniq Int.compare origins;
+    label = Printf.sprintf "body locality %s" (pids_to_string origins);
+    level = None;
+  }
+
+(* Shortest delivered-channel path from any of [prev] to [q]. *)
+let best_path g prev q =
+  List.fold_left
+    (fun best o ->
+      match Channel_graph.path g o q with
+      | None -> best
+      | Some p -> (
+          match best with
+          | Some b when List.length b <= List.length p -> best
+          | _ -> Some p))
+    None prev
+
+(* Minimal-hops feasible chain through [stages] starting anywhere in
+   [prev]. Ok (hops, chosen pids, connecting paths) or Error with the
+   failing formula level and a description. *)
+let rec solve g prev stages =
+  match stages with
+  | [] -> Ok (0, [], [])
+  | st :: rest -> (
+      let attempt q =
+        if not (Channel_graph.active g q) then
+          Error (`Here (Printf.sprintf "p%d never takes any event" q))
+        else
+          match best_path g prev q with
+          | None ->
+              Error
+                (`Here
+                   (Printf.sprintf
+                      "no delivered-channel path from %s reaches p%d"
+                      (pids_to_string prev) q))
+          | Some path -> (
+              match solve g [ q ] rest with
+              | Ok (c, pids, paths) ->
+                  Ok (List.length path - 1 + c, q :: pids, path :: paths)
+              | Error e -> Error (`Deep e))
+      in
+      let here detail =
+        Error
+          ( st.level,
+            Printf.sprintf "level %s cannot join the chain: %s" st.label detail
+          )
+      in
+      match st.kind with
+      | `Joint -> (
+          let results = List.map attempt st.members in
+          let oks =
+            List.filter_map (function Ok r -> Some r | Error _ -> None) results
+          in
+          match oks with
+          | _ :: _ ->
+              let best =
+                List.fold_left
+                  (fun (bc, bp, bps) (c, p, ps) ->
+                    if c < bc then (c, p, ps) else (bc, bp, bps))
+                  (List.hd oks) (List.tl oks)
+              in
+              Ok best
+          | [] -> (
+              (* prefer an error from deeper in the chain: the member
+                 was reachable, the failure lies further out *)
+              match
+                List.find_map
+                  (function Error (`Deep e) -> Some e | _ -> None)
+                  results
+              with
+              | Some e -> Error e
+              | None ->
+                  let msgs =
+                    List.filter_map
+                      (function Error (`Here m) -> Some m | _ -> None)
+                      results
+                  in
+                  here (String.concat "; " msgs)))
+      | `Each ->
+          let rec all acc = function
+            | [] -> Ok acc
+            | q :: qs -> (
+                match attempt q with
+                | Ok r -> all (r :: acc) qs
+                | Error (`Here m) -> here m
+                | Error (`Deep e) -> Error e)
+          in
+          (* cost of an E level is its most expensive member branch —
+             every conjunct must be gained *)
+          (match all [] st.members with
+          | Error e -> Error e
+          | Ok [] -> here "empty process set"
+          | Ok (b :: bs) ->
+              let c, p, ps =
+                List.fold_left
+                  (fun (bc, bp, bps) (c, p, ps) ->
+                    if c > bc then (c, p, ps) else (bc, bp, bps))
+                  b bs
+              in
+              Ok (c, p, ps)))
+
+let all_pids g = List.init (Channel_graph.n g) Fun.id
+
+let run g ~origins stages_of =
+  match Channel_graph.scope g with
+  | Channel_graph.Incomplete ->
+      Unknown "channel graph is incomplete (state cap hit) — no verdict"
+  | Channel_graph.Exact | Channel_graph.Up_to_depth _ -> (
+      let prev, stages = stages_of origins in
+      match stages with
+      | [] -> Unknown "degenerate nest (no levels)"
+      | _ -> (
+          match solve g prev stages with
+          | Ok (min_hops, chain, paths) -> Feasible { chain; paths; min_hops }
+          | Error (level, detail) -> Infeasible { level; detail }))
+
+let gain g ~origins (nest : Formula.nest) =
+  run g ~origins (fun origins ->
+      let levels = List.mapi (fun i l -> stage_of_level (i + 1) l) nest.levels in
+      match origins with
+      | Some os -> (all_pids g, origin_stage os :: List.rev levels)
+      | None -> (all_pids g, List.rev levels))
+
+let loss g ~origins (nest : Formula.nest) =
+  run g ~origins (fun origins ->
+      let levels = List.mapi (fun i l -> stage_of_level (i + 1) l) nest.levels in
+      match origins with
+      | Some os -> (all_pids g, levels @ [ origin_stage os ])
+      | None -> (all_pids g, levels))
+
+let min_depth = function
+  | Feasible { min_hops; _ } -> Some (2 * min_hops)
+  | Infeasible _ | Unknown _ -> None
+
+let never_holds g ~env ~depth (nest : Formula.nest) ~gain =
+  match gain with
+  | Feasible _ | Unknown _ -> false
+  | Infeasible _ ->
+      let covered =
+        match (Channel_graph.scope g, depth) with
+        | Channel_graph.Exact, _ -> true
+        | Channel_graph.Up_to_depth f, Some d -> d <= f
+        | Channel_graph.Up_to_depth _, None -> false
+        | Channel_graph.Incomplete, _ -> false
+      in
+      covered
+      && (match Formula.eval_at ~env nest.body Trace.empty with
+         | Some false -> true
+         | Some true | None -> false)

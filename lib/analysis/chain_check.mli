@@ -1,0 +1,73 @@
+(** Static chain feasibility for knowledge nests.
+
+    Theorems 4–5 of the paper: gaining
+    [P1 knows P2 knows … Pn knows b] requires a process chain
+    [<Pn, …, P1>] — a causal message path visiting the processes
+    innermost-to-outermost. Theorem 6 dually: losing it requires the
+    reverse chain [<P1, …, Pn>]. Both are {e necessary} conditions, so
+    their static refutation over the {!Channel_graph} is sound: if no
+    delivered-channel path realizes the chain, the knowledge transfer
+    is impossible within the graph's soundness scope.
+
+    When the nest's body is known to be local to some process [Q]
+    (knowledge facts 2 and 4: [b = Q knows b] when [b] is local to
+    [Q]), the chain extends with [Q] at the innermost end — gain needs
+    [<Q, Pn, …, P1>] — which is what makes single-level nests
+    (plain [K p b]) refutable at all. *)
+
+open Hpl_core
+
+type verdict =
+  | Feasible of {
+      chain : int list;
+          (** one witness: chosen process per chain position,
+              information-flow order (origin first, outermost last) *)
+      paths : int list list;
+          (** [paths.(i)] is a delivered-channel path (inclusive
+              endpoints) from [chain.(i)] to [chain.(i+1)] *)
+      min_hops : int;
+          (** minimal total channel hops over all chain choices
+              (max over [E]-branches, min over member choices) *)
+    }
+  | Infeasible of {
+      level : int option;
+          (** 1-based formula level (outermost first) that cannot be
+              reached; [None] when the body-locality origin itself is
+              unreachable or inactive *)
+      detail : string;
+    }
+  | Unknown of string
+      (** graph scope is [Incomplete], or the nest is degenerate *)
+
+val gain : Channel_graph.t -> origins:int list option -> Formula.nest -> verdict
+(** Feasibility of ever {e gaining} the nest. [origins]: processes the
+    body is local to ([None] = unknown — the chain then starts
+    unconstrained at the innermost level, which is still sound, just
+    weaker). [Know] and [Someone] levels need {e some} member on the
+    chain; [Everyone] levels need {e every} member, each with its own
+    feasible continuation. *)
+
+val loss : Channel_graph.t -> origins:int list option -> Formula.nest -> verdict
+(** Feasibility of ever {e losing} the nest (Theorem 6): the chain runs
+    outermost-to-innermost, extended by the body-locality process at
+    the far end. *)
+
+val min_depth : verdict -> int option
+(** Lower bound on the enumeration depth needed to exhibit the
+    transfer: two events (send + receive) per channel hop of the
+    cheapest witness chain. [None] unless the verdict is [Feasible]. *)
+
+val never_holds :
+  Channel_graph.t ->
+  env:(string -> Prop.t option) ->
+  depth:int option ->
+  Formula.nest ->
+  gain:verdict ->
+  bool
+(** Conservative "holds nowhere" check: the gain chain is [Infeasible],
+    every nest level is veridical (always true for [K]/[E]/[S] nests),
+    the body evaluates to [false] at the empty computation, and the
+    graph's scope covers [depth] ([None] = must cover every depth, i.e.
+    scope [Exact]). Then the nest holds at no computation of the
+    universe: it is false initially, and Theorem 5 rules out every
+    gain. *)

@@ -1,0 +1,323 @@
+open Hpl_core
+
+type recv_shape = Any | From of int | Filtered of string
+type scope = Exact | Up_to_depth of int | Incomplete
+
+type t = {
+  n : int;
+  fuel : int;
+  scope : scope;
+  states : int;
+  channels : (int * int) list;  (* sorted, with at least one send *)
+  payloads : (int * int, string list) Hashtbl.t;
+  delivered : (int * int) list;
+  active : bool array;
+  tags : string list array;
+  shapes : (recv_shape * bool) list array;
+  dead : (int * int * string) list;
+  bad : (int * int * string) list;
+  errors : (int * string) list;
+  adj : int list array;  (* delivered adjacency, in-range endpoints *)
+}
+
+(* -- exploration -------------------------------------------------------- *)
+
+let extract ?(fuel = 16) ?(max_states = 60_000) spec =
+  if fuel < 1 then invalid_arg "Channel_graph.extract: fuel must be >= 1";
+  let n = Spec.n spec in
+  (* discovered local histories, per process *)
+  let visited : (Event.t list, unit) Hashtbl.t array =
+    Array.init n (fun _ -> Hashtbl.create 64)
+  in
+  let states = ref 0 in
+  let capped = ref false in
+  let fuel_hit = ref false in
+  (* over-approximate message pool, keyed by destination (in range) *)
+  let pool : (int, (Msg.t, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+  let pool_of d =
+    match Hashtbl.find_opt pool d with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 16 in
+        Hashtbl.add pool d h;
+        h
+  in
+  let accepted : (Msg.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let sent_payloads : (int * int, (string, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let delivered_tbl : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let active = Array.make n false in
+  let tags = Array.init n (fun _ -> Hashtbl.create 8) in
+  let shapes : (recv_shape, bool ref) Hashtbl.t array =
+    Array.init n (fun _ -> Hashtbl.create 8)
+  in
+  let bad : (int * int * string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let errors : (int, string) Hashtbl.t = Hashtbl.create 4 in
+  let work : (int * Event.t list) Queue.t = Queue.create () in
+  let discover p h =
+    if not (Hashtbl.mem visited.(p) h) then
+      if !states >= max_states then capped := true
+      else begin
+        Hashtbl.add visited.(p) h ();
+        incr states;
+        Queue.add (p, h) work
+      end
+  in
+  let record_send p m =
+    let di = Pid.to_int m.Msg.dst in
+    if di >= n || di = p then Hashtbl.replace bad (p, di, m.Msg.payload) ();
+    let key = (p, di) in
+    let payloads =
+      match Hashtbl.find_opt sent_payloads key with
+      | Some h -> h
+      | None ->
+          let h = Hashtbl.create 4 in
+          Hashtbl.add sent_payloads key h;
+          h
+    in
+    Hashtbl.replace payloads m.Msg.payload ();
+    if di < n then begin
+      let dst_pool = pool_of di in
+      if not (Hashtbl.mem dst_pool m) then begin
+        Hashtbl.add dst_pool m ();
+        (* the destination's explored histories may now extend further:
+           re-expand them against the grown pool (idempotent — children
+           already discovered are skipped) *)
+        Hashtbl.iter (fun h () -> Queue.add (di, h) work) visited.(di)
+      end
+    end
+  in
+  let record_shape p shape satisfied =
+    let r =
+      match Hashtbl.find_opt shapes.(p) shape with
+      | Some r -> r
+      | None ->
+          let r = ref false in
+          Hashtbl.add shapes.(p) shape r;
+          r
+    in
+    if satisfied then r := true
+  in
+  let expand p h =
+    (* a well-formed computation receives each message at most once, so
+       candidates already consumed by this history can be excluded
+       without losing any real history *)
+    let consumed =
+      List.filter_map
+        (fun e ->
+          match e.Event.kind with
+          | Event.Receive m -> Some (Msg.key m)
+          | Event.Send _ | Event.Internal _ -> None)
+        h
+    in
+    let candidates =
+      match Hashtbl.find_opt pool p with
+      | None -> []
+      | Some tbl ->
+          Hashtbl.fold
+            (fun m () acc ->
+              if List.mem (Msg.key m) consumed then acc else m :: acc)
+            tbl []
+    in
+    let pid = Pid.of_int p in
+    match
+      let intents = Spec.rule_of spec pid h in
+      List.concat_map
+        (fun intent ->
+          let events = Spec.intent_events pid ~history:h ~pool:candidates intent in
+          (match intent with
+          | Spec.Recv_any -> record_shape p Any (events <> [])
+          | Spec.Recv_from src ->
+              record_shape p (From (Pid.to_int src)) (events <> [])
+          | Spec.Recv_if (name, _) ->
+              record_shape p (Filtered name) (events <> [])
+          | Spec.Send_to _ | Spec.Do _ -> ());
+          events)
+        intents
+    with
+    | exception e ->
+        if not (Hashtbl.mem errors p) then
+          Hashtbl.add errors p (Printexc.to_string e)
+    | events ->
+        if events <> [] then begin
+          active.(p) <- true;
+          if List.length h >= fuel then fuel_hit := true
+          else
+            List.iter
+              (fun e ->
+                (match e.Event.kind with
+                | Event.Send m -> record_send p m
+                | Event.Receive m ->
+                    Hashtbl.replace accepted m ();
+                    Hashtbl.replace delivered_tbl (Pid.to_int m.Msg.src, p) ()
+                | Event.Internal tag -> Hashtbl.replace tags.(p) tag ());
+                discover p (h @ [ e ]))
+              events
+        end
+  in
+  for p = 0 to n - 1 do
+    discover p []
+  done;
+  while not (Queue.is_empty work) do
+    let p, h = Queue.pop work in
+    if not !capped then expand p h
+  done;
+  let scope =
+    if !capped then Incomplete else if !fuel_hit then Up_to_depth fuel else Exact
+  in
+  let channels =
+    Hashtbl.fold (fun c _ acc -> c :: acc) sent_payloads []
+    |> List.sort_uniq Stdlib.compare
+  in
+  let payloads = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun c tbl ->
+      Hashtbl.replace payloads c
+        (Hashtbl.fold (fun s () acc -> s :: acc) tbl [] |> List.sort_uniq String.compare))
+    sent_payloads;
+  let delivered =
+    Hashtbl.fold (fun c _ acc -> c :: acc) delivered_tbl []
+    |> List.sort_uniq Stdlib.compare
+  in
+  let dead =
+    Hashtbl.fold
+      (fun d tbl acc ->
+        Hashtbl.fold
+          (fun m () acc ->
+            if Hashtbl.mem accepted m then acc
+            else (Pid.to_int m.Msg.src, d, m.Msg.payload) :: acc)
+          tbl acc)
+      pool []
+    |> List.sort_uniq Stdlib.compare
+  in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b) -> if a < n && b < n && a <> b then adj.(a) <- b :: adj.(a))
+    delivered;
+  {
+    n;
+    fuel;
+    scope;
+    states = !states;
+    channels;
+    payloads;
+    delivered;
+    active;
+    tags = Array.map (fun h -> Hashtbl.fold (fun t () acc -> t :: acc) h [] |> List.sort String.compare) tags;
+    shapes =
+      Array.map
+        (fun h ->
+          Hashtbl.fold (fun s r acc -> (s, !r) :: acc) h []
+          |> List.sort Stdlib.compare)
+        shapes;
+    dead;
+    bad = Hashtbl.fold (fun b () acc -> b :: acc) bad [] |> List.sort_uniq Stdlib.compare;
+    errors = Hashtbl.fold (fun p e acc -> (p, e) :: acc) errors [] |> List.sort Stdlib.compare;
+    adj;
+  }
+
+(* -- accessors ----------------------------------------------------------- *)
+
+let n t = t.n
+let fuel t = t.fuel
+let scope t = t.scope
+let states t = t.states
+let channels t = t.channels
+
+let channel_payloads t a b =
+  Option.value ~default:[] (Hashtbl.find_opt t.payloads (a, b))
+
+let delivered t = t.delivered
+let active t p = p >= 0 && p < t.n && t.active.(p)
+let internal_tags t p = if p < 0 || p >= t.n then [] else t.tags.(p)
+let recv_shapes t p = if p < 0 || p >= t.n then [] else t.shapes.(p)
+let dead_letters t = t.dead
+let bad_sends t = t.bad
+let rule_errors t = t.errors
+
+let without_channels t removed =
+  let delivered =
+    List.filter (fun c -> not (List.mem c removed)) t.delivered
+  in
+  let adj = Array.make t.n [] in
+  List.iter
+    (fun (a, b) -> if a < t.n && b < t.n && a <> b then adj.(a) <- b :: adj.(a))
+    delivered;
+  { t with delivered; adj }
+
+(* -- reachability over delivered channels -------------------------------- *)
+
+let bfs t src =
+  let parent = Array.make t.n (-2) in
+  if src < 0 || src >= t.n then parent
+  else begin
+    parent.(src) <- -1;
+    let q = Queue.create () in
+    Queue.add src q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if parent.(v) = -2 then begin
+            parent.(v) <- u;
+            Queue.add v q
+          end)
+        t.adj.(u)
+    done;
+    parent
+  end
+
+let reach t src dst =
+  src >= 0 && src < t.n && dst >= 0 && dst < t.n
+  && (src = dst || (bfs t src).(dst) <> -2)
+
+let path t src dst =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then None
+  else if src = dst then Some [ src ]
+  else
+    let parent = bfs t src in
+    if parent.(dst) = -2 then None
+    else
+      let rec build v acc =
+        if v = src then src :: acc else build parent.(v) (v :: acc)
+      in
+      Some (build dst [])
+
+(* -- printing ------------------------------------------------------------- *)
+
+let scope_to_string = function
+  | Exact -> "exact (exploration saturated)"
+  | Up_to_depth d -> Printf.sprintf "sound for enumeration depth <= %d" d
+  | Incomplete -> "incomplete (state cap hit)"
+
+let shape_to_string = function
+  | Any -> "recv-any"
+  | From p -> Printf.sprintf "recv-from p%d" p
+  | Filtered name -> Printf.sprintf "recv-if %s" name
+
+let pp fmt t =
+  Format.fprintf fmt "channel graph: %d processes, %d states explored, %s@,"
+    t.n t.states (scope_to_string t.scope);
+  List.iter
+    (fun (a, b) ->
+      Format.fprintf fmt "  p%d -> p%d  {%s}%s@," a b
+        (String.concat ", " (channel_payloads t a b))
+        (if List.mem (a, b) t.delivered then "" else "  (never delivered)"))
+    t.channels;
+  for p = 0 to t.n - 1 do
+    Format.fprintf fmt "  p%d:%s%s%s@," p
+      (if t.active.(p) then "" else " inactive")
+      (match t.tags.(p) with
+      | [] -> ""
+      | ts -> " internal {" ^ String.concat ", " ts ^ "}")
+      (match t.shapes.(p) with
+      | [] -> ""
+      | ss ->
+          " "
+          ^ String.concat " "
+              (List.map
+                 (fun (s, sat) ->
+                   shape_to_string s ^ if sat then "" else " (never satisfied)")
+                 ss))
+  done

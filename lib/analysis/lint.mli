@@ -1,0 +1,115 @@
+(** The [hpl lint] engine: static findings over a spec, its formulas,
+    and its fault scenarios — no universe enumeration anywhere.
+
+    Every rule is grounded in a structural fact of the
+    {!Channel_graph} (hygiene rules) or in a theorem of the paper
+    (chain rules, Theorems 4–6; CK constancy, §4.2; locality facts,
+    §4.2). Findings carry a rule id, a severity, a witness where one
+    exists, and a fix hint. A protocol may declare {e expected}
+    findings ({!Hpl_protocols.Protocol.t.lint_expect}); those are
+    annotated and do not fail the gate.
+
+    {2 Rules}
+
+    Hygiene (always run):
+    - [rule-raises] (error) — a process rule raised during probing
+    - [bad-address] (error) — send addressed outside the system or to
+      the sender itself
+    - [dead-letter] (warning) — payload sent on a real channel but
+      never accepted by any receive of the destination
+    - [recv-starved] (warning) — receive willingness never satisfied
+      by any message
+    - [inactive-process] (warning) — process never takes any event
+    - [analysis-incomplete] (info) — the state cap stopped extraction
+
+    Formula rules (per asserted formula):
+    - [chain-infeasible] (error when provably never holds, warning
+      otherwise) — no gain chain per Theorems 4–5
+    - [chain-feasible] (info) — witness chain and its hop cost
+    - [depth-insufficient] (warning) — the analyzed depth is below the
+      chain's minimum event cost
+    - [loss-infeasible] (info) — Theorem 6 chain missing: stable once
+      gained
+    - [chain-unknown] (info) — graph too incomplete for a verdict
+    - [ck-constant] (info) — the formula contains [CK], a constant
+
+    Derived formulas (auto-generated [K q atom] probes when the caller
+    asserts none) report the same chain rules at info severity.
+
+    Atom rules (when the locality probe is exhaustive):
+    - [atom-local] / [atom-global] (info)
+
+    Fault rules (when a scenario is given):
+    - [fault-unknown-channel] (error under an [Exact] graph, warning
+      otherwise) — [drop:pA->pB]/[dup:pA->pB] names a channel the spec
+      does not have
+    - [fault-severs-chain] (warning) — a chain feasible in the
+      fault-free spec becomes infeasible under the scenario's
+      transformers
+    - [lossy-gain-chain] (warning) — every gain chain crosses a
+      dropped channel: gain is at the daemon's mercy, and no protocol
+      over such channels attains common knowledge (coordinated
+      attack) *)
+
+open Hpl_core
+
+type severity = Error | Warning | Info
+
+type finding = {
+  rule : string;
+  severity : severity;
+  target : string;  (** what it is about: ["p1"], ["p0->p1"], a formula *)
+  message : string;
+  witness : string option;
+  hint : string option;
+  expected : bool;  (** matched an expected-findings annotation *)
+}
+
+type report = {
+  subject : string;
+  depth : int;  (** depth the claims are relative to *)
+  findings : finding list;
+  graph : Channel_graph.t;
+  locality : Locality.t;
+}
+
+val lint_spec :
+  ?fuel:int ->
+  ?max_states:int ->
+  ?max_probes:int ->
+  ?atoms:(string * Prop.t) list ->
+  ?formulas:Formula.t list ->
+  ?derive:bool ->
+  ?faults:Hpl_faults.Faults.Scenario.t ->
+  ?expect:string list ->
+  depth:int ->
+  subject:string ->
+  Spec.t ->
+  report
+(** Run every applicable rule. [formulas] are asserted (full
+    severity); when none are given and [derive] (default [true]),
+    single-level [K q atom] probes are derived from atoms with exact
+    locality and reported at info severity. [expect] entries are rule
+    ids or ["rule@target"]. *)
+
+val lint_instance :
+  ?fuel:int ->
+  ?max_states:int ->
+  ?max_probes:int ->
+  ?formulas:Formula.t list ->
+  ?faults:Hpl_faults.Faults.Scenario.t ->
+  ?depth:int ->
+  Hpl_protocols.Protocol.instance ->
+  report
+(** {!lint_spec} wired to a registry instance: its spec, atoms,
+    suggested depth, and [lint_expect] annotations. *)
+
+val clean : report -> bool
+(** No unexpected error- or warning-severity finding. *)
+
+val exit_code : report list -> int
+(** [0] when every report is {!clean}, [1] otherwise. *)
+
+val severity_to_string : severity -> string
+val pp_finding : Format.formatter -> finding -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,85 @@
+open Hpl_core
+
+type atom_state = {
+  prop : Prop.t;
+  (* per process: local projection ↦ atom value seen there *)
+  seen : (Event.t list, bool) Hashtbl.t array;
+  alive : bool array;  (* still consistent with "local to p" *)
+}
+
+type t = {
+  n : int;
+  depth : int;
+  probes : int;
+  exhaustive : bool;
+  atoms : (string * atom_state) list;
+}
+
+let probe ?(max_probes = 20_000) spec ~depth ~atoms =
+  if depth < 0 then invalid_arg "Locality.probe: depth must be >= 0";
+  let n = Spec.n spec in
+  let states =
+    List.map
+      (fun (name, prop) ->
+        ( name,
+          {
+            prop;
+            seen = Array.init n (fun _ -> Hashtbl.create 64);
+            alive = Array.make n true;
+          } ))
+      atoms
+  in
+  let probes = ref 0 in
+  let capped = ref false in
+  let visit z =
+    incr probes;
+    List.iter
+      (fun (_, st) ->
+        let v = Prop.eval st.prop z in
+        for p = 0 to n - 1 do
+          if st.alive.(p) then
+            let key = Trace.proj z (Pid.of_int p) in
+            match Hashtbl.find_opt st.seen.(p) key with
+            | None -> Hashtbl.add st.seen.(p) key v
+            | Some v' -> if v <> v' then st.alive.(p) <- false
+        done)
+      states
+  in
+  (* every computation is reachable by appending its own events in
+     order, so the extension tree has no duplicates — plain DFS *)
+  let rec walk z len =
+    if !probes >= max_probes then capped := true
+    else begin
+      visit z;
+      if len < depth then
+        List.iter (fun z' -> if not !capped then walk z' (len + 1))
+          (Spec.extensions spec z)
+    end
+  in
+  walk Trace.empty 0;
+  { n; depth; probes = !probes; exhaustive = not !capped; atoms = states }
+
+let exhaustive t = t.exhaustive
+let probes t = t.probes
+let depth t = t.depth
+
+let local_pids t name =
+  List.assoc_opt name t.atoms
+  |> Option.map (fun st ->
+         List.filter (fun p -> st.alive.(p)) (List.init t.n Fun.id))
+
+let origins t formula =
+  if not t.exhaustive then None
+  else
+    let names = Formula.atoms formula in
+    let all = List.init t.n Fun.id in
+    let rec common acc = function
+      | [] -> Some acc
+      | name :: rest -> (
+          match local_pids t name with
+          | None -> None
+          | Some ps -> common (List.filter (fun p -> List.mem p ps) acc) rest)
+    in
+    match common all names with
+    | Some (_ :: _ as ps) -> Some ps
+    | Some [] | None -> None

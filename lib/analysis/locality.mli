@@ -1,0 +1,46 @@
+(** Static locality inference for atoms (§4.2).
+
+    A predicate is local to [P] when [P] is always sure of its value.
+    The analyzer infers per-process locality of registered atoms by
+    probing computations directly — a bounded walk over
+    {!Hpl_core.Spec.extensions} grouped by local projection — without
+    building a {!Hpl_core.Universe.t}.
+
+    When the probe is {!exhaustive} (it visited {e every} computation
+    up to the depth before hitting the cap), the inference coincides
+    exactly with {!Hpl_core.Local_pred.is_local} on the [`Full]-mode
+    universe of the same depth: both say "constant on every
+    same-projection class". When the cap cuts the probe short the
+    verdicts are only refutations — a conflict genuinely disproves
+    locality, but absence of conflict proves nothing, so {!origins}
+    returns [None] and chain checking falls back to unconstrained
+    origins. *)
+
+open Hpl_core
+
+type t
+
+val probe :
+  ?max_probes:int ->
+  Spec.t ->
+  depth:int ->
+  atoms:(string * Prop.t) list ->
+  t
+(** Walk all computations of length ≤ [depth] (up to [max_probes],
+    default [20_000]) and classify each atom's locality per process. *)
+
+val exhaustive : t -> bool
+val probes : t -> int
+val depth : t -> int
+
+val local_pids : t -> string -> int list option
+(** Processes the atom looks local to — exact when {!exhaustive},
+    otherwise an over-approximation (only refutations are sound).
+    [None] for an atom not given to {!probe}. *)
+
+val origins : t -> Formula.t -> int list option
+(** Sound body-locality origins for {!Chain_check}: [Some ps] when the
+    probe was exhaustive, every atom of the formula is classified, and
+    [ps] is the (nonempty) set of processes every atom is local to.
+    A formula with no atoms is constant, hence local to every process
+    (fact 7). [None] otherwise — never an unsound guess. *)

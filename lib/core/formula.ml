@@ -277,6 +277,88 @@ let atoms f =
   go f;
   List.rev !out
 
+(* ------------------------------------------------------- nest matching *)
+
+type nest_level = { op : [ `Know | `Everyone | `Someone ]; pset : pset_syntax }
+type nest = { levels : nest_level list; body : t; subformula : t }
+
+(* Maximal knowledge nests: every chain of directly nested K/E/S
+   operators, outermost level first, down to the first non-K/E/S
+   subformula (the body). [sure] and [CK] are not levels — the gain/loss
+   chain theorems (Theorems 4-6) are about [knows]; a [sure] level is
+   not veridical and the sure-variant of Theorem 4 is weaker, so a nest
+   stops there and the sure/CK subformula becomes a body in its own
+   right (its operand is scanned for further nests). *)
+let nests formula =
+  let out = ref [] in
+  let level_of = function
+    | Know (ps, f) -> Some ({ op = `Know; pset = ps }, f)
+    | Everyone (ps, f) -> Some ({ op = `Everyone; pset = ps }, f)
+    | Someone (ps, f) -> Some ({ op = `Someone; pset = ps }, f)
+    | _ -> None
+  in
+  let rec collect_nest acc sub f =
+    match level_of f with
+    | Some (lvl, inner) -> collect_nest (lvl :: acc) sub inner
+    | None ->
+        out := { levels = List.rev acc; body = f; subformula = sub } :: !out;
+        scan f
+  and scan f =
+    match level_of f with
+    | Some _ -> collect_nest [] f f
+    | None -> (
+        match f with
+        | True | False | Atom _ -> ()
+        | Not f | Sure (_, f) | Common f | Ag f | Ef f | Af f | Eg f | Ax f
+        | Ex f ->
+            scan f
+        | And (a, b) | Or (a, b) | Implies (a, b) ->
+            scan a;
+            scan b
+        | Know _ | Everyone _ | Someone _ -> assert false)
+  in
+  scan formula;
+  List.rev !out
+
+let contains_common formula =
+  let rec go = function
+    | Common _ -> true
+    | True | False | Atom _ -> false
+    | Not f | Know (_, f) | Sure (_, f) | Everyone (_, f) | Someone (_, f)
+    | Ag f | Ef f | Af f | Eg f | Ax f | Ex f ->
+        go f
+    | And (a, b) | Or (a, b) | Implies (a, b) -> go a || go b
+  in
+  go formula
+
+(* Pointwise evaluation for the knowledge- and temporal-free fragment:
+   the value of such a formula at one computation needs no universe.
+   [None] as soon as a knowledge or temporal operator (whose value
+   quantifies over other computations) appears, or an atom is unbound. *)
+let eval_at ~env formula z =
+  let rec go = function
+    | True -> Some true
+    | False -> Some false
+    | Atom a -> Option.map (fun p -> Prop.eval p z) (env a)
+    | Not f -> Option.map not (go f)
+    | And (a, b) -> (
+        match (go a, go b) with
+        | Some a, Some b -> Some (a && b)
+        | _ -> None)
+    | Or (a, b) -> (
+        match (go a, go b) with
+        | Some a, Some b -> Some (a || b)
+        | _ -> None)
+    | Implies (a, b) -> (
+        match (go a, go b) with
+        | Some a, Some b -> Some ((not a) || b)
+        | _ -> None)
+    | Know _ | Sure _ | Everyone _ | Someone _ | Common _ | Ag _ | Ef _
+    | Af _ | Eg _ | Ax _ | Ex _ ->
+        None
+  in
+  go formula
+
 (* ---------------------------------------------------------------- eval *)
 
 let ( let* ) = Result.bind

@@ -55,6 +55,37 @@ val pp : Format.formatter -> t -> unit
 val atoms : t -> string list
 (** Distinct atom names, in order of first occurrence. *)
 
+(** {1 Knowledge-nest shape matching}
+
+    The transfer theorems (§4.3, Theorems 4–6) are about formulas of the
+    shape [P1 knows P2 knows … Pn knows b]. The static analyzer
+    ([lib/analysis]) needs those nests syntactically, without
+    evaluating anything. *)
+
+type nest_level = { op : [ `Know | `Everyone | `Someone ]; pset : pset_syntax }
+
+type nest = {
+  levels : nest_level list;  (** outermost first: [K P1 (K P2 …)] *)
+  body : t;  (** innermost non-knowledge subformula *)
+  subformula : t;  (** the whole nest, as it appears in the formula *)
+}
+
+val nests : t -> nest list
+(** All maximal directly-nested [K]/[E]/[S] chains of the formula, in
+    syntactic order. [sure] and [CK] terminate a nest (they are not
+    covered by the veridical gain-chain theorems); their operands are
+    scanned for further nests. A formula with no knowledge operator has
+    no nests. *)
+
+val contains_common : t -> bool
+(** Whether any [CK] operator occurs — common knowledge is a constant
+    predicate (§4.2), which the linter reports statically. *)
+
+val eval_at : env:(string -> Prop.t option) -> t -> Trace.t -> bool option
+(** Pointwise evaluation of the knowledge- and temporal-free fragment at
+    one computation — no universe needed. [None] when the formula
+    contains a knowledge/temporal operator or an unbound atom. *)
+
 val eval :
   Universe.t -> env:(string -> Prop.t option) -> t -> (Prop.t, string) result
 (** Compile to a predicate over the universe. [Error] names any unbound

@@ -20,37 +20,44 @@ let rule_of s p = s.rule p
 let local_send_count history =
   List.fold_left (fun k e -> if Event.is_send e then k + 1 else k) 0 history
 
-let enabled_on s z p =
-  let history = Trace.proj z p in
+(* The per-process alphabet: the events one intent stands for, given the
+   process's local history and a pool of deliverable messages. Shared by
+   [enabled_on] (which passes the trace's actual in-flight messages) and
+   the static analyzer in [lib/analysis] (which passes an
+   over-approximate candidate pool). *)
+let intent_events p ~history ~pool intent =
   let lseq = List.length history in
-  let sends = local_send_count history in
-  let in_flight = Trace.in_flight z in
   let here m = Pid.equal m.Msg.dst p in
-  let events_of_intent = function
-    | Send_to (dst, payload) ->
-        [ Event.send ~pid:p ~lseq (Msg.make ~src:p ~dst ~seq:sends ~payload) ]
-    | Recv_any ->
-        List.filter_map
-          (fun m -> if here m then Some (Event.receive ~pid:p ~lseq m) else None)
-          in_flight
-    | Recv_from src ->
-        List.filter_map
-          (fun m ->
-            if here m && Pid.equal m.Msg.src src then
-              Some (Event.receive ~pid:p ~lseq m)
-            else None)
-          in_flight
-    | Recv_if (_, accept) ->
-        List.filter_map
-          (fun m ->
-            if here m && accept m then Some (Event.receive ~pid:p ~lseq m)
-            else None)
-          in_flight
-    | Do tag -> [ Event.internal ~pid:p ~lseq tag ]
-  in
+  match intent with
+  | Send_to (dst, payload) ->
+      let sends = local_send_count history in
+      [ Event.send ~pid:p ~lseq (Msg.make ~src:p ~dst ~seq:sends ~payload) ]
+  | Recv_any ->
+      List.filter_map
+        (fun m -> if here m then Some (Event.receive ~pid:p ~lseq m) else None)
+        pool
+  | Recv_from src ->
+      List.filter_map
+        (fun m ->
+          if here m && Pid.equal m.Msg.src src then
+            Some (Event.receive ~pid:p ~lseq m)
+          else None)
+        pool
+  | Recv_if (_, accept) ->
+      List.filter_map
+        (fun m ->
+          if here m && accept m then Some (Event.receive ~pid:p ~lseq m)
+          else None)
+        pool
+  | Do tag -> [ Event.internal ~pid:p ~lseq tag ]
+
+let step_events s p ~history ~pool =
   s.rule p history
-  |> List.concat_map events_of_intent
+  |> List.concat_map (intent_events p ~history ~pool)
   |> List.sort_uniq Event.compare
+
+let enabled_on s z p =
+  step_events s p ~history:(Trace.proj z p) ~pool:(Trace.in_flight z)
 
 let enabled s z =
   List.concat_map (enabled_on s z) (pids s) |> List.sort_uniq Event.compare

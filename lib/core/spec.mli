@@ -42,6 +42,23 @@ val pids : t -> Pid.t list
 
 val rule_of : t -> Pid.t -> rule
 
+val intent_events :
+  Pid.t -> history:Event.t list -> pool:Msg.t list -> intent -> Event.t list
+(** [intent_events p ~history ~pool intent] is the alphabet of one
+    intent: the events process [p] would perform next for it, given its
+    local history and a pool of candidate deliverable messages. Sequence
+    numbers and local positions are derived from [history], exactly as
+    enumeration does. *)
+
+val step_events :
+  t -> Pid.t -> history:Event.t list -> pool:Msg.t list -> Event.t list
+(** [step_events s p ~history ~pool] is the sorted, deduplicated set of
+    events [p] is willing to perform next. {!enabled_on} is this applied
+    to the projection and the actual in-flight messages of a trace; the
+    static analyzer ([lib/analysis]) passes an over-approximate pool
+    instead, which is what makes channel-graph extraction sound without
+    enumerating interleavings. *)
+
 val enabled : t -> Trace.t -> Event.t list
 (** [enabled s z] is the set of events [e] such that [(z; e)] is a
     system computation of [s], sorted by {!Event.compare} and

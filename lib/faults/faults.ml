@@ -380,6 +380,35 @@ module Scenario = struct
             | _ -> Ok ()))
       (Ok ()) t
 
+  (* Channel faults must name channels the system actually has: routing
+     a never-used channel through a daemon silently changes nothing,
+     which always means a typo in the scenario. The channel graph comes
+     from the caller (the static analyzer owns extraction; this library
+     stays below it in the dependency order). Only explicitly named
+     channels are checked — [drop:*]/[dup:*] quantify over whatever
+     channels exist, so they are vacuously fine on the rest. *)
+  let validate_channels t ~channels =
+    let known (a, b) = List.exists (fun c -> c = (a, b)) channels in
+    let describe () =
+      match channels with
+      | [] -> "the spec has no channels at all"
+      | cs ->
+          "the spec's channels are "
+          ^ String.concat ", "
+              (List.map (fun (a, b) -> Printf.sprintf "p%d->p%d" a b) cs)
+    in
+    List.fold_left
+      (fun acc item ->
+        match (acc, item) with
+        | Error _, _ -> acc
+        | Ok (), (Drop (Channel (a, b)) | Dup (Channel (a, b)))
+          when not (known (a, b)) ->
+            Error
+              (Printf.sprintf "%s: no such channel in this spec (%s)"
+                 (item_to_string item) (describe ()))
+        | Ok (), _ -> acc)
+      (Ok ()) t
+
   let apply t s =
     let n = Spec.n s in
     match validate n t with

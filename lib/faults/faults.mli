@@ -144,6 +144,15 @@ module Scenario : sig
   (** True when the scenario contains channel faults (and {!apply} will
       add the daemon process). *)
 
+  val validate_channels :
+    t -> channels:(int * int) list -> (unit, string) result
+  (** [validate_channels t ~channels] checks every explicitly named
+      [drop:pA->pB] / [dup:pA->pB] item against the system's actual
+      channel list (as integer [src, dst] pairs — extracted by
+      [Hpl_analysis.Channel_graph], which sits above this library).
+      The error names the spec's real channels. [drop:*]/[dup:*]
+      quantify over existing channels and always pass. *)
+
   val apply : t -> Spec.t -> (Spec.t, string) result
   (** Compose the scenario onto a spec: channel faults first (one
       shared daemon), then crash transformers. [Error] on out-of-range

@@ -12,7 +12,6 @@ let wave_timer = "probe-wave"
 type state = {
   logic : Underlying.Logic.t;
   params : Underlying.params;
-  is_root : bool;
   sent_work : int;
   recv_work : int;
   (* root bookkeeping for the current wave *)
@@ -35,7 +34,6 @@ let init ~wave_delay params p =
     {
       logic;
       params;
-      is_root;
       sent_work = List.length sends;
       recv_work = 0;
       replies = 0;

@@ -30,10 +30,11 @@ type t = {
   canonical_trace : (values -> Trace.t) option;
   suggested_depth : int;
   fault_scenarios : string list;
+  lint_expect : string list;
 }
 
 let make ~name ~doc ?(params = []) ?(atoms = fun _ -> []) ?canonical_trace
-    ?(suggested_depth = 6) ?(fault_scenarios = []) spec =
+    ?(suggested_depth = 6) ?(fault_scenarios = []) ?(lint_expect = []) spec =
   if name = "" then invalid_arg "Protocol.make: empty name";
   String.iter
     (fun c ->
@@ -50,6 +51,7 @@ let make ~name ~doc ?(params = []) ?(atoms = fun _ -> []) ?canonical_trace
     canonical_trace;
     suggested_depth;
     fault_scenarios;
+    lint_expect;
   }
 
 let name t = t.name
@@ -57,6 +59,7 @@ let doc t = t.doc
 let params t = t.params
 let suggested_depth t = t.suggested_depth
 let fault_scenarios t = t.fault_scenarios
+let lint_expect t = t.lint_expect
 let defaults t = List.map (fun p -> (p.key, p.default)) t.params
 
 (* -- instances ----------------------------------------------------------- *)

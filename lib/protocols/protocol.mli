@@ -56,6 +56,11 @@ type t = {
       (** fault scenarios (CLI [--faults] syntax) that are meaningful
           for this protocol — shown by [hpl list -v], exercised by the
           registry fault tests *)
+  lint_expect : string list;
+      (** findings the static analyzer ([hpl lint]) is expected to
+          report for this protocol — each entry a rule id (["dead-letter"])
+          or rule-at-target (["dead-letter@p0->p1"]). Expected findings
+          are annotated in the report and do not fail the lint gate. *)
 }
 
 val make :
@@ -66,16 +71,19 @@ val make :
   ?canonical_trace:(values -> Trace.t) ->
   ?suggested_depth:int ->
   ?fault_scenarios:string list ->
+  ?lint_expect:string list ->
   (values -> Spec.t) ->
   t
-(** [suggested_depth] defaults to 6, [fault_scenarios] to []. Raises
-    [Invalid_argument] on a malformed name. *)
+(** [suggested_depth] defaults to 6, [fault_scenarios] and
+    [lint_expect] to []. Raises [Invalid_argument] on a malformed
+    name. *)
 
 val name : t -> string
 val doc : t -> string
 val params : t -> param list
 val suggested_depth : t -> int
 val fault_scenarios : t -> string list
+val lint_expect : t -> string list
 
 val defaults : t -> values
 (** Every parameter at its default. *)

@@ -114,4 +114,4 @@ let suite =
     ("in-place ops", `Quick, test_into);
     ("iteration", `Quick, test_iteration);
   ]
-  @ List.map (QCheck_alcotest.to_alcotest ~verbose:false) qcheck_props
+  @ List.map (fun p -> QCheck_alcotest.to_alcotest ~verbose:false p) qcheck_props

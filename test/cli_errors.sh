@@ -47,6 +47,16 @@ expect 2 "fault pid out of range" -- knows -s ping-pong --faults 'crash:p7@1'
 expect 2 "bad max-states" -- enumerate -s ping-pong --max-states 0
 expect 2 "bad max-seconds" -- enumerate -s ping-pong --max-seconds nope
 expect 2 "formula parse error" -- check -s ping-pong 'AG (('
+expect 2 "unknown drop channel" -- enumerate -s token-ring --faults 'drop:p0->p2'
+expect 2 "unknown dup channel" -- knows -s token-ring --faults 'dup:p2->p1'
+expect 2 "lint unknown protocol" -- lint -s no-such-protocol
+expect 2 "lint formula parse error" -- lint -s ping-pong --formula 'AG (('
+expect 2 "lint --all with formula" -- lint --all --formula 'true'
+
+# lint: clean spec exits 0, unlearnable assertion exits 1 with the rule named
+expect 0 "lint clean" -- lint -s token-ring
+expect 1 "lint unlearnable formula" -- lint -s underlying:3 --formula 'K p0 chaindone'
+expect 1 "lint lossy gain chain" -- lint -s two-generals --faults 'drop:*' --formula 'K p1 attack'
 
 # property violated: exit 1
 expect 1 "failing formula" -- check -s token-ring 'AG holds0'

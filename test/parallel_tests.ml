@@ -179,4 +179,4 @@ let suite =
     ("parallel extent matches sequential", `Quick, test_extent_domains);
     ("domains < 1 rejected", `Quick, test_bad_domains);
   ]
-  @ List.map (QCheck_alcotest.to_alcotest ~verbose:false) qcheck_props
+  @ List.map (fun p -> QCheck_alcotest.to_alcotest ~verbose:false p) qcheck_props

@@ -207,4 +207,4 @@ let props =
           | Error _ -> true);
   ]
 
-let suite = List.map (QCheck_alcotest.to_alcotest ~verbose:false) props
+let suite = List.map (fun p -> QCheck_alcotest.to_alcotest ~verbose:false p) props

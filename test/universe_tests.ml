@@ -201,4 +201,4 @@ let suite =
     ("prefixes_of", `Quick, test_prefixes_of);
     ("prefix-closed storage", `Quick, test_prefix_closed_universe);
   ]
-  @ List.map (QCheck_alcotest.to_alcotest ~verbose:false) qcheck_props
+  @ List.map (fun p -> QCheck_alcotest.to_alcotest ~verbose:false p) qcheck_props
