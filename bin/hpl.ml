@@ -187,6 +187,55 @@ let resolve proto_str depth_str faults_str max_states_str max_seconds_str =
   in
   { inst; spec; base_n; depth; budget; view }
 
+(* -- observability flags ----------------------------------------------- *)
+
+(* Shared by every instrumented subcommand: [--stats] appends the
+   aggregate table, [--stats-json] appends one line of JSON,
+   [--profile FILE] writes the Chrome trace-event timeline. Any of the
+   three enables recording; otherwise every probe stays a single
+   disabled-flag branch. *)
+type obs_opts = { stats : bool; stats_json : bool; profile : string option }
+
+let obs_term =
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print an observability summary (spans, counters, gauges).")
+  in
+  let stats_json =
+    Arg.(
+      value & flag
+      & info [ "stats-json" ]
+          ~doc:"Print the observability summary as one line of JSON.")
+  in
+  let profile =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event profile (load it in \
+             about://tracing or ui.perfetto.dev).")
+  in
+  Term.(
+    const (fun stats stats_json profile -> { stats; stats_json; profile })
+    $ stats $ stats_json $ profile)
+
+let obs_setup o =
+  if o.stats || o.stats_json || o.profile <> None then Hpl_obs.enable ()
+
+(* Emit before any exit path so --stats/--profile survive exit 1/3. *)
+let obs_emit o =
+  if o.stats then print_string (Hpl_obs.stats_table ());
+  if o.stats_json then print_endline (Hpl_obs.stats_json ());
+  match o.profile with
+  | None -> ()
+  | Some path -> (
+      match Hpl_obs.write_profile path with
+      | Ok () -> ()
+      | Error e -> die_usage "--profile: %s" e)
+
 (* Report a truncated universe on stderr and exit 3 — after the
    subcommand has printed what it could (graceful degradation). *)
 let exit_on_truncation u =
@@ -224,12 +273,15 @@ let domains_arg =
 
 (* -- enumerate ---------------------------------------------------------- *)
 
-let enumerate proto depth faults max_states max_seconds mode domains verbose =
+let enumerate proto depth faults max_states max_seconds mode domains verbose
+    obs =
+  obs_setup obs;
   let st = resolve proto depth faults max_states max_seconds in
   let u = Universe.enumerate ~mode ~domains ~budget:st.budget st.spec ~depth:st.depth in
   Format.printf "%a@." Universe.pp_stats u;
   if verbose then
     Universe.iter (fun i z -> Format.printf "%4d: %a@." i Trace.pp z) u;
+  obs_emit obs;
   exit_on_truncation u
 
 let enumerate_cmd =
@@ -240,7 +292,7 @@ let enumerate_cmd =
     (Cmd.info "enumerate" ~doc:"Enumerate a protocol's bounded computation universe")
     Term.(
       const enumerate $ proto_arg $ depth_arg $ faults_arg $ max_states_arg
-      $ max_seconds_arg $ mode_arg $ domains_arg $ verbose)
+      $ max_seconds_arg $ mode_arg $ domains_arg $ verbose $ obs_term)
 
 (* -- diagram ------------------------------------------------------------- *)
 
@@ -274,7 +326,8 @@ let diagram_cmd =
 
 (* -- knows ---------------------------------------------------------------- *)
 
-let knows proto depth faults max_states max_seconds =
+let knows proto depth faults max_states max_seconds obs =
+  obs_setup obs;
   let st = resolve proto depth faults max_states max_seconds in
   let u = Universe.enumerate ~budget:st.budget st.spec ~depth:st.depth in
   Format.printf "%a@.@." Universe.pp_stats u;
@@ -302,6 +355,7 @@ let knows proto depth faults max_states max_seconds =
               count (Universe.size u)
           done)
         atoms);
+  obs_emit obs;
   exit_on_truncation u
 
 let knows_cmd =
@@ -309,11 +363,12 @@ let knows_cmd =
     (Cmd.info "knows" ~doc:"Summarize who knows what across a universe")
     Term.(
       const knows $ proto_arg $ depth_arg $ faults_arg $ max_states_arg
-      $ max_seconds_arg)
+      $ max_seconds_arg $ obs_term)
 
 (* -- termination ------------------------------------------------------------ *)
 
-let termination budget n fanout seed dump =
+let termination budget n fanout seed dump obs =
+  obs_setup obs;
   let params =
     { Underlying.default with n; budget; fanout; seed = Int64.of_int seed }
   in
@@ -329,12 +384,13 @@ let termination budget n fanout seed dump =
       Probe.run ~config ~wave_delay:2.0 ~mode:`Four_counter params;
       Probe.run ~config ~wave_delay:2.0 ~mode:`Naive params;
     ];
-  match dump with
+  (match dump with
   | None -> ()
   | Some path ->
       let _, z = Dijkstra_scholten.run_raw ~config params in
       Trace_io.save path z;
-      Printf.printf "DS run saved to %s\n" path
+      Printf.printf "DS run saved to %s\n" path);
+  obs_emit obs
 
 let termination_cmd =
   let budget =
@@ -351,7 +407,7 @@ let termination_cmd =
   Cmd.v
     (Cmd.info "termination"
        ~doc:"Compare termination detectors on a diffusing workload (§5)")
-    Term.(const termination $ budget $ n $ fanout $ seed $ dump)
+    Term.(const termination $ budget $ n $ fanout $ seed $ dump $ obs_term)
 
 (* -- heartbeat ---------------------------------------------------------------- *)
 
@@ -385,7 +441,8 @@ let heartbeat_cmd =
 
 (* -- gossip -------------------------------------------------------------------- *)
 
-let gossip n seed mode =
+let gossip n seed mode obs =
+  obs_setup obs;
   let mode =
     match mode with
     | "pull" -> Gossip.Pull
@@ -403,7 +460,8 @@ let gossip n seed mode =
   Printf.printf "everyone-knows-everyone-knows at: %s\n"
     (match o.Gossip.depth2_complete_time with
     | Some t -> Printf.sprintf "%.1f" t
-    | None -> "-")
+    | None -> "-");
+  obs_emit obs
 
 let gossip_cmd =
   let n = Arg.(value & opt int 8 & info [ "n" ] ~doc:"Number of processes.") in
@@ -413,7 +471,7 @@ let gossip_cmd =
   in
   Cmd.v
     (Cmd.info "gossip" ~doc:"Run the rumor-spreading simulation")
-    Term.(const gossip $ n $ seed $ mode)
+    Term.(const gossip $ n $ seed $ mode $ obs_term)
 
 (* -- analyze --------------------------------------------------------------------- *)
 
@@ -632,7 +690,8 @@ let commit_cmd =
 (* -- check (epistemic-temporal model checking) ------------------------------------ *)
 
 let check_formula proto depth faults max_states max_seconds mode domains
-    formula_text =
+    formula_text obs =
+  obs_setup obs;
   match Formula.parse formula_text with
   | Error e -> die_usage "parse error: %s" e
   | Ok f -> (
@@ -654,10 +713,12 @@ let check_formula proto depth faults max_states max_seconds mode domains
       | Error e -> die_usage "%s" e
       | Ok `Valid ->
           Format.printf "VALID at every computation@.";
+          obs_emit obs;
           (* a VALID verdict on a truncated universe is not a proof *)
           exit_on_truncation u
       | Ok (`Fails_at z) ->
           Format.printf "FAILS — witness computation:@.  %a@." Trace.pp z;
+          obs_emit obs;
           exit exit_violated)
 
 let check_cmd =
@@ -675,11 +736,13 @@ let check_cmd =
        ~doc:"Model-check an epistemic-temporal formula over a system's universe")
     Term.(
       const check_formula $ proto_arg $ depth_arg $ faults_arg $ max_states_arg
-      $ max_seconds_arg $ mode_arg $ domains_arg $ formula)
+      $ max_seconds_arg $ mode_arg $ domains_arg $ formula $ obs_term)
 
 (* -- lint (static analysis, no enumeration) -------------------------------- *)
 
-let lint proto all faults_str formula_texts depth_str fuel_str max_states_str =
+let lint proto all faults_str formula_texts depth_str fuel_str max_states_str
+    obs =
+  obs_setup obs;
   let scenario =
     match faults_str with
     | None -> None
@@ -741,6 +804,7 @@ let lint proto all faults_str formula_texts depth_str fuel_str max_states_str =
           inst ]
   in
   List.iter (fun r -> Format.printf "%a@." Lint.pp_report r) reports;
+  obs_emit obs;
   exit (Lint.exit_code reports)
 
 let lint_cmd =
@@ -774,7 +838,7 @@ let lint_cmd =
           the universe")
     Term.(
       const lint $ proto_arg $ all $ faults_arg $ formula $ depth_arg $ fuel
-      $ max_states_arg)
+      $ max_states_arg $ obs_term)
 
 (* -- snapshot ------------------------------------------------------------------- *)
 

@@ -322,12 +322,19 @@ let fault_findings ~expect g scenario ~label =
 let lint_spec ?fuel ?(max_states = 60_000) ?(max_probes = 20_000)
     ?(atoms = []) ?(formulas = []) ?(derive = true) ?faults ?(expect = [])
     ~depth ~subject spec =
+  Hpl_obs.span "lint" ~args:(fun () -> [ ("subject", subject) ]) @@ fun () ->
   (* fuel = depth suffices for depth-relative claims: a depth-d
      computation contains no local history longer than d, and deeper
      fuel explodes on unbounded specs (the pool keeps growing) *)
   let fuel = match fuel with Some f -> f | None -> max 1 depth in
-  let g = Channel_graph.extract ~fuel ~max_states spec in
-  let loc = Locality.probe ~max_probes spec ~depth ~atoms in
+  let g =
+    Hpl_obs.span "lint.extract" (fun () ->
+        Channel_graph.extract ~fuel ~max_states spec)
+  in
+  let loc =
+    Hpl_obs.span "lint.locality" (fun () ->
+        Locality.probe ~max_probes spec ~depth ~atoms)
+  in
   let env name = List.assoc_opt name atoms in
   let asserted = List.map (fun f -> (f, true)) formulas in
   let derived =
@@ -350,30 +357,38 @@ let lint_spec ?fuel ?(max_states = 60_000) ?(max_probes = 20_000)
     | None -> None
     | Some scenario -> (
         match Faults.Scenario.apply scenario spec with
-        | Ok spec' -> Some (Channel_graph.extract ~fuel ~max_states spec')
+        | Ok spec' ->
+            Some
+              (Hpl_obs.span "lint.extract-faulty" (fun () ->
+                   Channel_graph.extract ~fuel ~max_states spec'))
         | Error _ -> None)
   in
+  (* per-rule-group timing: the cross-check test asserts these child
+     spans account for (almost all of) the parent [lint] span *)
   let findings =
-    hygiene_findings ~expect g
-    @ atom_findings ~expect loc atoms
-    @ (match faults with
-      | None -> []
-      | Some scenario -> (
-          fault_findings ~expect g scenario
-            ~label:(Faults.Scenario.to_string scenario)
-          @
-          match Faults.Scenario.apply scenario spec with
-          | Ok _ -> []
-          | Error msg ->
-              [
-                find_ ~expect "fault-invalid" Error
-                  (Faults.Scenario.to_string scenario)
-                  (Printf.sprintf "scenario cannot be applied: %s" msg);
-              ]))
-    @ List.concat_map
-        (formula_findings ~expect ~env ~depth ~faults ~faulty_graph g loc)
-        (asserted @ derived)
+    Hpl_obs.span "lint.rules.hygiene" (fun () -> hygiene_findings ~expect g)
+    @ Hpl_obs.span "lint.rules.atoms" (fun () -> atom_findings ~expect loc atoms)
+    @ Hpl_obs.span "lint.rules.faults" (fun () ->
+          match faults with
+          | None -> []
+          | Some scenario -> (
+              fault_findings ~expect g scenario
+                ~label:(Faults.Scenario.to_string scenario)
+              @
+              match Faults.Scenario.apply scenario spec with
+              | Ok _ -> []
+              | Error msg ->
+                  [
+                    find_ ~expect "fault-invalid" Error
+                      (Faults.Scenario.to_string scenario)
+                      (Printf.sprintf "scenario cannot be applied: %s" msg);
+                  ]))
+    @ Hpl_obs.span "lint.rules.formulas" (fun () ->
+          List.concat_map
+            (formula_findings ~expect ~env ~depth ~faults ~faulty_graph g loc)
+            (asserted @ derived))
   in
+  Hpl_obs.count "lint.findings" (List.length findings);
   { subject; depth; findings; graph = g; locality = loc }
 
 let lint_instance ?fuel ?max_states ?max_probes ?(formulas = []) ?faults

@@ -1,5 +1,9 @@
 let knows_ext u ps ext =
+  Hpl_obs.span "knowledge.knows_ext"
+    ~args:(fun () -> [ ("pset", Pset.to_string ps) ])
+  @@ fun () ->
   let classes = Universe.classes u ps in
+  Hpl_obs.count "knowledge.classes_scanned" (Array.length classes);
   let out = Bitset.create (Universe.size u) in
   Array.iter
     (fun cls -> if Bitset.subset cls ext then Bitset.union_into out cls)

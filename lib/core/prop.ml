@@ -38,6 +38,11 @@ let local_event_count p f name =
 
 let extent ?(domains = 1) u b =
   if domains < 1 then invalid_arg "Prop.extent: domains < 1";
+  Hpl_obs.span "prop.extent"
+    ~args:(fun () ->
+      [ ("prop", b.name); ("size", string_of_int (Universe.size u)) ])
+  @@ fun () ->
+  Hpl_obs.count "prop.extent.evals" (Universe.size u);
   let n = Universe.size u in
   if domains = 1 || n < 2 * domains then
     Bitset.of_pred n (fun i -> b.eval (Universe.comp u i))

@@ -132,10 +132,20 @@ let enumerate ?(mode = `Canonical) ?(domains = 1) ?(budget = no_budget) spec
     ~depth =
   if depth < 0 then invalid_arg "Universe.enumerate: negative depth";
   if domains < 1 then invalid_arg "Universe.enumerate: domains < 1";
+  Hpl_obs.span "enumerate"
+    ~args:(fun () ->
+      [
+        ("depth", string_of_int depth);
+        ("domains", string_of_int domains);
+        ("mode", match mode with `Full -> "full" | `Canonical -> "canonical");
+      ])
+  @@ fun () ->
   let started = Sys.time () in
   let check_time () =
     match budget.max_seconds with
     | Some limit when Sys.time () -. started > limit ->
+        Hpl_obs.instant "enumerate.budget"
+          ~args:[ ("reason", "max_seconds") ];
         raise (Out_of_budget (Max_seconds limit))
     | _ -> ()
   in
@@ -173,17 +183,25 @@ let enumerate ?(mode = `Canonical) ?(domains = 1) ?(budget = no_budget) spec
         out.(i) <- children z
       done
     in
+    (* each worker records its own span (tid = its domain id), so the
+       profile shows per-domain timelines and utilization *)
+    let fill_span w lo hi =
+      Hpl_obs.span "enumerate.worker"
+        ~args:(fun () ->
+          [ ("worker", string_of_int w); ("parents", string_of_int (hi - lo)) ])
+        (fun () -> fill lo hi)
+    in
     let k = if domains > 1 && m >= 2 * domains then domains else 1 in
-    if k = 1 then fill 0 m
+    if k = 1 then fill_span 0 0 m
     else begin
       let block w = (w * m / k, (w + 1) * m / k) in
       let workers =
         List.init (k - 1) (fun w ->
             let lo, hi = block (w + 1) in
-            Domain.spawn (fun () -> fill lo hi))
+            Domain.spawn (fun () -> fill_span (w + 1) lo hi))
       in
       let lo, hi = block 0 in
-      fill lo hi;
+      fill_span 0 lo hi;
       (* the joins establish happens-before on every [out] slot *)
       List.iter Domain.join workers
     end;
@@ -192,7 +210,9 @@ let enumerate ?(mode = `Canonical) ?(domains = 1) ?(budget = no_budget) spec
   let acc = ref [] and count = ref 0 in
   let push node =
     (match budget.max_states with
-    | Some k when !count >= k -> raise (Out_of_budget (Max_states k))
+    | Some k when !count >= k ->
+        Hpl_obs.instant "enumerate.budget" ~args:[ ("reason", "max_states") ];
+        raise (Out_of_budget (Max_states k))
     | _ -> ());
     acc := node :: !acc;
     incr count
@@ -203,27 +223,56 @@ let enumerate ?(mode = `Canonical) ?(domains = 1) ?(budget = no_budget) spec
     if d >= depth || Array.length frontier = 0 then ()
     else begin
       check_time ();
-      let childlists = expand frontier in
+      let m = Array.length frontier in
+      if !Hpl_obs.enabled then
+        Hpl_obs.set_gauge "enumerate.frontier_size" (float_of_int m);
+      (* per-depth frontier span: the effect-free parallel half *)
+      let busy0 =
+        if !Hpl_obs.enabled then Hpl_obs.span_total_us "enumerate.worker"
+        else 0.0
+      in
+      let wall0 =
+        if !Hpl_obs.enabled then Hpl_obs.span_total_us "enumerate.frontier"
+        else 0.0
+      in
+      let childlists =
+        Hpl_obs.span "enumerate.frontier"
+          ~args:(fun () ->
+            [ ("depth", string_of_int d); ("frontier", string_of_int m) ])
+          (fun () -> expand frontier)
+      in
+      if !Hpl_obs.enabled then begin
+        (* utilization of the worker pool over this level's wall time *)
+        let k = if domains > 1 && m >= 2 * domains then domains else 1 in
+        let busy = Hpl_obs.span_total_us "enumerate.worker" -. busy0 in
+        let wall = Hpl_obs.span_total_us "enumerate.frontier" -. wall0 in
+        if wall > 0.0 then
+          Hpl_obs.set_gauge "enumerate.domain_util"
+            (busy /. (float_of_int k *. wall))
+      end;
       (* deterministic merge: frontier order, then per-parent order.
          Budget checks live here, in the sequential half, so the set of
          kept states is identical for any [domains] (time-based
          truncation is inherently wall-clock dependent, but is only
          detected between whole parents, never mid-parent). *)
       let next = ref [] in
-      Array.iteri
-        (fun i kids ->
-          check_time ();
-          let _, pids = frontier.(i) in
-          List.iter
-            (fun (e, z') ->
-              let pi = Pid.to_int e.Event.pid in
-              let ids = Array.copy pids in
-              ids.(pi) <- intern pi pids.(pi) e;
-              let node = (z', ids) in
-              push node;
-              next := node :: !next)
-            kids)
-        childlists;
+      Hpl_obs.span "enumerate.merge"
+        ~args:(fun () -> [ ("depth", string_of_int d) ])
+        (fun () ->
+          Array.iteri
+            (fun i kids ->
+              check_time ();
+              let _, pids = frontier.(i) in
+              List.iter
+                (fun (e, z') ->
+                  let pi = Pid.to_int e.Event.pid in
+                  let ids = Array.copy pids in
+                  ids.(pi) <- intern pi pids.(pi) e;
+                  let node = (z', ids) in
+                  push node;
+                  next := node :: !next)
+                kids)
+            childlists);
       level (Array.of_list (List.rev !next)) (d + 1)
     end
   in
@@ -232,19 +281,33 @@ let enumerate ?(mode = `Canonical) ?(domains = 1) ?(budget = no_budget) spec
     | () -> Complete
     | exception Out_of_budget reason -> Truncated reason
   in
-  let comps = Array.make !count Trace.empty in
-  let class_ids_by_pid = Array.init n (fun _ -> Array.make !count 0) in
-  (* [!acc] holds nodes in reverse discovery order *)
-  List.iteri
-    (fun k (z, ids) ->
-      let i = !count - 1 - k in
-      comps.(i) <- z;
-      for pi = 0 to n - 1 do
-        class_ids_by_pid.(pi).(i) <- ids.(pi)
-      done)
-    !acc;
-  let idx = TraceTbl.create (2 * !count) in
-  Array.iteri (fun i z -> TraceTbl.replace idx z i) comps;
+  if !Hpl_obs.enabled then begin
+    Hpl_obs.count "enumerate.states" !count;
+    let classes = ref 0 in
+    Array.iter (fun next -> classes := !classes + next - 1) next_ids;
+    Hpl_obs.count "enumerate.proj_classes" !classes
+  end;
+  let comps, class_ids_by_pid, idx =
+    (* the interning half: materialize the computations and build the
+       O(1)-lookup trace index *)
+    Hpl_obs.span "enumerate.intern"
+      ~args:(fun () -> [ ("states", string_of_int !count) ])
+    @@ fun () ->
+    let comps = Array.make !count Trace.empty in
+    let class_ids_by_pid = Array.init n (fun _ -> Array.make !count 0) in
+    (* [!acc] holds nodes in reverse discovery order *)
+    List.iteri
+      (fun k (z, ids) ->
+        let i = !count - 1 - k in
+        comps.(i) <- z;
+        for pi = 0 to n - 1 do
+          class_ids_by_pid.(pi).(i) <- ids.(pi)
+        done)
+      !acc;
+    let idx = TraceTbl.create (2 * !count) in
+    Array.iteri (fun i z -> TraceTbl.replace idx z i) comps;
+    (comps, class_ids_by_pid, idx)
+  in
   {
     spec;
     mode;
@@ -263,7 +326,13 @@ let depth u = u.depth
 let status u = u.status
 let size u = Array.length u.comps
 let comp u i = u.comps.(i)
-let index u z = TraceTbl.find_opt u.idx z
+let index u z =
+  let r = TraceTbl.find_opt u.idx z in
+  if !Hpl_obs.enabled then begin
+    Hpl_obs.count "universe.lookups" 1;
+    if r <> None then Hpl_obs.count "universe.lookup_hits" 1
+  end;
+  r
 let canon _u z = canon_trace z
 
 let find u z =

@@ -187,7 +187,10 @@ let route s faults =
   in
   Spec.make ~n:(n + k) (fun p history ->
       let pi = Pid.to_int p in
-      if pi >= n then daemon_rule (pi - n) history
+      if pi >= n then begin
+        if !Hpl_obs.enabled then Hpl_obs.count "faults.daemon_probes" 1;
+        daemon_rule (pi - n) history
+      end
       else
         let local = List.map (translate_event ~is_daemon p) history in
         Spec.rule_of s p local
@@ -226,6 +229,10 @@ let duplicating ?channels s =
   route s (List.map (fun c -> (c, { drop = false; dup = true })) chans)
 
 let view ~n z =
+  if !Hpl_obs.enabled then begin
+    Hpl_obs.count "faults.view_calls" 1;
+    Hpl_obs.count "faults.view_events" (Trace.length z)
+  end;
   let is_daemon p = Pid.to_int p >= n in
   Trace.to_list z
   |> List.filter_map (fun e ->
@@ -418,6 +425,8 @@ module Scenario = struct
           channel_faults n t
           |> List.map (fun ((a, b), f) -> ((Pid.of_int a, Pid.of_int b), f))
         in
+        (* one network daemon per routed channel *)
+        Hpl_obs.count "faults.daemons" (List.length cf);
         let s = if cf = [] then s else route s cf in
         Ok
           (List.fold_left

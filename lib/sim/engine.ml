@@ -137,6 +137,10 @@ let run cfg handlers =
   let sent = ref 0 and delivered = ref 0 and dropped = ref 0 in
   let duplicated = ref 0 in
   let timers_fired = ref 0 in
+  (* messages scheduled but not yet delivered; tracked unconditionally
+     (two int ops per message) so the observability layer can report
+     the high-water mark without touching the hot loop *)
+  let inflight = ref 0 and inflight_max = ref 0 in
   let latency_sum = ref 0.0 and latency_max = ref 0.0 in
   let last_delivery = Hashtbl.create 16 (* (src,dst) -> latest delivery time *) in
   let now = ref 0.0 in
@@ -184,6 +188,8 @@ let run cfg handlers =
       schedule t
         (Deliver
            { src = self; dst; msg_seq = m.Msg.seq; payload; sent_at = !now; dup = false });
+      incr inflight;
+      if !inflight > !inflight_max then inflight_max := !inflight;
       if
         cfg.dup_prob > 0.0
         && on_channel cfg.dup_channels self dst
@@ -246,6 +252,7 @@ let run cfg handlers =
             incr steps;
             (match item with
             | Deliver { src; dst; msg_seq; payload; sent_at; dup } ->
+                if not dup then decr inflight;
                 let i = Pid.to_int dst in
                 if not crashed.(i) then begin
                   (if dup then begin
@@ -283,7 +290,20 @@ let run cfg handlers =
             loop ()
           end
   in
-  loop ();
+  Hpl_obs.span "sim.run"
+    ~args:(fun () ->
+      [ ("n", string_of_int cfg.n); ("steps", string_of_int !steps) ])
+    loop;
+  if !Hpl_obs.enabled then begin
+    Hpl_obs.count "sim.sent" !sent;
+    Hpl_obs.count "sim.delivered" !delivered;
+    Hpl_obs.count "sim.dropped" !dropped;
+    Hpl_obs.count "sim.duplicated" !duplicated;
+    Hpl_obs.count "sim.timers_fired" !timers_fired;
+    Hpl_obs.count "sim.steps" !steps;
+    Hpl_obs.set_gauge "sim.in_flight" (float_of_int !inflight);
+    Hpl_obs.set_gauge "sim.in_flight_max" (float_of_int !inflight_max)
+  end;
   {
     trace = !trace;
     states;

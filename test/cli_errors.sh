@@ -64,6 +64,67 @@ expect 1 "failing formula" -- check -s token-ring 'AG holds0'
 # budget truncation: exit 3
 expect 3 "state budget" -- enumerate -s chatter:3 -d 8 --max-states 50
 
+# -- observability golden shapes ---------------------------------------
+
+# --stats: the aggregate table with the three section headers and a row
+# for the enumerate span
+stats_out=$("$HPL" enumerate -s two-generals --depth 6 --stats 2>/dev/null)
+for pat in '^span  *count  *total  *max$' '^counter  *value$' \
+  '^gauge  *last  *max$' '^  enumerate  ' '^  enumerate\.frontier  ' \
+  '^  enumerate\.states  *7$'; do
+  if ! printf '%s\n' "$stats_out" | grep -Eq "$pat"; then
+    echo "FAIL: --stats table: no line matching '$pat'" >&2
+    fails=$((fails + 1))
+  fi
+done
+
+# --stats-json: the last stdout line is one JSON object with the three
+# documented schema keys
+json_line=$("$HPL" enumerate -s two-generals --depth 6 --stats-json 2>/dev/null | tail -n 1)
+case "$json_line" in
+{*}) ;;
+*)
+  echo "FAIL: --stats-json: last line is not a JSON object: $json_line" >&2
+  fails=$((fails + 1))
+  ;;
+esac
+for key in '"spans":' '"counters":' '"gauges":' '"total_us":'; do
+  if ! printf '%s' "$json_line" | grep -qF "$key"; then
+    echo "FAIL: --stats-json: missing $key" >&2
+    fails=$((fails + 1))
+  fi
+done
+
+# --profile: unwritable path is a usage error (one line, exit 2)
+expect 2 "unwritable profile path" -- enumerate -s ping-pong --profile /no-such-dir/t.json
+
+# --profile: a Chrome trace-event array lands on disk
+profile=$(mktemp /tmp/hpl-profile.XXXXXX.json)
+if "$HPL" enumerate -s two-generals --depth 6 --profile "$profile" >/dev/null 2>&1; then
+  case "$(head -c 1 "$profile")" in
+  '[') ;;
+  *)
+    echo "FAIL: --profile: file does not start with '['" >&2
+    fails=$((fails + 1))
+    ;;
+  esac
+  for key in '"ph"' '"tid"' '"ts"' '"name"'; do
+    if ! grep -qF "$key" "$profile"; then
+      echo "FAIL: --profile: no $key field in trace" >&2
+      fails=$((fails + 1))
+    fi
+  done
+else
+  echo "FAIL: --profile: enumerate exited nonzero" >&2
+  fails=$((fails + 1))
+fi
+rm -f "$profile"
+
+# the flags ride along on the other instrumented subcommands too
+expect 0 "knows --stats" -- knows -s ping-pong --stats
+expect 0 "check --stats-json" -- check -s token-ring 'AG (holds0 -> ~holds1)' --stats-json
+expect 0 "lint --stats" -- lint -s token-ring --stats
+
 if [ "$fails" -ne 0 ]; then
   echo "cli_errors: $fails failure(s)" >&2
   exit 1

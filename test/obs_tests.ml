@@ -1,0 +1,355 @@
+(* Observability cross-checks: the obs layer's numbers must agree with
+   ground truth computed by the instrumented code itself, its JSON
+   exporters must emit parseable output with the documented schema, and
+   the disabled path must be fully transparent.
+
+   The JSON parser below is deliberately minimal (strings, numbers,
+   bools, null, arrays, objects — enough for the two exporters); it
+   exists so the schema assertions are structural, not grep-shaped. *)
+open Hpl_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* -- a minimal JSON reader ------------------------------------------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail msg = raise (Bad (Printf.sprintf "%s at %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if peek () = Some c then advance ()
+      else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal lit v =
+      String.iter expect lit;
+      v
+    in
+    let string_body () =
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | Some '"' -> advance ()
+        | Some '\\' -> (
+            advance ();
+            match peek () with
+            | Some 'u' ->
+                advance ();
+                for _ = 1 to 4 do
+                  advance ()
+                done;
+                Buffer.add_char b '?';
+                go ()
+            | Some c ->
+                advance ();
+                Buffer.add_char b
+                  (match c with 'n' -> '\n' | 't' -> '\t' | c -> c);
+                go ()
+            | None -> fail "eof in string")
+        | Some c ->
+            advance ();
+            Buffer.add_char b c;
+            go ()
+        | None -> fail "eof in string"
+      in
+      go ();
+      Buffer.contents b
+    in
+    let number () =
+      let start = !pos in
+      let numchar = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> numchar c | None -> false) do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number"
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else Obj (members [])
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else Arr (elements [])
+      | Some '"' ->
+          advance ();
+          Str (string_body ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> number ()
+      | None -> fail "eof"
+    and members acc =
+      skip_ws ();
+      expect '"';
+      let k = string_body () in
+      skip_ws ();
+      expect ':';
+      let v = value () in
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+          advance ();
+          members ((k, v) :: acc)
+      | Some '}' ->
+          advance ();
+          List.rev ((k, v) :: acc)
+      | _ -> fail "expected ',' or '}'"
+    and elements acc =
+      let v = value () in
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+          advance ();
+          elements (v :: acc)
+      | Some ']' ->
+          advance ();
+          List.rev (v :: acc)
+      | _ -> fail "expected ',' or ']'"
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+  let arr = function Arr xs -> Some xs | _ -> None
+end
+
+(* every enabled-path test must leave the global switch off for the
+   rest of the suite, even when failing *)
+let with_obs f =
+  Hpl_obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Hpl_obs.disable ();
+      Hpl_obs.reset ())
+    f
+
+let chatter = Fixtures.chatter ~n:3 ~k:2
+
+(* -- disabled path ----------------------------------------------------- *)
+
+let test_disabled_transparent () =
+  Hpl_obs.disable ();
+  Hpl_obs.reset ();
+  let r = Hpl_obs.span "t" (fun () -> 41 + 1) in
+  check_int "span returns f ()" 42 r;
+  Hpl_obs.instant "i";
+  Hpl_obs.count "c" 7;
+  Hpl_obs.set_gauge "g" 1.0;
+  check_int "no spans recorded" 0 (Hpl_obs.span_count "t");
+  check_int "no counters recorded" 0 (Hpl_obs.counter "c");
+  check "no gauges recorded" true (Hpl_obs.gauge_max "g" = None);
+  check "no names" true (Hpl_obs.span_names () = [])
+
+let test_disabled_span_reraises () =
+  Hpl_obs.disable ();
+  let raised =
+    try
+      ignore (Hpl_obs.span "t" (fun () -> failwith "boom"));
+      false
+    with Failure _ -> true
+  in
+  check "exception propagates" true raised
+
+(* -- counters vs. ground truth ---------------------------------------- *)
+
+let test_states_counter_matches_size () =
+  with_obs (fun () ->
+      let u = Universe.enumerate ~mode:`Canonical chatter ~depth:4 in
+      check_int "enumerate.states = Universe.size" (Universe.size u)
+        (Hpl_obs.counter "enumerate.states"))
+
+let test_extent_evals_counter () =
+  with_obs (fun () ->
+      let u = Universe.enumerate ~mode:`Canonical chatter ~depth:4 in
+      Hpl_obs.reset ();
+      let b = Prop.make "any" (fun _ -> true) in
+      ignore (Prop.extent u b);
+      check_int "prop.extent.evals = Universe.size" (Universe.size u)
+        (Hpl_obs.counter "prop.extent.evals"))
+
+let test_lint_findings_counter () =
+  Hpl_protocols.Builtins.init ();
+  let inst =
+    match Hpl_protocols.Protocol.Registry.parse "two-generals" with
+    | Ok i -> i
+    | Error e -> failwith e
+  in
+  with_obs (fun () ->
+      let report = Hpl_analysis.Lint.lint_instance inst in
+      check_int "lint.findings = |report.findings|"
+        (List.length report.Hpl_analysis.Lint.findings)
+        (Hpl_obs.counter "lint.findings"))
+
+(* -- span aggregation -------------------------------------------------- *)
+
+let test_lint_children_account_for_total () =
+  Hpl_protocols.Builtins.init ();
+  let inst =
+    match Hpl_protocols.Protocol.Registry.parse "token-bus" with
+    | Ok i -> i
+    | Error e -> failwith e
+  in
+  with_obs (fun () ->
+      ignore (Hpl_analysis.Lint.lint_instance inst);
+      let total = Hpl_obs.span_total_us "lint" in
+      let children =
+        List.fold_left
+          (fun acc name -> acc +. Hpl_obs.span_total_us name)
+          0.0
+          [
+            "lint.extract";
+            "lint.extract-faulty";
+            "lint.locality";
+            "lint.rules.hygiene";
+            "lint.rules.atoms";
+            "lint.rules.faults";
+            "lint.rules.formulas";
+          ]
+      in
+      check "lint ran long enough to compare" true (total > 0.0);
+      (* the phases are sequential inside [lint], so their sum cannot
+         exceed the parent beyond clock granularity, and they are the
+         bulk of the work, so they cannot fall below half of it *)
+      check
+        (Printf.sprintf "children (%.1fus) <= total (%.1fus) + slack" children
+           total)
+        true
+        (children <= (total *. 1.05) +. 10.0);
+      check
+        (Printf.sprintf "children (%.1fus) >= 0.5 * total (%.1fus)" children
+           total)
+        true
+        (children >= total *. 0.5))
+
+(* -- exporters --------------------------------------------------------- *)
+
+let test_stats_json_schema () =
+  with_obs (fun () ->
+      ignore (Universe.enumerate ~mode:`Canonical chatter ~depth:4);
+      let j = Json.parse (Hpl_obs.stats_json ()) in
+      let field name =
+        match Json.member name j with
+        | Some v -> (
+            match Json.arr v with
+            | Some xs -> xs
+            | None -> Alcotest.failf "%s is not an array" name)
+        | None -> Alcotest.failf "missing %s" name
+      in
+      let spans = field "spans" in
+      check "some spans" true (spans <> []);
+      List.iter
+        (fun sp ->
+          List.iter
+            (fun k ->
+              check ("span has " ^ k) true (Json.member k sp <> None))
+            [ "name"; "count"; "total_us"; "max_us" ])
+        spans;
+      List.iter
+        (fun c ->
+          check "counter has name" true (Json.member "name" c <> None);
+          check "counter has value" true (Json.member "value" c <> None))
+        (field "counters");
+      List.iter
+        (fun g ->
+          List.iter
+            (fun k -> check ("gauge has " ^ k) true (Json.member k g <> None))
+            [ "name"; "last"; "max" ])
+        (field "gauges"))
+
+let test_chrome_trace_schema () =
+  with_obs (fun () ->
+      ignore (Universe.enumerate ~mode:`Canonical chatter ~depth:4);
+      let j = Json.parse (Hpl_obs.chrome_trace ()) in
+      match Json.arr j with
+      | None -> Alcotest.fail "chrome trace is not an array"
+      | Some events ->
+          check "some events" true (events <> []);
+          List.iter
+            (fun ev ->
+              List.iter
+                (fun k ->
+                  check ("event has " ^ k) true (Json.member k ev <> None))
+                [ "name"; "ph"; "ts"; "pid"; "tid" ])
+            events)
+
+let test_profile_roundtrip () =
+  with_obs (fun () ->
+      ignore (Universe.enumerate ~mode:`Canonical chatter ~depth:3);
+      let in_memory = Hpl_obs.chrome_trace () in
+      let path = Filename.temp_file "hpl" ".profile.json" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          (match Hpl_obs.write_profile path with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "write_profile: %s" e);
+          let ic = open_in_bin path in
+          let len = in_channel_length ic in
+          let on_disk = really_input_string ic len in
+          close_in ic;
+          let count s =
+            match Json.arr (Json.parse s) with
+            | Some xs -> List.length xs
+            | None -> Alcotest.fail "profile is not an array"
+          in
+          check_int "same event count on disk" (count in_memory)
+            (count on_disk)))
+
+let test_profile_unwritable () =
+  with_obs (fun () ->
+      match Hpl_obs.write_profile "/nonexistent-dir/x/profile.json" with
+      | Ok () -> Alcotest.fail "expected Error on unwritable path"
+      | Error e -> check "one-line message" true (not (String.contains e '\n')))
+
+let suite =
+  [
+    ("disabled probes are transparent", `Quick, test_disabled_transparent);
+    ("disabled span re-raises", `Quick, test_disabled_span_reraises);
+    ("states counter = universe size", `Quick, test_states_counter_matches_size);
+    ("extent evals counter", `Quick, test_extent_evals_counter);
+    ("lint findings counter", `Quick, test_lint_findings_counter);
+    ("lint child spans sum to total", `Quick, test_lint_children_account_for_total);
+    ("stats json schema", `Quick, test_stats_json_schema);
+    ("chrome trace schema", `Quick, test_chrome_trace_schema);
+    ("profile round-trips", `Quick, test_profile_roundtrip);
+    ("profile unwritable path", `Quick, test_profile_unwritable);
+  ]
