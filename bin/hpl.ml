@@ -271,13 +271,49 @@ let domains_arg =
     & info [ "domains" ] ~docv:"D"
         ~doc:"Worker domains for parallel enumeration (results are deterministic).")
 
+let reduce_arg =
+  Arg.(
+    value & opt string "none"
+    & info [ "reduce" ] ~docv:"R"
+        ~doc:
+          "Reduction layer (DESIGN.md §10): 'none', 'por' (partial-order — \
+           bit-identical universe, computed faster), 'sym' (symmetry \
+           quotient; requires a protocol with declared generators, see \
+           $(b,hpl list -v)), or 'full' (both).")
+
+let resolve_reduce st ~faults ~mode reduce_str =
+  match Reduction.mode_of_string reduce_str with
+  | Error e -> die_usage "--reduce: %s" e
+  | Ok `None -> Reduction.none
+  | Ok rmode ->
+      if mode = `Full then
+        die_usage "--reduce %s requires canonical mode (got --mode full)"
+          (Reduction.mode_to_string rmode);
+      (match (rmode, faults) with
+      | (`Sym | `Full), Some _ ->
+          die_usage
+            "--reduce %s cannot be combined with --faults: fault transformers \
+             add daemon processes and break the declared automorphisms"
+            (Reduction.mode_to_string rmode)
+      | _ -> ());
+      (match
+         Reduction.resolve rmode ~symmetry:(Protocol.symmetry_of st.inst)
+       with
+      | Ok r -> r
+      | Error e ->
+          die_usage "--reduce %s: %s" (Reduction.mode_to_string rmode) e)
+
 (* -- enumerate ---------------------------------------------------------- *)
 
-let enumerate proto depth faults max_states max_seconds mode domains verbose
-    obs =
+let enumerate proto depth faults max_states max_seconds mode domains reduce
+    verbose obs =
   obs_setup obs;
   let st = resolve proto depth faults max_states max_seconds in
-  let u = Universe.enumerate ~mode ~domains ~budget:st.budget st.spec ~depth:st.depth in
+  let reduce = resolve_reduce st ~faults ~mode reduce in
+  let u =
+    Universe.enumerate ~mode ~domains ~budget:st.budget ~reduce st.spec
+      ~depth:st.depth
+  in
   Format.printf "%a@." Universe.pp_stats u;
   if verbose then
     Universe.iter (fun i z -> Format.printf "%4d: %a@." i Trace.pp z) u;
@@ -292,13 +328,17 @@ let enumerate_cmd =
     (Cmd.info "enumerate" ~doc:"Enumerate a protocol's bounded computation universe")
     Term.(
       const enumerate $ proto_arg $ depth_arg $ faults_arg $ max_states_arg
-      $ max_seconds_arg $ mode_arg $ domains_arg $ verbose $ obs_term)
+      $ max_seconds_arg $ mode_arg $ domains_arg $ reduce_arg $ verbose
+      $ obs_term)
 
 (* -- diagram ------------------------------------------------------------- *)
 
-let diagram proto depth faults max_states max_seconds mode limit =
+let diagram proto depth faults max_states max_seconds mode reduce limit =
   let st = resolve proto depth faults max_states max_seconds in
-  let u = Universe.enumerate ~mode ~budget:st.budget st.spec ~depth:st.depth in
+  let reduce = resolve_reduce st ~faults ~mode reduce in
+  let u =
+    Universe.enumerate ~mode ~budget:st.budget ~reduce st.spec ~depth:st.depth
+  in
   let size = min limit (Universe.size u) in
   let named =
     Universe.fold
@@ -322,14 +362,15 @@ let diagram_cmd =
     (Cmd.info "diagram" ~doc:"Emit the isomorphism diagram as Graphviz DOT")
     Term.(
       const diagram $ proto_arg $ depth_arg $ faults_arg $ max_states_arg
-      $ max_seconds_arg $ mode_arg $ limit)
+      $ max_seconds_arg $ mode_arg $ reduce_arg $ limit)
 
 (* -- knows ---------------------------------------------------------------- *)
 
-let knows proto depth faults max_states max_seconds obs =
+let knows proto depth faults max_states max_seconds reduce obs =
   obs_setup obs;
   let st = resolve proto depth faults max_states max_seconds in
-  let u = Universe.enumerate ~budget:st.budget st.spec ~depth:st.depth in
+  let reduce = resolve_reduce st ~faults ~mode:`Canonical reduce in
+  let u = Universe.enumerate ~budget:st.budget ~reduce st.spec ~depth:st.depth in
   Format.printf "%a@.@." Universe.pp_stats u;
   (match Protocol.atoms_of st.inst with
   | [] ->
@@ -363,7 +404,7 @@ let knows_cmd =
     (Cmd.info "knows" ~doc:"Summarize who knows what across a universe")
     Term.(
       const knows $ proto_arg $ depth_arg $ faults_arg $ max_states_arg
-      $ max_seconds_arg $ obs_term)
+      $ max_seconds_arg $ reduce_arg $ obs_term)
 
 (* -- termination ------------------------------------------------------------ *)
 
@@ -690,14 +731,15 @@ let commit_cmd =
 (* -- check (epistemic-temporal model checking) ------------------------------------ *)
 
 let check_formula proto depth faults max_states max_seconds mode domains
-    formula_text obs =
+    reduce formula_text obs =
   obs_setup obs;
   match Formula.parse formula_text with
   | Error e -> die_usage "parse error: %s" e
   | Ok f -> (
       let st = resolve proto depth faults max_states max_seconds in
+      let reduce = resolve_reduce st ~faults ~mode reduce in
       let u =
-        Universe.enumerate ~mode ~domains ~budget:st.budget st.spec
+        Universe.enumerate ~mode ~domains ~budget:st.budget ~reduce st.spec
           ~depth:st.depth
       in
       Format.printf "%a@." Universe.pp_stats u;
@@ -736,7 +778,8 @@ let check_cmd =
        ~doc:"Model-check an epistemic-temporal formula over a system's universe")
     Term.(
       const check_formula $ proto_arg $ depth_arg $ faults_arg $ max_states_arg
-      $ max_seconds_arg $ mode_arg $ domains_arg $ formula $ obs_term)
+      $ max_seconds_arg $ mode_arg $ domains_arg $ reduce_arg $ formula
+      $ obs_term)
 
 (* -- lint (static analysis, no enumeration) -------------------------------- *)
 
@@ -886,6 +929,17 @@ let list_protocols verbose =
             Printf.printf "    atoms: %s\n"
               (String.concat " " (List.map fst atoms)));
         Printf.printf "    suggested depth: %d\n" (Protocol.suggested_depth t);
+        (match Protocol.generators_of inst with
+        | [] -> ()
+        | gens ->
+            let order =
+              match Protocol.symmetry_of inst with
+              | Some g -> Symmetry.order g
+              | None -> 1
+            in
+            Printf.printf "    symmetry: %s (group order %d)\n"
+              (String.concat " " (List.map Symmetry.to_string gens))
+              order);
         match Protocol.fault_scenarios t with
         | [] -> ()
         | fs ->

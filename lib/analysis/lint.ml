@@ -404,6 +404,58 @@ let lint_instance ?fuel ?max_states ?max_probes ?(formulas = []) ?faults
       ~subject:(Protocol.instance_name inst)
       (Protocol.spec_of inst)
   in
+  (* symmetry hygiene (DESIGN.md §10): declared generators must be spec
+     automorphisms — an invalid generator makes symmetry-reduced
+     enumeration silently unsound — and a spec that *is* invariant
+     under an obvious pid permutation (ring rotation, member swap)
+     but declares none is leaving the reduction on the table *)
+  let symmetry =
+    let spec = Protocol.spec_of inst in
+    let n = Spec.n spec in
+    let probe = Symmetry.is_automorphism ~depth:3 ~max_states:5_000 spec in
+    match Protocol.generators_of inst with
+    | _ :: _ as gens ->
+        List.filter_map
+          (fun pi ->
+            if Array.length pi = n && probe pi then None
+            else
+              Some
+                (find_ ~expect "invalid-symmetry" Error (Symmetry.to_string pi)
+                   (Printf.sprintf
+                      "declared symmetry generator %s is not an automorphism \
+                       of the spec: [enabled] fails equivariance at some \
+                       computation of depth <= 3"
+                      (Symmetry.to_string pi))
+                   ~hint:"fix the generator or the spec — an invalid \
+                          generator makes --reduce sym/full unsound"))
+          gens
+    | [] ->
+        if n < 2 then []
+        else
+          let candidates =
+            (if n >= 2 then [ ("ring rotation", Symmetry.rotation n) ] else [])
+            @ (if n >= 3 then
+                 [ ("member swap", Symmetry.transposition n 1 2) ]
+               else [])
+            @ [ ("process swap", Symmetry.transposition n 0 1) ]
+          in
+          let hit =
+            List.find_opt (fun (_, pi) -> probe pi) candidates
+          in
+          (match hit with
+          | Some (what, pi) ->
+              [
+                find_ ~expect "undeclared-symmetry" Warning
+                  (Protocol.instance_name inst)
+                  (Printf.sprintf
+                     "the spec is invariant under the %s %s (probed to depth \
+                      3) but declares no symmetry generators"
+                     what (Symmetry.to_string pi))
+                  ~hint:"declare it via Protocol.make ~symmetry to unlock \
+                         --reduce sym/full";
+              ]
+          | None -> [])
+  in
   (* registry metadata check: every declared fault scenario must parse
      and name real channels *)
   let declared =
@@ -420,7 +472,7 @@ let lint_instance ?fuel ?max_states ?max_probes ?(formulas = []) ?faults
             fault_findings ~expect base.graph scenario ~label:s)
       (Protocol.fault_scenarios proto)
   in
-  { base with findings = base.findings @ declared }
+  { base with findings = base.findings @ symmetry @ declared }
 
 (* -- reporting ------------------------------------------------------------ *)
 

@@ -1,15 +1,15 @@
 type kind = Send of Msg.t | Receive of Msg.t | Internal of string
-type t = { pid : Pid.t; lseq : int; kind : kind }
+type t = { pid : Pid.t; lseq : int; kind : kind; mutable h : int }
 
 let send ~pid ~lseq m =
   if not (Pid.equal pid m.Msg.src) then invalid_arg "Event.send: pid <> msg.src";
-  { pid; lseq; kind = Send m }
+  { pid; lseq; kind = Send m; h = -1 }
 
 let receive ~pid ~lseq m =
   if not (Pid.equal pid m.Msg.dst) then invalid_arg "Event.receive: pid <> msg.dst";
-  { pid; lseq; kind = Receive m }
+  { pid; lseq; kind = Receive m; h = -1 }
 
-let internal ~pid ~lseq tag = { pid; lseq; kind = Internal tag }
+let internal ~pid ~lseq tag = { pid; lseq; kind = Internal tag; h = -1 }
 
 let kind_rank = function Send _ -> 0 | Receive _ -> 1 | Internal _ -> 2
 
@@ -26,7 +26,10 @@ let compare_kind a b =
   | _ -> Int.compare (kind_rank a) (kind_rank b)
 
 let equal a b =
-  Pid.equal a.pid b.pid && Int.equal a.lseq b.lseq && equal_kind a.kind b.kind
+  a == b
+  || (a.h < 0 || b.h < 0 || a.h = b.h)
+     && Pid.equal a.pid b.pid && Int.equal a.lseq b.lseq
+     && equal_kind a.kind b.kind
 
 let compare a b =
   let c = Pid.compare a.pid b.pid in
@@ -35,14 +38,25 @@ let compare a b =
     let c = Int.compare a.lseq b.lseq in
     if c <> 0 then c else compare_kind a.kind b.kind
 
+(* memoized lazily: symmetry-reduced enumeration hashes every event of
+   every orbit key it interns, and those events are shared structurally
+   across BFS levels — but most renamed candidate events are only ever
+   compared, so hashing eagerly at construction would be a net loss *)
 let hash e =
-  Hashtbl.hash
-    ( Pid.to_int e.pid,
-      e.lseq,
-      match e.kind with
-      | Send m -> (0, Msg.hash m)
-      | Receive m -> (1, Msg.hash m)
-      | Internal s -> (2, Hashtbl.hash s) )
+  if e.h >= 0 then e.h
+  else begin
+    let v =
+      Hashtbl.hash
+        ( Pid.to_int e.pid,
+          e.lseq,
+          match e.kind with
+          | Send m -> (0, Msg.hash m)
+          | Receive m -> (1, Msg.hash m)
+          | Internal s -> (2, Hashtbl.hash s) )
+    in
+    e.h <- v;
+    v
+  end
 
 let on e ps = Pset.mem e.pid ps
 let is_send e = match e.kind with Send _ -> true | Receive _ | Internal _ -> false

@@ -17,6 +17,7 @@ type t = {
   pid : Pid.t;  (** the process this event is on *)
   lseq : int;  (** index of this event in [pid]'s local computation *)
   kind : kind;
+  mutable h : int;  (** hash memo, [-1] until first {!hash} — use {!hash} *)
 }
 
 val send : pid:Pid.t -> lseq:int -> Msg.t -> t

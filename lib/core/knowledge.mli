@@ -21,6 +21,16 @@ val knows_ext_naive : Universe.t -> Pset.t -> Bitset.t -> Bitset.t
     O(size). Same answers (property-tested); kept for the P1 ablation
     bench. *)
 
+val knows_prop_ext : Universe.t -> Pset.t -> Prop.t -> Bitset.t
+(** The extent of "[P] knows [b]" over the universe's stored
+    computations. Equals [knows_ext u ps (Prop.extent u b)] on an
+    unreduced universe; on a symmetry-reduced one (DESIGN.md §10) it
+    quantifies over the orbit expansion — every permuted image of every
+    representative — so the verdict at each representative is exact
+    even for predicates that are not themselves symmetric. The other
+    epistemic operators ({!Group}, {!Common_knowledge}) build on this
+    entry point. *)
+
 val knows : Universe.t -> Pset.t -> Prop.t -> Prop.t
 (** [knows u p b] is the predicate "[P] knows [b]". Evaluating it at a
     computation outside [u] raises [Not_found]. *)

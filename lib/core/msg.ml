@@ -1,6 +1,12 @@
-type t = { src : Pid.t; dst : Pid.t; seq : int; payload : string }
+type t = {
+  src : Pid.t;
+  dst : Pid.t;
+  seq : int;
+  payload : string;
+  mutable h : int;
+}
 
-let make ~src ~dst ~seq ~payload = { src; dst; seq; payload }
+let make ~src ~dst ~seq ~payload = { src; dst; seq; payload; h = -1 }
 
 let equal a b =
   Pid.equal a.src b.src && Pid.equal a.dst b.dst && Int.equal a.seq b.seq
@@ -16,7 +22,13 @@ let compare a b =
       let c = Pid.compare a.dst b.dst in
       if c <> 0 then c else String.compare a.payload b.payload
 
-let hash m = Hashtbl.hash (Pid.to_int m.src, Pid.to_int m.dst, m.seq, m.payload)
+let hash m =
+  if m.h >= 0 then m.h
+  else begin
+    let v = Hashtbl.hash (Pid.to_int m.src, Pid.to_int m.dst, m.seq, m.payload) in
+    m.h <- v;
+    v
+  end
 let key m = (m.src, m.seq)
 
 let pp fmt m =

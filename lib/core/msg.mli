@@ -14,6 +14,7 @@ type t = {
   dst : Pid.t;  (** destination process *)
   seq : int;  (** sender's send count when this message was sent *)
   payload : string;  (** application content *)
+  mutable h : int;  (** hash memo, [-1] until first {!hash} — use {!hash} *)
 }
 
 val make : src:Pid.t -> dst:Pid.t -> seq:int -> payload:string -> t

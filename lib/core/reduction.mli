@@ -1,0 +1,72 @@
+(** The reduction layer: what {!Universe.enumerate} may collapse.
+
+    Two cooperating reductions (DESIGN.md §10):
+
+    - {e symmetry}: given a group of spec automorphisms (declared by the
+      protocol, see {!Symmetry}), store one representative per orbit of
+      [\[D\]]-classes. Exactness of knowledge queries on the reduced
+      universe is recovered by quantifying over the orbit expansion
+      ({!Knowledge.knows} does this automatically).
+    - {e partial order} ([por]): the persistent-set style filter plus
+      incremental enabled-set maintenance. This produces a universe
+      {e bit-identical} to the unreduced canonical enumeration — same
+      computations, same order, same class ids — only faster, so it is
+      always safe.
+
+    [full] combines both. Reductions require [`Canonical] mode. *)
+
+type t
+
+val none : t
+val por : t
+val sym : Symmetry.group -> t
+val full : Symmetry.group -> t
+
+val is_none : t -> bool
+val symmetry : t -> Symmetry.group option
+val uses_por : t -> bool
+val label : t -> string
+(** ["none"], ["por"], ["sym"] or ["full"]. *)
+
+(** {2 CLI-facing mode} *)
+
+type mode = [ `None | `Sym | `Por | `Full ]
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> (mode, string) result
+
+val resolve : mode -> symmetry:Symmetry.group option -> (t, string) result
+(** Combine a requested mode with a protocol's declared symmetry group.
+    [`Sym]/[`Full] without a group is an error (the message names the
+    remedy). *)
+
+(** {2 Enumeration internals}
+
+    Used by {!Universe.enumerate}; exposed for the property tests that
+    cross-validate them against the baseline definitions. *)
+
+module Ample : sig
+  type ctx
+
+  val make : n:int -> Trace.t -> ctx
+  (** Per-state precomputation: suffix maxima, last event position per
+      process, send positions. O(length + n). *)
+
+  val keep : ctx -> Event.t -> bool
+  (** Exactly [Universe]'s snoc-canonicity of the extension, in O(1)
+      per candidate. *)
+end
+
+module Enabled : sig
+  type ctx
+
+  val init : Spec.t -> ctx
+  (** Context of the empty computation. *)
+
+  val events : ctx -> Event.t list
+  (** Exactly [Spec.enabled] of the context's computation. *)
+
+  val step : Spec.t -> ctx -> Event.t -> ctx
+  (** Context of the one-event extension; recomputes only the extending
+      process's enabled set (and the destination's, for a send). *)
+end

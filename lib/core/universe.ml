@@ -45,9 +45,14 @@ type t = {
   mode : mode;
   depth : int;
   status : status;
+  reduce : Reduction.t;
   comps : Trace.t array;
   idx : int TraceTbl.t;
   class_ids_by_pid : int array array; (* pid index -> comp index -> class id *)
+  orbit_idx : int Symmetry.KeyTbl.t option; (* sym: orbit key -> index *)
+  rep_sigma : Symmetry.perm array option;
+      (* sym: per index, the σ whose action on the stored representative
+         attains its orbit key *)
   pset_ids_memo : (int list, int array) Hashtbl.t;
   classes_memo : (int list, Bitset.t array) Hashtbl.t;
 }
@@ -128,16 +133,21 @@ let snoc_is_canonical z e =
    are bit-identical for any [domains]. *)
 exception Out_of_budget of trunc_reason
 
-let enumerate ?(mode = `Canonical) ?(domains = 1) ?(budget = no_budget) spec
-    ~depth =
+let enumerate ?(mode = `Canonical) ?(domains = 1) ?(budget = no_budget)
+    ?(reduce = Reduction.none) spec ~depth =
   if depth < 0 then invalid_arg "Universe.enumerate: negative depth";
   if domains < 1 then invalid_arg "Universe.enumerate: domains < 1";
+  if mode = `Full && not (Reduction.is_none reduce) then
+    invalid_arg "Universe.enumerate: reductions require `Canonical mode";
+  let group = Reduction.symmetry reduce in
+  let por = Reduction.uses_por reduce in
   Hpl_obs.span "enumerate"
     ~args:(fun () ->
       [
         ("depth", string_of_int depth);
         ("domains", string_of_int domains);
         ("mode", match mode with `Full -> "full" | `Canonical -> "canonical");
+        ("reduce", Reduction.label reduce);
       ])
   @@ fun () ->
   let started = Sys.time () in
@@ -166,21 +176,43 @@ let enumerate ?(mode = `Canonical) ?(domains = 1) ?(budget = no_budget) spec
         StepTbl.add step_tbls.(pi) key id;
         id
   in
+  (* under symmetry the canonicity filter is unsound — a stored orbit
+     representative can reach a fresh orbit only through a non-canonical
+     interleaving — so sym mode keeps every extension and dedups by
+     orbit key in the merge instead *)
   let keep z e =
-    match mode with `Full -> true | `Canonical -> snoc_is_canonical z e
+    match mode with
+    | `Full -> true
+    | `Canonical -> Option.is_some group || snoc_is_canonical z e
   in
-  let children z =
-    List.filter_map
-      (fun e -> if keep z e then Some (e, Trace.snoc z e) else None)
-      (Spec.enabled spec z)
+  let children z en =
+    let cands =
+      match en with
+      | Some ctx -> Reduction.Enabled.events ctx
+      | None -> Spec.enabled spec z
+    in
+    let kept =
+      if por && mode = `Canonical && group = None then
+        let ctx = Reduction.Ample.make ~n z in
+        List.filter (Reduction.Ample.keep ctx) cands
+      else List.filter (keep z) cands
+    in
+    let pruned = List.length cands - List.length kept in
+    ( List.map
+        (fun e ->
+          ( e,
+            Trace.snoc z e,
+            Option.map (fun ctx -> Reduction.Enabled.step spec ctx e) en ))
+        kept,
+      pruned )
   in
   let expand frontier =
     let m = Array.length frontier in
-    let out = Array.make m [] in
+    let out = Array.make m ([], 0) in
     let fill lo hi =
       for i = lo to hi - 1 do
-        let z, _ = frontier.(i) in
-        out.(i) <- children z
+        let z, _, en, _ = frontier.(i) in
+        out.(i) <- children z en
       done
     in
     (* each worker records its own span (tid = its domain id), so the
@@ -217,8 +249,46 @@ let enumerate ?(mode = `Canonical) ?(domains = 1) ?(budget = no_budget) spec
     acc := node :: !acc;
     incr count
   in
-  let root = (Trace.empty, Array.make n 0) in
+  (* symmetry bookkeeping: [class_seen] memoizes the orbit decision per
+     [D]-class (identity projection vector), [orbit_idx] maps each orbit
+     key to its stored representative, [sigma_acc] records per stored
+     node the σ attaining its key (reverse discovery order, like !acc) *)
+  let class_seen = Symmetry.KeyTbl.create 256 in
+  let orbit_idx = Symmetry.KeyTbl.create 256 in
+  let sigma_acc = ref [] in
+  let orbit_hits = ref 0 and ample_prunes = ref 0 in
+  (* the group elements, identity first; each frontier node carries the
+     renamed projection vector of every element's action on it, so a
+     child's identity vector (the class key) and its orbit key (the
+     minimum over the group) are maintained by consing one renamed
+     event — no trace is ever re-traversed or permuted wholesale *)
+  let perms =
+    match group with
+    | Some g -> Array.of_list (Symmetry.elements g)
+    | None -> [||]
+  in
+  let extend_cand k cand e =
+    let pe = if k = 0 then e else Symmetry.permute_event perms.(k) e in
+    let j = Pid.to_int pe.Event.pid in
+    let c = Array.copy cand in
+    c.(j) <- pe :: c.(j);
+    c
+  in
+  let root_en = if por then Some (Reduction.Enabled.init spec) else None in
+  let root_cands =
+    match group with
+    | None -> None
+    | Some _ -> Some (Array.make (Array.length perms) (Array.make n []))
+  in
+  let root = (Trace.empty, Array.make n 0, root_en, root_cands) in
   push root;
+  (match group with
+  | Some _ ->
+      let empty_key = Array.make n [] in
+      Symmetry.KeyTbl.replace class_seen empty_key ();
+      Symmetry.KeyTbl.replace orbit_idx empty_key 0;
+      sigma_acc := [ perms.(0) ]
+  | None -> ());
   let rec level frontier d =
     if d >= depth || Array.length frontier = 0 then ()
     else begin
@@ -255,24 +325,92 @@ let enumerate ?(mode = `Canonical) ?(domains = 1) ?(budget = no_budget) spec
          kept states is identical for any [domains] (time-based
          truncation is inherently wall-clock dependent, but is only
          detected between whole parents, never mid-parent). *)
+      (* symmetry: decide each child's fate first — skip if its
+         [D]-class (identity projection vector) was already seen,
+         otherwise extend the parent's remaining renamed vectors and
+         take their minimum as the orbit key (timed separately) *)
+      let annotated =
+        match group with
+        | None -> Array.map (fun (kids, pruned) -> (List.map (fun c -> (c, None)) kids, pruned)) childlists
+        | Some _ ->
+            Hpl_obs.span "reduce.canon"
+              ~args:(fun () -> [ ("depth", string_of_int d) ])
+              (fun () ->
+                Array.mapi
+                  (fun i (kids, pruned) ->
+                    let _, _, _, pcands = frontier.(i) in
+                    let pcands =
+                      match pcands with Some c -> c | None -> assert false
+                    in
+                    ( List.map
+                        (fun ((e, _, _) as c) ->
+                          let v = extend_cand 0 pcands.(0) e in
+                          if Symmetry.KeyTbl.mem class_seen v then (c, Some `Dup)
+                          else begin
+                            Symmetry.KeyTbl.replace class_seen v ();
+                            let cands =
+                              Array.mapi
+                                (fun k pc ->
+                                  if k = 0 then v else extend_cand k pc e)
+                                pcands
+                            in
+                            let best = ref 0 in
+                            for k = 1 to Array.length cands - 1 do
+                              if
+                                Symmetry.compare_key cands.(k) cands.(!best) < 0
+                              then best := k
+                            done;
+                            (c, Some (`Key (cands.(!best), perms.(!best), cands)))
+                          end)
+                        kids,
+                      pruned ))
+                  childlists)
+      in
       let next = ref [] in
       Hpl_obs.span "enumerate.merge"
         ~args:(fun () -> [ ("depth", string_of_int d) ])
         (fun () ->
           Array.iteri
-            (fun i kids ->
+            (fun i (kids, pruned) ->
               check_time ();
-              let _, pids = frontier.(i) in
+              ample_prunes := !ample_prunes + pruned;
+              let _, pids, _, _ = frontier.(i) in
               List.iter
-                (fun (e, z') ->
-                  let pi = Pid.to_int e.Event.pid in
-                  let ids = Array.copy pids in
-                  ids.(pi) <- intern pi pids.(pi) e;
-                  let node = (z', ids) in
-                  push node;
-                  next := node :: !next)
+                (fun ((e, z', en), fate) ->
+                  let admit =
+                    match fate with
+                    | None -> true
+                    | Some `Dup ->
+                        incr orbit_hits;
+                        false
+                    | Some (`Key (key, _, _)) ->
+                        if Symmetry.KeyTbl.mem orbit_idx key then begin
+                          incr orbit_hits;
+                          false
+                        end
+                        else true
+                  in
+                  if admit then begin
+                    let pi = Pid.to_int e.Event.pid in
+                    let ids = Array.copy pids in
+                    ids.(pi) <- intern pi pids.(pi) e;
+                    let node =
+                      match fate with
+                      | Some (`Key (_, _, cands)) -> (z', ids, en, Some cands)
+                      | _ -> (z', ids, en, None)
+                    in
+                    (* push may raise on budget: register the orbit
+                       entry only once the node is actually stored *)
+                    push node;
+                    (match fate with
+                    | Some (`Key (key, sigma, _)) ->
+                        Symmetry.KeyTbl.replace orbit_idx key (!count - 1);
+                        sigma_acc := sigma :: !sigma_acc
+                    | _ -> ());
+                    next := node :: !next
+                  end)
                 kids)
-            childlists);
+            annotated);
       level (Array.of_list (List.rev !next)) (d + 1)
     end
   in
@@ -285,7 +423,11 @@ let enumerate ?(mode = `Canonical) ?(domains = 1) ?(budget = no_budget) spec
     Hpl_obs.count "enumerate.states" !count;
     let classes = ref 0 in
     Array.iter (fun next -> classes := !classes + next - 1) next_ids;
-    Hpl_obs.count "enumerate.proj_classes" !classes
+    Hpl_obs.count "enumerate.proj_classes" !classes;
+    if not (Reduction.is_none reduce) then begin
+      Hpl_obs.count "reduce.orbit_hits" !orbit_hits;
+      Hpl_obs.count "reduce.ample_prunes" !ample_prunes
+    end
   end;
   let comps, class_ids_by_pid, idx =
     (* the interning half: materialize the computations and build the
@@ -297,7 +439,7 @@ let enumerate ?(mode = `Canonical) ?(domains = 1) ?(budget = no_budget) spec
     let class_ids_by_pid = Array.init n (fun _ -> Array.make !count 0) in
     (* [!acc] holds nodes in reverse discovery order *)
     List.iteri
-      (fun k (z, ids) ->
+      (fun k (z, ids, _, _) ->
         let i = !count - 1 - k in
         comps.(i) <- z;
         for pi = 0 to n - 1 do
@@ -308,14 +450,25 @@ let enumerate ?(mode = `Canonical) ?(domains = 1) ?(budget = no_budget) spec
     Array.iteri (fun i z -> TraceTbl.replace idx z i) comps;
     (comps, class_ids_by_pid, idx)
   in
+  let rep_sigma =
+    match group with
+    | None -> None
+    | Some _ ->
+        let a = Array.make !count [||] in
+        List.iteri (fun k s -> a.(!count - 1 - k) <- s) !sigma_acc;
+        Some a
+  in
   {
     spec;
     mode;
     depth;
     status;
+    reduce;
     comps;
     idx;
     class_ids_by_pid;
+    orbit_idx = (match group with None -> None | Some _ -> Some orbit_idx);
+    rep_sigma;
     pset_ids_memo = Hashtbl.create 16;
     classes_memo = Hashtbl.create 16;
   }
@@ -324,6 +477,8 @@ let spec u = u.spec
 let mode u = u.mode
 let depth u = u.depth
 let status u = u.status
+let reduction u = u.reduce
+let symmetry u = Reduction.symmetry u.reduce
 let size u = Array.length u.comps
 let comp u i = u.comps.(i)
 let index u z =
@@ -336,10 +491,34 @@ let index u z =
 let canon _u z = canon_trace z
 
 let find u z =
-  match u.mode with
-  | `Full -> index u z
-  | `Canonical -> (
+  match (symmetry u, u.mode) with
+  | Some g, _ -> (
+      (* the stored representative of z's orbit — reps are not
+         lexicographically canonical, so the orbit index is the only
+         sound lookup *)
+      match u.orbit_idx with
+      | Some tbl -> Symmetry.KeyTbl.find_opt tbl (Symmetry.orbit_key g z)
+      | None -> None)
+  | None, `Full -> index u z
+  | None, `Canonical -> (
       match index u z with Some i -> Some i | None -> index u (canon_trace z))
+
+let find_orbit u z =
+  match symmetry u with
+  | None ->
+      Option.map (fun i -> (i, Symmetry.identity (Spec.n u.spec))) (find u z)
+  | Some g -> (
+      let key, s1 = Symmetry.orbit_key_witness g z in
+      match u.orbit_idx with
+      | None -> None
+      | Some tbl ->
+          Option.map
+            (fun i ->
+              let s0 =
+                match u.rep_sigma with Some a -> a.(i) | None -> assert false
+              in
+              (i, Symmetry.compose (Symmetry.inverse s1) s0))
+            (Symmetry.KeyTbl.find_opt tbl key))
 
 let find_exn u z = match find u z with Some i -> i | None -> raise Not_found
 let iter f u = Array.iteri f u.comps
@@ -410,9 +589,11 @@ let prefixes_of u i =
   List.rev (go Trace.empty (Trace.to_list z) [])
 
 let pp_stats fmt u =
-  Format.fprintf fmt "universe: %d computations, depth %d, mode %s, %d processes%s"
+  Format.fprintf fmt "universe: %d computations, depth %d, mode %s%s, %d processes%s"
     (size u) u.depth
     (match u.mode with `Full -> "full" | `Canonical -> "canonical")
+    (if Reduction.is_none u.reduce then ""
+     else Printf.sprintf ", reduce %s" (Reduction.label u.reduce))
     (Spec.n u.spec)
     (match u.status with
     | Complete -> ""

@@ -43,9 +43,24 @@ val reason_to_string : trunc_reason -> string
 type t
 
 val enumerate :
-  ?mode:mode -> ?domains:int -> ?budget:budget -> Spec.t -> depth:int -> t
+  ?mode:mode ->
+  ?domains:int ->
+  ?budget:budget ->
+  ?reduce:Reduction.t ->
+  Spec.t ->
+  depth:int ->
+  t
 (** [enumerate spec ~depth] explores breadth-first from the empty
     computation. Default mode is [`Canonical].
+
+    [reduce] (default {!Reduction.none}) applies the reduction layer
+    (DESIGN.md §10); requires [`Canonical] mode. With a symmetry group
+    the universe stores one representative per {e orbit} of
+    [\[D\]]-classes: {!find} resolves any computation to its orbit's
+    representative, knowledge/CK/temporal operators quantify over the
+    orbit expansion automatically, and plain {!Prop.extent} ranges over
+    representatives only. The partial-order half is bit-identical to the
+    unreduced enumeration, only faster.
 
     [domains] (default 1) expands each BFS level in parallel across
     that many stdlib domains. The result is bit-identical to the
@@ -68,6 +83,10 @@ val spec : t -> Spec.t
 val mode : t -> mode
 val depth : t -> int
 
+val reduction : t -> Reduction.t
+val symmetry : t -> Symmetry.group option
+(** The group the universe was reduced under, if any. *)
+
 val status : t -> status
 (** [Complete] unless a {!budget} ceiling stopped the enumeration. A
     truncated universe underapproximates: [knows]/CK verdicts computed
@@ -84,7 +103,16 @@ val index : t -> Trace.t -> int option
 
 val find : t -> Trace.t -> int option
 (** Like {!index} but canonicalizes first in [`Canonical] mode, so any
-    valid interleaving of a stored class is found. *)
+    valid interleaving of a stored class is found. On a
+    symmetry-reduced universe the lookup goes through the orbit key, so
+    any interleaving of any permuted image of a stored class is found. *)
+
+val find_orbit : t -> Trace.t -> (int * Symmetry.perm) option
+(** [find_orbit u z = Some (i, ρ)]: [z] is interleaving-equivalent to
+    [ρ · comp u i]. On an unreduced universe [ρ] is the identity and
+    this is {!find}. This is the bridge that makes exact evaluation of
+    arbitrary (even asymmetric) predicates possible on a reduced
+    universe: evaluate at the concrete computation [ρ · comp u i]. *)
 
 val find_exn : t -> Trace.t -> int
 (** @raise Not_found when the trace's class is outside the universe

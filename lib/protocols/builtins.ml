@@ -25,6 +25,10 @@ let all : Protocol.t list =
     Safra.protocol;
     Snapshot.protocol;
     Snapshot_term.protocol;
+    Symmetric.ring;
+    Symmetric.quorum;
+    Symmetric.star_flood;
+    Symmetric.mesh;
     Token_bus.protocol;
     Token_ring.protocol;
     Total_order.protocol;

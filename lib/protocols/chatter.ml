@@ -22,6 +22,9 @@ let protocol =
     ~doc:"every process may send right, idle, or receive — branching stress"
     ~params:[ Protocol.param "n" 2 "ring size" ]
     ~atoms:(fun _ -> [ ("sent", sent); ("idled", idled) ])
+    ~symmetry:(fun vs ->
+      let n = Protocol.get vs "n" in
+      if n >= 2 then [ Symmetry.rotation n ] else [])
     ~suggested_depth:4
     ~fault_scenarios:[ "crash-any:1"; "dup:*" ]
     (fun vs -> spec ~n:(Protocol.get vs "n"))

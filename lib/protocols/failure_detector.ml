@@ -187,5 +187,6 @@ let protocol =
       let n = Protocol.get vs "n" in
       List.init n (fun i ->
           (Printf.sprintf "crashed%d" i, crashed (Pid.of_int i))))
+    ~symmetry:(fun vs -> [ Symmetry.rotation (Protocol.get vs "n") ])
     ~suggested_depth:4
     (fun vs -> crashable_spec ~n:(Protocol.get vs "n"))

@@ -27,14 +27,16 @@ type t = {
   params : param list;
   spec : values -> Spec.t;
   atoms : values -> (string * Prop.t) list;
+  symmetry : values -> Symmetry.perm list;
   canonical_trace : (values -> Trace.t) option;
   suggested_depth : int;
   fault_scenarios : string list;
   lint_expect : string list;
 }
 
-let make ~name ~doc ?(params = []) ?(atoms = fun _ -> []) ?canonical_trace
-    ?(suggested_depth = 6) ?(fault_scenarios = []) ?(lint_expect = []) spec =
+let make ~name ~doc ?(params = []) ?(atoms = fun _ -> [])
+    ?(symmetry = fun _ -> []) ?canonical_trace ?(suggested_depth = 6)
+    ?(fault_scenarios = []) ?(lint_expect = []) spec =
   if name = "" then invalid_arg "Protocol.make: empty name";
   String.iter
     (fun c ->
@@ -48,6 +50,7 @@ let make ~name ~doc ?(params = []) ?(atoms = fun _ -> []) ?canonical_trace
     params;
     spec;
     atoms;
+    symmetry;
     canonical_trace;
     suggested_depth;
     fault_scenarios;
@@ -99,6 +102,14 @@ let instantiate t args =
 let default_instance t = { proto = t; values = defaults t }
 let spec_of i = i.proto.spec i.values
 let atoms_of i = i.proto.atoms i.values
+let generators_of i = i.proto.symmetry i.values
+
+let symmetry_of i =
+  match generators_of i with
+  | [] -> None
+  | gens ->
+      let n = Spec.n (spec_of i) in
+      Some (Symmetry.of_generators ~n gens)
 let atom_env i name = List.assoc_opt name (atoms_of i)
 let canonical_trace_of i = Option.map (fun f -> f i.values) i.proto.canonical_trace
 let depth_of i = i.proto.suggested_depth

@@ -49,6 +49,12 @@ type t = {
   spec : values -> Spec.t;  (** the generative system *)
   atoms : values -> (string * Prop.t) list;
       (** named atomic predicates usable in formulas *)
+  symmetry : values -> Symmetry.perm list;
+      (** generators of a pid-permutation group under which the spec is
+          invariant (automorphisms) — declares eligibility for
+          [--reduce sym|full] (DESIGN.md §10). The registry test suite
+          validates each generator with
+          {!Hpl_core.Symmetry.is_automorphism}. *)
   canonical_trace : (values -> Trace.t) option;
       (** a distinguished valid computation, when one is worth naming *)
   suggested_depth : int;  (** sensible enumeration depth bound *)
@@ -68,14 +74,15 @@ val make :
   doc:string ->
   ?params:param list ->
   ?atoms:(values -> (string * Prop.t) list) ->
+  ?symmetry:(values -> Symmetry.perm list) ->
   ?canonical_trace:(values -> Trace.t) ->
   ?suggested_depth:int ->
   ?fault_scenarios:string list ->
   ?lint_expect:string list ->
   (values -> Spec.t) ->
   t
-(** [suggested_depth] defaults to 6, [fault_scenarios] and
-    [lint_expect] to []. Raises [Invalid_argument] on a malformed
+(** [suggested_depth] defaults to 6, [symmetry], [fault_scenarios] and
+    [lint_expect] to empty. Raises [Invalid_argument] on a malformed
     name. *)
 
 val name : t -> string
@@ -106,6 +113,14 @@ val atoms_of : instance -> (string * Prop.t) list
 val atom_env : instance -> string -> Prop.t option
 (** The instance's atoms as a formula environment
     (cf. {!Hpl_core.Formula.eval}). *)
+
+val generators_of : instance -> Symmetry.perm list
+(** The declared symmetry generators at this instance's parameters. *)
+
+val symmetry_of : instance -> Symmetry.group option
+(** The declared symmetry as a materialized group (closure of
+    {!generators_of}); [None] when the protocol declares none. Feed to
+    {!Hpl_core.Reduction.resolve}. *)
 
 val canonical_trace_of : instance -> Trace.t option
 val depth_of : instance -> int

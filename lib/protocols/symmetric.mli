@@ -1,0 +1,34 @@
+(** Protocols with declared pid-permutation symmetry.
+
+    Registry entries whose topology is invariant under a non-trivial
+    permutation group, declared via [Protocol.make ~symmetry] and hence
+    eligible for [--reduce sym|full] (DESIGN.md §10):
+
+    - [ring] — relay ring, rotations (Z_n);
+    - [quorum] — members vote for a fixed collector, member swaps
+      (S_{n-1});
+    - [star-flood] — hub floods members in {e unordered} fashion,
+      member swaps (S_{n-1});
+    - [mesh] — everyone may greet any one peer, all permutations
+      (S_n).
+
+    The registry test suite validates every declared generator with
+    {!Hpl_core.Symmetry.is_automorphism} and cross-checks reduced
+    against unreduced enumeration. *)
+
+open Hpl_core
+
+val ring : Protocol.t
+val quorum : Protocol.t
+val star_flood : Protocol.t
+val mesh : Protocol.t
+
+(** The underlying specs, exposed for direct use in tests. *)
+
+val ring_spec : n:int -> rounds:int -> Spec.t
+val quorum_spec : n:int -> q:int -> Spec.t
+val star_flood_spec : n:int -> Spec.t
+val mesh_spec : n:int -> Spec.t
+
+val member_generators : int -> Symmetry.perm list
+(** Generators of the group fixing pid 0 and permuting [1..n-1]. *)

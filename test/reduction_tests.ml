@@ -1,0 +1,368 @@
+(* Cross-validation of the reduction layer (DESIGN.md §10).
+
+   The reductions are only worth having if they are exact, so every
+   claim the layer makes is checked here against the baseline
+   definitions, registry-wide:
+
+   - por produces a universe bit-identical to the unreduced canonical
+     enumeration (same computations, same order, same class ids);
+   - sym/full store one representative per orbit: every unreduced
+     class resolves to exactly one representative ([Universe.find]),
+     two classes share a representative iff their orbit keys agree,
+     and knowledge / CK / temporal verdicts at the representatives
+     coincide with the unreduced verdicts — including for asymmetric
+     atoms, where exactness rests on the orbit-expansion semantics;
+   - declared generators really are spec automorphisms (and known
+     non-automorphisms are rejected), and the lint rules guarding
+     both directions fire.
+
+   Random-walk cases are seeded and replayable like the §3 law suite. *)
+open Hpl_core
+open Hpl_protocols
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let case_rng seed = Random.State.make [| 0x9e37; seed |]
+
+(* small enough that unreduced enumeration of every registry protocol
+   stays cheap, deep enough that orbits are non-trivial *)
+let cross_depth inst = min 4 (Protocol.depth_of inst)
+
+let registry () = Protocol.Registry.list ()
+
+let enum ?reduce inst ~depth =
+  Universe.enumerate ?reduce (Protocol.spec_of inst) ~depth
+
+let symmetric_instances () =
+  List.filter_map
+    (fun proto ->
+      let inst = Protocol.default_instance proto in
+      match Protocol.symmetry_of inst with
+      | Some g when not (Symmetry.is_trivial g) -> Some (inst, g)
+      | _ -> None)
+    (registry ())
+
+(* -- por: bit-identical universe ----------------------------------------- *)
+
+let test_por_bit_identity () =
+  List.iter
+    (fun proto ->
+      let inst = Protocol.default_instance proto in
+      let name = Protocol.instance_name inst in
+      let depth = cross_depth inst in
+      let u0 = enum inst ~depth in
+      let u1 = enum ~reduce:Reduction.por inst ~depth in
+      checki (name ^ ": por size") (Universe.size u0) (Universe.size u1);
+      Universe.iter
+        (fun i z ->
+          checkb
+            (Printf.sprintf "%s: por comp %d" name i)
+            true
+            (Trace.equal z (Universe.comp u1 i)))
+        u0;
+      let n = Spec.n (Protocol.spec_of inst) in
+      for p = 0 to n - 1 do
+        check
+          Alcotest.(array int)
+          (Printf.sprintf "%s: por class ids p%d" name p)
+          (Universe.class_ids u0 (Pid.of_int p))
+          (Universe.class_ids u1 (Pid.of_int p))
+      done)
+    (registry ())
+
+(* -- sym: orbit coverage and consistency ---------------------------------- *)
+
+let test_sym_orbit_coverage () =
+  List.iter
+    (fun (inst, g) ->
+      let name = Protocol.instance_name inst in
+      let depth = cross_depth inst in
+      let u0 = enum inst ~depth in
+      let u1 = enum ~reduce:(Reduction.full g) inst ~depth in
+      checkb
+        (name ^ ": reduced no larger")
+        true
+        (Universe.size u1 <= Universe.size u0);
+      (* every unreduced class resolves to a representative, reps to
+         themselves, and the representative map is exactly orbit-key
+         equality *)
+      let hit = Array.make (Universe.size u1) false in
+      let rep = Array.make (Universe.size u0) (-1) in
+      Universe.iter
+        (fun i z ->
+          match Universe.find u1 z with
+          | None -> Alcotest.failf "%s: class %d has no representative" name i
+          | Some j ->
+              hit.(j) <- true;
+              rep.(i) <- j)
+        u0;
+      checkb (name ^ ": all representatives hit") true (Array.for_all Fun.id hit);
+      Universe.iter
+        (fun j z ->
+          check
+            Alcotest.(option int)
+            (Printf.sprintf "%s: rep %d resolves to itself" name j)
+            (Some j) (Universe.find u1 z))
+        u1;
+      let keys = Array.init (Universe.size u0) (fun i ->
+          Symmetry.orbit_key g (Universe.comp u0 i))
+      in
+      Universe.iter
+        (fun i _ ->
+          Universe.iter
+            (fun i' _ ->
+              if i < i' then
+                checkb
+                  (Printf.sprintf "%s: orbit key iff same rep (%d,%d)" name i i')
+                  (Symmetry.equal_key keys.(i) keys.(i'))
+                  (rep.(i) = rep.(i')))
+            u0)
+        u0)
+    (symmetric_instances ())
+
+(* -- sym: operator agreement at representatives --------------------------- *)
+
+(* verdicts on the reduced universe are reported at representatives;
+   exactness means they equal the unreduced verdict at the same class *)
+let agree_at_reps name u0 u1 ~what (ext0 : Bitset.t) (ext1 : Bitset.t) =
+  Universe.iter
+    (fun j z ->
+      let i =
+        match Universe.find u0 z with
+        | Some i -> i
+        | None -> Alcotest.failf "%s: rep %d not in full universe" name j
+      in
+      checkb
+        (Printf.sprintf "%s: %s at rep %d" name what j)
+        (Bitset.mem ext0 i) (Bitset.mem ext1 j))
+    u1
+
+let test_sym_knowledge_agreement () =
+  List.iter
+    (fun (inst, g) ->
+      let name = Protocol.instance_name inst in
+      let depth = cross_depth inst in
+      let u0 = enum inst ~depth in
+      let u1 = enum ~reduce:(Reduction.full g) inst ~depth in
+      let n = Spec.n (Protocol.spec_of inst) in
+      List.iter
+        (fun (aname, b) ->
+          agree_at_reps name u0 u1
+            ~what:("extent " ^ aname)
+            (Prop.extent u0 b) (Prop.extent u1 b);
+          for p = 0 to n - 1 do
+            let ps = Pset.singleton (Pid.of_int p) in
+            agree_at_reps name u0 u1
+              ~what:(Printf.sprintf "p%d knows %s" p aname)
+              (Knowledge.knows_prop_ext u0 ps b)
+              (Knowledge.knows_prop_ext u1 ps b)
+          done)
+        (Protocol.atoms_of inst))
+    (symmetric_instances ())
+
+let test_sym_ck_and_temporal_agreement () =
+  List.iter
+    (fun (inst, g) ->
+      let name = Protocol.instance_name inst in
+      let depth = cross_depth inst in
+      let u0 = enum inst ~depth in
+      let u1 = enum ~reduce:(Reduction.full g) inst ~depth in
+      List.iter
+        (fun (aname, b) ->
+          agree_at_reps name u0 u1
+            ~what:("CK " ^ aname)
+            (Prop.extent u0 (Common_knowledge.common u0 b))
+            (Prop.extent u1 (Common_knowledge.common u1 b));
+          agree_at_reps name u0 u1
+            ~what:("E^2 " ^ aname)
+            (Prop.extent u0 (Common_knowledge.level u0 2 b))
+            (Prop.extent u1 (Common_knowledge.level u1 2 b));
+          List.iter
+            (fun (fname, f) ->
+              agree_at_reps name u0 u1
+                ~what:(Printf.sprintf "%s %s" fname aname)
+                (Temporal.check u0 f) (Temporal.check u1 f))
+            Temporal.
+              [
+                ("AF", af (atom b));
+                ("EG", eg (atom b));
+                ("EX", ex (atom b));
+                ("AG¬", ag (not_ (atom b)));
+              ])
+        (Protocol.atoms_of inst))
+    (symmetric_instances ())
+
+(* -- find_orbit on seeded random walks ------------------------------------ *)
+
+let walk rng spec depth =
+  let rec go z k =
+    if k >= depth then z
+    else
+      match Spec.enabled spec z with
+      | [] -> z
+      | events ->
+          let e = List.nth events (Random.State.int rng (List.length events)) in
+          go (Trace.snoc z e) (k + 1)
+  in
+  go Trace.empty 0
+
+let test_find_orbit_random_walks () =
+  List.iter
+    (fun (inst, g) ->
+      let name = Protocol.instance_name inst in
+      let spec = Protocol.spec_of inst in
+      let depth = cross_depth inst in
+      let u1 = enum ~reduce:(Reduction.full g) inst ~depth in
+      let rng = case_rng 1 in
+      for c = 1 to 50 do
+        let z = walk rng spec depth in
+        match Universe.find_orbit u1 z with
+        | None ->
+            Alcotest.failf "%s: walk %d escaped the reduced universe" name c
+        | Some (i, rho) ->
+            (* z is interleaving-equivalent to rho · comp i *)
+            checkb
+              (Printf.sprintf "%s: find_orbit witness %d" name c)
+              true
+              (Trace.equal (Universe.canon u1 z)
+                 (Universe.canon u1
+                    (Symmetry.permute_trace rho (Universe.comp u1 i))))
+      done)
+    (symmetric_instances ())
+
+(* -- declared generators are automorphisms -------------------------------- *)
+
+let test_declared_generators_are_automorphisms () =
+  List.iter
+    (fun (inst, _) ->
+      let name = Protocol.instance_name inst in
+      let spec = Protocol.spec_of inst in
+      List.iter
+        (fun pi ->
+          checkb
+            (Printf.sprintf "%s: generator %s" name (Symmetry.to_string pi))
+            true
+            (Symmetry.is_automorphism spec pi))
+        (Protocol.generators_of inst))
+    (symmetric_instances ())
+
+let test_non_automorphisms_rejected () =
+  (* the quorum collector is distinguished: swapping it with a member
+     is not an automorphism *)
+  checkb "quorum: collector swap rejected" false
+    (Symmetry.is_automorphism
+       (Symmetric.quorum_spec ~n:3 ~q:1)
+       (Symmetry.transposition 3 0 1));
+  (* the star hub likewise cannot be rotated into a member *)
+  checkb "star-flood: rotation rejected" false
+    (Symmetry.is_automorphism (Symmetric.star_flood_spec ~n:4)
+       (Symmetry.rotation 4));
+  (* Protocol.star_spec contacts members in pid order — even the
+     member swap fails, which is why star-flood exists *)
+  checkb "ordered star: member swap rejected" false
+    (Symmetry.is_automorphism
+       (Protocol.star_spec ~n:4 ~request:"req" ~reply:"rep" ~finish:"fin" ())
+       (Symmetry.transposition 4 1 2))
+
+(* -- lint rules ------------------------------------------------------------ *)
+
+let find_rule report rule =
+  List.filter (fun f -> f.Hpl_analysis.Lint.rule = rule)
+    report.Hpl_analysis.Lint.findings
+
+let test_lint_undeclared_symmetry () =
+  let proto =
+    Protocol.make ~name:"lint-probe-undeclared"
+      ~doc:"ring spec without a symmetry declaration"
+      ~params:[ Protocol.param ~lo:2 "n" 3 "ring size" ]
+      (fun vs -> Symmetric.ring_spec ~n:(Protocol.get vs "n") ~rounds:1)
+  in
+  let report =
+    Hpl_analysis.Lint.lint_instance (Protocol.default_instance proto)
+  in
+  match find_rule report "undeclared-symmetry" with
+  | [ f ] -> checkb "warning" true (f.Hpl_analysis.Lint.severity = Warning)
+  | fs -> Alcotest.failf "expected one undeclared-symmetry finding, got %d"
+            (List.length fs)
+
+let test_lint_invalid_symmetry () =
+  let proto =
+    Protocol.make ~name:"lint-probe-invalid"
+      ~doc:"quorum spec with a bogus generator"
+      ~params:[ Protocol.param ~lo:3 "n" 3 "processes" ]
+      ~symmetry:(fun vs -> [ Symmetry.transposition (Protocol.get vs "n") 0 1 ])
+      (fun vs -> Symmetric.quorum_spec ~n:(Protocol.get vs "n") ~q:1)
+  in
+  let report =
+    Hpl_analysis.Lint.lint_instance (Protocol.default_instance proto)
+  in
+  match find_rule report "invalid-symmetry" with
+  | [ f ] -> checkb "error" true (f.Hpl_analysis.Lint.severity = Error)
+  | fs -> Alcotest.failf "expected one invalid-symmetry finding, got %d"
+            (List.length fs)
+
+let test_lint_registry_declares () =
+  (* every registry protocol either declares valid generators or has no
+     obvious symmetry: the registry lints clean of both rules *)
+  List.iter
+    (fun proto ->
+      let inst = Protocol.default_instance proto in
+      let report = Hpl_analysis.Lint.lint_instance ~depth:3 inst in
+      List.iter
+        (fun rule ->
+          checki
+            (Printf.sprintf "%s: no %s" (Protocol.instance_name inst) rule)
+            0
+            (List.length (find_rule report rule)))
+        [ "undeclared-symmetry"; "invalid-symmetry" ])
+    (registry ())
+
+(* -- depth-wall spot check ------------------------------------------------- *)
+
+let test_reduction_reduces () =
+  let counts inst g depth =
+    let u0 = enum inst ~depth in
+    let u1 = enum ~reduce:(Reduction.full g) inst ~depth in
+    (Universe.size u0, Universe.size u1)
+  in
+  List.iter
+    (fun (pname, depth, min_factor) ->
+      match Protocol.Registry.find pname with
+      | None -> Alcotest.failf "%s not registered" pname
+      | Some proto ->
+          let inst = Protocol.default_instance proto in
+          let g = Option.get (Protocol.symmetry_of inst) in
+          let full, reduced = counts inst g depth in
+          checkb
+            (Printf.sprintf "%s: %d -> %d states at depth %d (>= %dx)" pname
+               full reduced depth min_factor)
+            true
+            (reduced * min_factor <= full))
+    [ ("ring", 6, 4); ("star-flood", 6, 10); ("mesh", 4, 10) ]
+
+let suite =
+  [
+    Alcotest.test_case "por is bit-identical, registry-wide" `Quick
+      test_por_bit_identity;
+    Alcotest.test_case "sym orbit coverage and key consistency" `Quick
+      test_sym_orbit_coverage;
+    Alcotest.test_case "knows/extent agree at representatives" `Quick
+      test_sym_knowledge_agreement;
+    Alcotest.test_case "CK and temporal agree at representatives" `Quick
+      test_sym_ck_and_temporal_agreement;
+    Alcotest.test_case "find_orbit resolves seeded random walks" `Quick
+      test_find_orbit_random_walks;
+    Alcotest.test_case "declared generators are automorphisms" `Quick
+      test_declared_generators_are_automorphisms;
+    Alcotest.test_case "non-automorphisms are rejected" `Quick
+      test_non_automorphisms_rejected;
+    Alcotest.test_case "lint: undeclared-symmetry fires" `Quick
+      test_lint_undeclared_symmetry;
+    Alcotest.test_case "lint: invalid-symmetry fires" `Quick
+      test_lint_invalid_symmetry;
+    Alcotest.test_case "lint: registry symmetry-clean" `Quick
+      test_lint_registry_declares;
+    Alcotest.test_case "reduction shrinks ring/star/mesh universes" `Quick
+      test_reduction_reduces;
+  ]
