@@ -371,6 +371,63 @@ let reduce_rows () =
         (modes inst))
     [ "ring"; "star-flood"; "quorum" ]
 
+(* -- DSL rows (lib/dsl) --------------------------------------------------
+
+   Two questions the trajectory should answer: what does loading a spec
+   from text cost (lex + parse + elaborate + validate), and do the
+   closures the elaborator compiles enumerate as fast as the hand-written
+   builtin they mirror. The parity rows time the same universe — a
+   parity assert guards that — so their ratio is pure interpreter
+   overhead. *)
+let dsl_rows () =
+  fresh_heap ();
+  Hpl_protocols.Builtins.init ();
+  let path =
+    match
+      List.find_opt Sys.file_exists
+        [
+          "corpus/specs/ring.hpl";
+          "../corpus/specs/ring.hpl";
+          "../../corpus/specs/ring.hpl";
+          "../../../corpus/specs/ring.hpl";
+        ]
+    with
+    | Some p -> p
+    | None -> failwith "bench: corpus/specs/ring.hpl not found"
+  in
+  let src = In_channel.with_open_bin path In_channel.input_all in
+  let load () =
+    match Hpl_dsl.Elaborate.load_string ~file:path src with
+    | Ok l -> l
+    | Error d -> failwith (Hpl_dsl.Diag.to_string d)
+  in
+  let loaded = load () in
+  let inst_spec =
+    Hpl_protocols.Protocol.default_instance loaded.Hpl_dsl.Elaborate.proto
+  in
+  let inst_builtin =
+    match Hpl_protocols.Protocol.Registry.find "ring" with
+    | Some p -> Hpl_protocols.Protocol.default_instance p
+    | None -> failwith "bench: ring not registered"
+  in
+  let depth = Hpl_protocols.Protocol.depth_of inst_builtin in
+  let enum inst () =
+    Universe.size
+      (Universe.enumerate (Hpl_protocols.Protocol.spec_of inst) ~depth)
+  in
+  assert (enum inst_spec () = enum inst_builtin ());
+  [
+    ( "hpl/dsl/parse+elaborate/ring",
+      Some (min_time_ns ~runs:25 (fun () -> load ())),
+      None );
+    ( Printf.sprintf "hpl/dsl/enumerate-parity/spec/depth=%d" depth,
+      Some (min_time_ns ~runs:10 (enum inst_spec)),
+      None );
+    ( Printf.sprintf "hpl/dsl/enumerate-parity/compiled/depth=%d" depth,
+      Some (min_time_ns ~runs:10 (enum inst_builtin)),
+      None );
+  ]
+
 let phase_rows () =
   fresh_heap ();
   Hpl_obs.reset ();
@@ -438,7 +495,7 @@ let run_benchmarks () =
   (* wall-clock rows first: after the bechamel phase the process carries
      enough live and fragmented heap that allocation-heavy enumerations
      pay a multi-x GC tax, which would be recorded as enumeration time *)
-  let early_rows = minwall_rows () @ reduce_rows () in
+  let early_rows = minwall_rows () @ reduce_rows () @ dsl_rows () in
   let raw = Benchmark.all cfg instances (all_tests ()) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   (* one run of the registry-wide lint takes ~0.5s, so it needs a wider

@@ -5,10 +5,16 @@
      enumerate    enumerate a registered protocol's computations
      diagram      emit the isomorphism diagram of a universe as DOT
      knows        evaluate knowledge along the canonical run of a system
+     fuzz         push generated .hpl specs through the whole pipeline
      termination  run the §5 termination-detector comparison
      heartbeat    run the §5 heartbeat failure detector
      gossip       run the rumor-spreading simulation
-     snapshot     take a Chandy–Lamport snapshot of a running system *)
+     snapshot     take a Chandy–Lamport snapshot of a running system
+
+   Universe-driven subcommands take the protocol either from the
+   registry (-s name[:v1...]) or from a .hpl spec file
+   (-f path[:v1...]); both produce the same Protocol.instance, so
+   --depth/--faults/--reduce/--stats behave identically. *)
 open Cmdliner
 open Hpl_core
 open Hpl_faults
@@ -41,12 +47,71 @@ let () = Builtins.init ()
 let proto_arg =
   Arg.(
     value
-    & opt string "ping-pong"
+    & opt (some string) None
     & info [ "s"; "system" ] ~docv:"PROTOCOL"
         ~doc:
           "Registered protocol, as $(b,name[:v1[:v2...]]) with positional \
            integer parameters, e.g. $(b,token-bus:7). Run $(b,hpl list) for \
-           the full registry.")
+           the full registry. Default: $(b,ping-pong).")
+
+let file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "f"; "file" ] ~docv:"FILE"
+        ~doc:
+          "Load the protocol from a $(b,.hpl) spec file instead of the \
+           registry, as $(b,path[:v1[:v2...]]) with positional integer \
+           parameters, e.g. $(b,corpus/specs/ring.hpl:4). Mutually \
+           exclusive with $(b,-s).")
+
+(* Load FILE[:v1[:v2...]]: lex + parse + elaborate the spec, instantiate
+   at the given (or default) parameter values, then re-run the
+   value-dependent checks at those values. Every failure is a one-line
+   exit-2 diagnostic, same as the registry path. *)
+let load_hpl arg =
+  let path, vals =
+    match String.split_on_char ':' arg with
+    | [] -> die_usage "-f: empty argument"
+    | path :: rest ->
+        ( path,
+          List.map
+            (fun s ->
+              match int_of_string_opt s with
+              | Some v -> v
+              | None ->
+                  die_usage "-f %s: parameters must be integers (got %S)" path
+                    s)
+            rest )
+  in
+  let loaded =
+    match Hpl_dsl.Elaborate.load_file path with
+    | Ok l -> l
+    | Error d -> die_usage "%s" (Hpl_dsl.Diag.to_string d)
+  in
+  let inst =
+    match Protocol.instantiate loaded.Hpl_dsl.Elaborate.proto vals with
+    | Ok i -> i
+    | Error e -> die_usage "%s: %s" path e
+  in
+  (match Hpl_dsl.Elaborate.validate loaded (Protocol.values inst) with
+  | Ok () -> ()
+  | Error d -> die_usage "%s" (Hpl_dsl.Diag.to_string d));
+  inst
+
+(* [-s] and [-f] are two sources for the same thing: a loaded spec flows
+   through enumeration, knowledge, checking, linting and reduction as an
+   ordinary instance. *)
+let resolve_proto proto_str file_str =
+  match (proto_str, file_str) with
+  | Some _, Some _ ->
+      die_usage "use either -s (registry) or -f (spec file), not both"
+  | None, Some f -> load_hpl f
+  | _, None -> (
+      let s = Option.value proto_str ~default:"ping-pong" in
+      match Protocol.Registry.parse s with
+      | Ok i -> i
+      | Error e -> die_usage "%s" e)
 
 let depth_arg =
   Arg.(
@@ -94,12 +159,9 @@ type setup = {
       (** faulty computation -> fault-free observation *)
 }
 
-let resolve proto_str depth_str faults_str max_states_str max_seconds_str =
-  let inst =
-    match Protocol.Registry.parse proto_str with
-    | Ok i -> i
-    | Error e -> die_usage "%s" e
-  in
+let resolve proto_str file_str depth_str faults_str max_states_str
+    max_seconds_str =
+  let inst = resolve_proto proto_str file_str in
   let scenario =
     match faults_str with
     | None -> None
@@ -305,10 +367,10 @@ let resolve_reduce st ~faults ~mode reduce_str =
 
 (* -- enumerate ---------------------------------------------------------- *)
 
-let enumerate proto depth faults max_states max_seconds mode domains reduce
-    verbose obs =
+let enumerate proto file depth faults max_states max_seconds mode domains
+    reduce verbose obs =
   obs_setup obs;
-  let st = resolve proto depth faults max_states max_seconds in
+  let st = resolve proto file depth faults max_states max_seconds in
   let reduce = resolve_reduce st ~faults ~mode reduce in
   let u =
     Universe.enumerate ~mode ~domains ~budget:st.budget ~reduce st.spec
@@ -327,14 +389,14 @@ let enumerate_cmd =
   Cmd.v
     (Cmd.info "enumerate" ~doc:"Enumerate a protocol's bounded computation universe")
     Term.(
-      const enumerate $ proto_arg $ depth_arg $ faults_arg $ max_states_arg
-      $ max_seconds_arg $ mode_arg $ domains_arg $ reduce_arg $ verbose
-      $ obs_term)
+      const enumerate $ proto_arg $ file_arg $ depth_arg $ faults_arg
+      $ max_states_arg $ max_seconds_arg $ mode_arg $ domains_arg $ reduce_arg
+      $ verbose $ obs_term)
 
 (* -- diagram ------------------------------------------------------------- *)
 
-let diagram proto depth faults max_states max_seconds mode reduce limit =
-  let st = resolve proto depth faults max_states max_seconds in
+let diagram proto file depth faults max_states max_seconds mode reduce limit =
+  let st = resolve proto file depth faults max_states max_seconds in
   let reduce = resolve_reduce st ~faults ~mode reduce in
   let u =
     Universe.enumerate ~mode ~budget:st.budget ~reduce st.spec ~depth:st.depth
@@ -361,14 +423,14 @@ let diagram_cmd =
   Cmd.v
     (Cmd.info "diagram" ~doc:"Emit the isomorphism diagram as Graphviz DOT")
     Term.(
-      const diagram $ proto_arg $ depth_arg $ faults_arg $ max_states_arg
-      $ max_seconds_arg $ mode_arg $ reduce_arg $ limit)
+      const diagram $ proto_arg $ file_arg $ depth_arg $ faults_arg
+      $ max_states_arg $ max_seconds_arg $ mode_arg $ reduce_arg $ limit)
 
 (* -- knows ---------------------------------------------------------------- *)
 
-let knows proto depth faults max_states max_seconds reduce obs =
+let knows proto file depth faults max_states max_seconds reduce obs =
   obs_setup obs;
-  let st = resolve proto depth faults max_states max_seconds in
+  let st = resolve proto file depth faults max_states max_seconds in
   let reduce = resolve_reduce st ~faults ~mode:`Canonical reduce in
   let u = Universe.enumerate ~budget:st.budget ~reduce st.spec ~depth:st.depth in
   Format.printf "%a@.@." Universe.pp_stats u;
@@ -403,8 +465,8 @@ let knows_cmd =
   Cmd.v
     (Cmd.info "knows" ~doc:"Summarize who knows what across a universe")
     Term.(
-      const knows $ proto_arg $ depth_arg $ faults_arg $ max_states_arg
-      $ max_seconds_arg $ reduce_arg $ obs_term)
+      const knows $ proto_arg $ file_arg $ depth_arg $ faults_arg
+      $ max_states_arg $ max_seconds_arg $ reduce_arg $ obs_term)
 
 (* -- termination ------------------------------------------------------------ *)
 
@@ -730,13 +792,13 @@ let commit_cmd =
 
 (* -- check (epistemic-temporal model checking) ------------------------------------ *)
 
-let check_formula proto depth faults max_states max_seconds mode domains
+let check_formula proto file depth faults max_states max_seconds mode domains
     reduce formula_text obs =
   obs_setup obs;
   match Formula.parse formula_text with
   | Error e -> die_usage "parse error: %s" e
   | Ok f -> (
-      let st = resolve proto depth faults max_states max_seconds in
+      let st = resolve proto file depth faults max_states max_seconds in
       let reduce = resolve_reduce st ~faults ~mode reduce in
       let u =
         Universe.enumerate ~mode ~domains ~budget:st.budget ~reduce st.spec
@@ -777,14 +839,14 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:"Model-check an epistemic-temporal formula over a system's universe")
     Term.(
-      const check_formula $ proto_arg $ depth_arg $ faults_arg $ max_states_arg
-      $ max_seconds_arg $ mode_arg $ domains_arg $ reduce_arg $ formula
-      $ obs_term)
+      const check_formula $ proto_arg $ file_arg $ depth_arg $ faults_arg
+      $ max_states_arg $ max_seconds_arg $ mode_arg $ domains_arg $ reduce_arg
+      $ formula $ obs_term)
 
 (* -- lint (static analysis, no enumeration) -------------------------------- *)
 
-let lint proto all faults_str formula_texts depth_str fuel_str max_states_str
-    obs =
+let lint proto file all faults_str formula_texts depth_str fuel_str
+    max_states_str obs =
   obs_setup obs;
   let scenario =
     match faults_str with
@@ -828,9 +890,9 @@ let lint proto all faults_str formula_texts depth_str fuel_str max_states_str
   in
   let reports =
     if all then begin
-      if formula_texts <> [] || faults_str <> None then
+      if formula_texts <> [] || faults_str <> None || file <> None then
         die_usage "--all lints the whole registry; it cannot be combined with \
-                   --formula or --faults";
+                   --formula, --faults, or -f";
       List.map
         (fun t ->
           Lint.lint_instance ?fuel ?max_states ?depth
@@ -838,11 +900,7 @@ let lint proto all faults_str formula_texts depth_str fuel_str max_states_str
         (Protocol.Registry.list ())
     end
     else
-      let inst =
-        match Protocol.Registry.parse proto with
-        | Ok i -> i
-        | Error e -> die_usage "%s" e
-      in
+      let inst = resolve_proto proto file in
       [ Lint.lint_instance ?fuel ?max_states ?depth ~formulas ?faults:scenario
           inst ]
   in
@@ -880,8 +938,8 @@ let lint_cmd =
           knowledge-chain feasibility (Theorems 4-6) — without enumerating \
           the universe")
     Term.(
-      const lint $ proto_arg $ all $ faults_arg $ formula $ depth_arg $ fuel
-      $ max_states_arg $ obs_term)
+      const lint $ proto_arg $ file_arg $ all $ faults_arg $ formula
+      $ depth_arg $ fuel $ max_states_arg $ obs_term)
 
 (* -- snapshot ------------------------------------------------------------------- *)
 
@@ -907,55 +965,166 @@ let snapshot_cmd =
 
 (* -- list ----------------------------------------------------------------- *)
 
-let list_protocols verbose =
-  List.iter
-    (fun t ->
-      Printf.printf "%-21s %s\n" (Protocol.name t) (Protocol.doc t);
-      if verbose then begin
-        List.iter
-          (fun p ->
-            Printf.printf "    param %-10s default %d, %s%s  %s\n" p.Protocol.key
-              p.Protocol.default
-              (Printf.sprintf ">= %d" p.Protocol.lo)
-              (match p.Protocol.hi with
-              | Some hi -> Printf.sprintf ", <= %d" hi
-              | None -> "")
-              p.Protocol.pdoc)
-          (Protocol.params t);
-        let inst = Protocol.default_instance t in
-        (match Protocol.atoms_of inst with
-        | [] -> ()
-        | atoms ->
-            Printf.printf "    atoms: %s\n"
-              (String.concat " " (List.map fst atoms)));
-        Printf.printf "    suggested depth: %d\n" (Protocol.suggested_depth t);
-        (match Protocol.generators_of inst with
-        | [] -> ()
-        | gens ->
-            let order =
-              match Protocol.symmetry_of inst with
-              | Some g -> Symmetry.order g
-              | None -> 1
-            in
-            Printf.printf "    symmetry: %s (group order %d)\n"
-              (String.concat " " (List.map Symmetry.to_string gens))
-              order);
-        match Protocol.fault_scenarios t with
-        | [] -> ()
-        | fs ->
-            Printf.printf "    fault scenarios: %s\n" (String.concat " " fs)
-      end)
-    (Protocol.Registry.list ())
+let print_protocol ~verbose ?from t =
+  Printf.printf "%-21s %s%s\n" (Protocol.name t) (Protocol.doc t)
+    (match from with
+    | None -> ""
+    | Some path -> Printf.sprintf "  [file: %s]" path);
+  if verbose then begin
+    List.iter
+      (fun p ->
+        Printf.printf "    param %-10s default %d, %s%s  %s\n" p.Protocol.key
+          p.Protocol.default
+          (Printf.sprintf ">= %d" p.Protocol.lo)
+          (match p.Protocol.hi with
+          | Some hi -> Printf.sprintf ", <= %d" hi
+          | None -> "")
+          p.Protocol.pdoc)
+      (Protocol.params t);
+    let inst = Protocol.default_instance t in
+    (match Protocol.atoms_of inst with
+    | [] -> ()
+    | atoms ->
+        Printf.printf "    atoms: %s\n" (String.concat " " (List.map fst atoms)));
+    Printf.printf "    suggested depth: %d\n" (Protocol.suggested_depth t);
+    (match Protocol.generators_of inst with
+    | [] -> ()
+    | gens ->
+        let order =
+          match Protocol.symmetry_of inst with
+          | Some g -> Symmetry.order g
+          | None -> 1
+        in
+        Printf.printf "    symmetry: %s (group order %d)\n"
+          (String.concat " " (List.map Symmetry.to_string gens))
+          order);
+    (match Protocol.fault_scenarios t with
+    | [] -> ()
+    | fs -> Printf.printf "    fault scenarios: %s\n" (String.concat " " fs));
+    match Protocol.lint_expect t with
+    | [] -> ()
+    | ls -> Printf.printf "    lint expects: %s\n" (String.concat " " ls)
+  end
+
+let list_protocols verbose file =
+  List.iter (fun t -> print_protocol ~verbose t) (Protocol.Registry.list ());
+  match file with
+  | None -> ()
+  | Some f ->
+      (* the loaded spec is appended, marked with its source path, so
+         file specs are never mistaken for builtins *)
+      let inst = load_hpl f in
+      let path = List.hd (String.split_on_char ':' f) in
+      print_protocol ~verbose ~from:path (Protocol.proto inst)
 
 let list_cmd =
   let verbose =
     Arg.(
       value & flag
-      & info [ "v"; "verbose" ] ~doc:"Also print parameters, atoms, and depths.")
+      & info [ "v"; "verbose" ]
+          ~doc:
+            "Also print parameters, atoms, depths, symmetry generators, \
+             fault scenarios, and expected lint findings.")
   in
   Cmd.v
-    (Cmd.info "list" ~doc:"List every registered protocol")
-    Term.(const list_protocols $ verbose)
+    (Cmd.info "list"
+       ~doc:"List every registered protocol (and any -f loaded spec)")
+    Term.(const list_protocols $ verbose $ file_arg)
+
+(* -- fuzz (generated .hpl specs through the whole pipeline) -------------- *)
+
+(* The CI vehicle for the DSL: generate [count] seeded specs, push each
+   through parse + elaborate + lint + enumerate, and spot-check the §3
+   isomorphism laws on the resulting universe. Failures print the
+   offending source — replayable from (seed, index) alone — and the run
+   exits 1. *)
+let fuzz seed count verbose =
+  if count < 1 then die_usage "bad --count %d (want a positive integer)" count;
+  let failed = ref false in
+  let fail index src fmt =
+    Printf.ksprintf
+      (fun m ->
+        failed := true;
+        Printf.eprintf "hpl fuzz: spec %d (seed %d): %s\n%s" index seed m src)
+      fmt
+  in
+  for index = 0 to count - 1 do
+    let src = Hpl_dsl.Fuzz.spec_text ~seed ~index in
+    let name = Printf.sprintf "fuzz-%d-%d" seed index in
+    match Hpl_dsl.Elaborate.load_string ~file:name src with
+    | Error d -> fail index src "load failed: %s" (Hpl_dsl.Diag.to_string d)
+    | Ok loaded -> (
+        let inst = Protocol.default_instance loaded.Hpl_dsl.Elaborate.proto in
+        let report = Lint.lint_instance inst in
+        List.iter
+          (fun f ->
+            if f.Lint.severity = Lint.Error then
+              fail index src "lint error %s on %s: %s" f.Lint.rule f.Lint.target
+                f.Lint.message)
+          report.Lint.findings;
+        let spec = Protocol.spec_of inst in
+        let n = Spec.n spec in
+        let depth = min (Protocol.depth_of inst) 5 in
+        let budget = Universe.budget ~max_states:30_000 () in
+        let u = Universe.enumerate ~budget spec ~depth in
+        match Universe.status u with
+        | Universe.Truncated r ->
+            fail index src "enumeration truncated: %s"
+              (Universe.reason_to_string r)
+        | Universe.Complete ->
+            let st = Random.State.make [| 0x9e37; seed; index |] in
+            let pick_idx () = Random.State.int st (Universe.size u) in
+            let pick_pset () =
+              let ps = ref Pset.empty in
+              for i = 0 to n - 1 do
+                if Random.State.bool st then ps := Pset.add (Pid.of_int i) !ps
+              done;
+              !ps
+            in
+            let law lname ok =
+              if not ok then fail index src "law violated: %s" lname
+            in
+            law "equivalence" (Isomorphism.Laws.equivalence u (pick_pset ()));
+            for _ = 1 to 5 do
+              let p = pick_pset () and q = pick_pset () in
+              let x = pick_idx () and y = pick_idx () in
+              law "idempotence" (Isomorphism.Laws.idempotence u p x y);
+              law "reflexivity" (Isomorphism.Laws.reflexivity u [ p; q ] x);
+              law "inversion" (Isomorphism.Laws.inversion u [ p; q ] x y);
+              law "union-inter" (Isomorphism.Laws.union_inter u p q x y);
+              law "monotonicity"
+                (Isomorphism.Laws.monotonicity u p (Pset.union p q) x y);
+              law "subsumption"
+                (Isomorphism.Laws.subsumption u p (Pset.union p q) x y)
+            done;
+            if verbose then
+              Printf.printf "%-16s n=%d depth=%d universe=%d lint=%s\n" name n
+                depth (Universe.size u)
+                (if Lint.clean report then "clean" else "findings"))
+  done;
+  if !failed then exit exit_violated;
+  Printf.printf "fuzz: %d spec(s) ok (seed %d)\n" count seed
+
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.")
+  in
+  let count =
+    Arg.(
+      value & opt int 50
+      & info [ "count" ] ~docv:"N" ~doc:"Number of specs to generate.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ] ~doc:"Print one line per generated spec.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Generate seeded random .hpl specs and push each through the whole \
+          pipeline: parse, elaborate, lint, enumerate, isomorphism laws")
+    Term.(const fuzz $ seed $ count $ verbose)
 
 let () =
   let doc = "explore the systems of 'How Processes Learn' (Chandy & Misra 1985)" in
@@ -977,6 +1146,7 @@ let () =
             election_cmd;
             check_cmd;
             lint_cmd;
+            fuzz_cmd;
             knew_cmd;
             paxos_cmd;
             commit_cmd;

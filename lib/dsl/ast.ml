@@ -1,0 +1,113 @@
+(* Abstract syntax of the .hpl protocol language (DESIGN.md §11).
+
+   Every node carries the source position of its first token, so both
+   the parser and the elaborator report one-line file:line:col
+   diagnostics. The tree is untyped; [Elaborate.check] performs the
+   int/bool distinction and the static/history context separation. *)
+
+type pos = { line : int; col : int }
+
+let pos0 = { line = 1; col = 1 }
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type expr =
+  | Int of int * pos
+  | Boolean of bool * pos
+  | Var of string * pos  (** [me], [n], [len], [sends], [recvs], or a param *)
+  | Count of string * string * pos
+      (** [sends "m"] / [recvs "m"] — payload-filtered history counts *)
+  | Did of string * pos  (** [did "tag"] — internal event in the history *)
+  | Minmax of [ `Min | `Max ] * expr * expr * pos
+  | Unop of [ `Neg | `Not ] * expr * pos
+  | Binop of binop * expr * expr * pos
+
+type intent =
+  | Send of string * expr * pos  (** payload, destination *)
+  | Recv of expr option * pos  (** optional sender restriction *)
+  | Act of string * pos  (** internal event, [do "tag"] *)
+
+type rule = { guard : expr; intents : intent list; rpos : pos }
+
+type selector =
+  | Sel_pid of expr * pos  (** [process <expr>] — a specific process *)
+  | Sel_rest of pos  (** [process *] — every process not matched above *)
+
+type symgen =
+  | Rotation of pos  (** [i ↦ i+1 mod n] *)
+  | Swap of expr * expr * pos
+  | Cycle of expr * expr * pos  (** cyclic permutation of an inclusive range *)
+
+type atom_scope =
+  | At of expr  (** evaluated over one process's projection *)
+  | Forall  (** must hold at every process's projection *)
+
+type param_decl = {
+  key : string;
+  default : int;
+  lo : int option;
+  hi : int option;
+  pdoc : string;
+  ppos : pos;
+}
+
+type atom_decl = {
+  aname : string;
+  scope : atom_scope;
+  body : expr;
+  apos : pos;
+}
+
+type item =
+  | Doc of string * pos
+  | Param of param_decl
+  | Processes of expr * pos
+  | Depth of int * pos
+  | Process of selector * rule list * pos
+  | Atom of atom_decl
+  | Symmetry of symgen * pos
+  | Faults of string list * pos
+  | Lint_expect of string list * pos
+
+type spec = { sname : string; items : item list; spos : pos }
+
+let expr_pos = function
+  | Int (_, p)
+  | Boolean (_, p)
+  | Var (_, p)
+  | Count (_, _, p)
+  | Did (_, p)
+  | Minmax (_, _, _, p)
+  | Unop (_, _, p)
+  | Binop (_, _, _, p) ->
+      p
+
+let intent_pos = function Send (_, _, p) | Recv (_, p) | Act (_, p) -> p
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"

@@ -1,0 +1,18 @@
+(* One-line diagnostics. The CLI contract (test/cli_errors.sh) is that
+   every bad-input path dies with a single stderr line and exit 2;
+   [to_string] is that line's body: "file:line:col: message". I/O
+   failures that precede any token carry line 0 and render without a
+   position. *)
+
+type t = { file : string; line : int; col : int; msg : string }
+
+exception Error of t
+
+let make ~file ~pos msg = { file; line = pos.Ast.line; col = pos.Ast.col; msg }
+let io ~file msg = { file; line = 0; col = 0; msg }
+
+let to_string d =
+  if d.line = 0 then Printf.sprintf "%s: %s" d.file d.msg
+  else Printf.sprintf "%s:%d:%d: %s" d.file d.line d.col d.msg
+
+let error ~file ~pos fmt = Printf.ksprintf (make ~file ~pos) fmt

@@ -1,0 +1,24 @@
+(** One-line [file:line:col] diagnostics for the DSL pipeline.
+
+    Lexing, parsing and elaboration all fail with a {!t}; the CLI
+    renders {!to_string} on stderr and exits 2 — the same exit-code
+    discipline as every other bad-argument path
+    (test/cli_errors.sh). *)
+
+type t = { file : string; line : int; col : int; msg : string }
+
+exception Error of t
+(** Raised by elaborated closures on value-dependent violations that
+    were not pre-validated with {!Elaborate.validate} — a programming
+    error in the caller, not a user error. *)
+
+val make : file:string -> pos:Ast.pos -> string -> t
+
+val io : file:string -> string -> t
+(** A failure with no source position (unreadable file); renders as
+    ["file: message"]. *)
+
+val to_string : t -> string
+(** ["file:line:col: message"], or ["file: message"] for {!io}. *)
+
+val error : file:string -> pos:Ast.pos -> ('a, unit, string, t) format4 -> 'a

@@ -1,0 +1,14 @@
+(** Seeded generator of random well-formed [.hpl] sources.
+
+    Each generated spec is guaranteed to load (parse + elaborate +
+    validate at defaults), to enumerate to a small universe at its
+    declared depth (every send rule is bounded by a [sends < c]
+    conjunct), and to declare only symmetry generators that are true
+    automorphisms of its rules — so the fuzz pipeline ([hpl fuzz], the
+    CI [dsl] job, and the property tests) can assert the §3
+    isomorphism laws and lint soundness on every output without
+    filtering. *)
+
+val spec_text : seed:int -> index:int -> string
+(** Deterministic: the same [(seed, index)] pair always yields the same
+    source text, so a CI failure replays from two integers. *)

@@ -1,0 +1,216 @@
+(* Hand-written lexer: the token set is tiny and a handwritten scanner
+   gives exact line/col tracking without a generator dependency.
+
+   Identifiers are [A-Za-z_][A-Za-z0-9_]*; hyphenated protocol names
+   ("ping-pong") are written as string literals so '-' stays the minus
+   operator inside expressions. Comments run from '#' to end of line. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | STAR
+  | EQUALS  (* =  *)
+  | EQEQ  (* == *)
+  | NE  (* != *)
+  | LE
+  | GE
+  | LT
+  | GT
+  | ANDAND
+  | OROR
+  | BANG
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | ARROW  (* => *)
+  | DOTDOT
+  | EOF
+
+type t = { tok : token; pos : Ast.pos }
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "'%s'" s
+  | INT k -> string_of_int k
+  | STRING s -> Printf.sprintf "%S" s
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | COMMA -> "','"
+  | STAR -> "'*'"
+  | EQUALS -> "'='"
+  | EQEQ -> "'=='"
+  | NE -> "'!='"
+  | LE -> "'<='"
+  | GE -> "'>='"
+  | LT -> "'<'"
+  | GT -> "'>'"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | BANG -> "'!'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | ARROW -> "'=>'"
+  | DOTDOT -> "'..'"
+  | EOF -> "end of file"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize ~file src : (t list, Diag.t) result =
+  let n = String.length src in
+  let line = ref 1 and bol = ref 0 in
+  (* i = absolute offset; column is 1-based from the last newline *)
+  let pos_at i = { Ast.line = !line; col = i - !bol + 1 } in
+  let toks = ref [] in
+  let emit tok pos = toks := { tok; pos } :: !toks in
+  let err i msg = Error (Diag.make ~file ~pos:(pos_at i) msg) in
+  let rec go i =
+    if i >= n then begin
+      emit EOF (pos_at i);
+      Ok (List.rev !toks)
+    end
+    else
+      let c = src.[i] in
+      match c with
+      | '\n' ->
+          incr line;
+          bol := i + 1;
+          go (i + 1)
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '#' ->
+          let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+          go (skip (i + 1))
+      | '{' ->
+          emit LBRACE (pos_at i);
+          go (i + 1)
+      | '}' ->
+          emit RBRACE (pos_at i);
+          go (i + 1)
+      | '(' ->
+          emit LPAREN (pos_at i);
+          go (i + 1)
+      | ')' ->
+          emit RPAREN (pos_at i);
+          go (i + 1)
+      | ',' ->
+          emit COMMA (pos_at i);
+          go (i + 1)
+      | '*' ->
+          emit STAR (pos_at i);
+          go (i + 1)
+      | '+' ->
+          emit PLUS (pos_at i);
+          go (i + 1)
+      | '-' ->
+          emit MINUS (pos_at i);
+          go (i + 1)
+      | '/' ->
+          emit SLASH (pos_at i);
+          go (i + 1)
+      | '%' ->
+          emit PERCENT (pos_at i);
+          go (i + 1)
+      | '=' ->
+          if i + 1 < n && src.[i + 1] = '=' then begin
+            emit EQEQ (pos_at i);
+            go (i + 2)
+          end
+          else if i + 1 < n && src.[i + 1] = '>' then begin
+            emit ARROW (pos_at i);
+            go (i + 2)
+          end
+          else begin
+            emit EQUALS (pos_at i);
+            go (i + 1)
+          end
+      | '!' ->
+          if i + 1 < n && src.[i + 1] = '=' then begin
+            emit NE (pos_at i);
+            go (i + 2)
+          end
+          else begin
+            emit BANG (pos_at i);
+            go (i + 1)
+          end
+      | '<' ->
+          if i + 1 < n && src.[i + 1] = '=' then begin
+            emit LE (pos_at i);
+            go (i + 2)
+          end
+          else begin
+            emit LT (pos_at i);
+            go (i + 1)
+          end
+      | '>' ->
+          if i + 1 < n && src.[i + 1] = '=' then begin
+            emit GE (pos_at i);
+            go (i + 2)
+          end
+          else begin
+            emit GT (pos_at i);
+            go (i + 1)
+          end
+      | '&' ->
+          if i + 1 < n && src.[i + 1] = '&' then begin
+            emit ANDAND (pos_at i);
+            go (i + 2)
+          end
+          else err i "expected '&&'"
+      | '|' ->
+          if i + 1 < n && src.[i + 1] = '|' then begin
+            emit OROR (pos_at i);
+            go (i + 2)
+          end
+          else err i "expected '||'"
+      | '.' ->
+          if i + 1 < n && src.[i + 1] = '.' then begin
+            emit DOTDOT (pos_at i);
+            go (i + 2)
+          end
+          else err i "expected '..'"
+      | '"' ->
+          (* no escapes: payloads, tags and scenario strings never need
+             them, and keeping literals verbatim means the file shows
+             exactly what goes over the wire *)
+          let rec scan j =
+            if j >= n then err i "unterminated string literal"
+            else if src.[j] = '\n' then err i "unterminated string literal"
+            else if src.[j] = '"' then begin
+              emit (STRING (String.sub src (i + 1) (j - i - 1))) (pos_at i);
+              go (j + 1)
+            end
+            else scan (j + 1)
+          in
+          scan (i + 1)
+      | c when is_digit c ->
+          let rec scan j = if j < n && is_digit src.[j] then scan (j + 1) else j in
+          let j = scan i in
+          let lit = String.sub src i (j - i) in
+          (match int_of_string_opt lit with
+          | Some k ->
+              emit (INT k) (pos_at i);
+              go j
+          | None -> err i (Printf.sprintf "integer literal %s out of range" lit))
+      | c when is_ident_start c ->
+          let rec scan j =
+            if j < n && is_ident_char src.[j] then scan (j + 1) else j
+          in
+          let j = scan i in
+          emit (IDENT (String.sub src i (j - i))) (pos_at i);
+          go j
+      | c -> err i (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0

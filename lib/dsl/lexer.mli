@@ -1,0 +1,45 @@
+(** Tokenizer for the [.hpl] language.
+
+    Hand-written: the token set is tiny, and scanning by hand gives
+    exact line/column tracking for {!Diag} without a generator
+    dependency. Keywords are not distinguished here — the parser
+    matches identifiers contextually, so rule payloads and parameter
+    names can reuse surface words. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | STAR
+  | EQUALS
+  | EQEQ
+  | NE
+  | LE
+  | GE
+  | LT
+  | GT
+  | ANDAND
+  | OROR
+  | BANG
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | ARROW
+  | DOTDOT
+  | EOF
+
+type t = { tok : token; pos : Ast.pos }
+
+val token_to_string : token -> string
+(** For "expected X, got Y" parse errors. *)
+
+val tokenize : file:string -> string -> (t list, Diag.t) result
+(** The token stream always ends with {!EOF}. Comments ([#] to end of
+    line) and whitespace are skipped. String literals have no escape
+    sequences. *)

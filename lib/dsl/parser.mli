@@ -1,0 +1,10 @@
+(** Recursive-descent parser for the [.hpl] grammar (DESIGN.md §11).
+
+    Keywords are matched contextually from identifier tokens, and one
+    untyped expression grammar serves both integer and boolean
+    positions (precedence: [||] < [&&] < comparison < [+ -] < [* / %]
+    < unary); {!Elaborate.check} performs the type separation. *)
+
+val parse : file:string -> string -> (Ast.spec, Diag.t) result
+(** Parse one protocol block from [src]. [file] is used only for
+    diagnostics. Trailing input after the closing brace is an error. *)

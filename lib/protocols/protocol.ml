@@ -212,6 +212,39 @@ module Registry = struct
     Hashtbl.fold (fun _ t acc -> t :: acc) table []
     |> List.sort (fun a b -> String.compare a.name b.name)
 
+  (* Levenshtein with the classic two-row table; names are short, so no
+     need for banding or early exit *)
+  let edit_distance a b =
+    let la = String.length a and lb = String.length b in
+    let prev = Array.init (lb + 1) Fun.id in
+    let cur = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      cur.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+
+  (* the closest registered name, if it is close enough that the input
+     was plausibly a typo of it (distance at most 1/3 of its length) *)
+  let suggestion name =
+    let best =
+      List.fold_left
+        (fun acc t ->
+          let d = edit_distance name t.name in
+          match acc with
+          | Some (_, bd) when bd <= d -> acc
+          | _ -> Some (t.name, d))
+        None (list ())
+    in
+    match best with
+    | Some (candidate, d) when d * 3 <= String.length candidate ->
+        Printf.sprintf " — did you mean '%s'?" candidate
+    | _ -> ""
+
   let parse s =
     match String.split_on_char ':' s with
     | [] | [ "" ] -> Error "empty protocol name"
@@ -219,8 +252,9 @@ module Registry = struct
         match find name with
         | None ->
             Error
-              (Printf.sprintf "unknown protocol %S (run `hpl list` for names)"
-                 name)
+              (Printf.sprintf
+                 "unknown protocol %S%s (run `hpl list` for names)" name
+                 (suggestion name))
         | Some t -> (
             let ints = List.map int_of_string_opt rest in
             match

@@ -61,6 +61,95 @@ expect 1 "lint lossy gain chain" -- lint -s two-generals --faults 'drop:*' --for
 # property violated: exit 1
 expect 1 "failing formula" -- check -s token-ring 'AG holds0'
 
+# -- .hpl spec files (-f) ----------------------------------------------
+# Malformed specs die with ONE file:line:col line on stderr and exit 2;
+# well-formed specs flow through the same subcommands as -s names.
+
+hpldir=$(mktemp -d /tmp/hpl-specs.XXXXXX)
+
+cat > "$hpldir/good.hpl" <<'EOF'
+protocol good {
+  param n = 3 min 2
+  processes n
+  depth 4
+  process * {
+    when sends < 1 => send "m" to (me + 1) % n
+    when recvs < 1 => recv
+  }
+  atom moved at 0 = sends > 0
+  symmetry rotation
+}
+EOF
+
+cat > "$hpldir/bad_bounds.hpl" <<'EOF'
+protocol badbounds {
+  param n = 1 min 2 max 4
+  processes n
+}
+EOF
+
+cat > "$hpldir/bad_process.hpl" <<'EOF'
+protocol badprocess {
+  processes 2
+  process 5 {
+    when len < 1 => recv
+  }
+}
+EOF
+
+cat > "$hpldir/dup_atom.hpl" <<'EOF'
+protocol dupatom {
+  processes 2
+  process * { when len < 1 => recv }
+  atom seen at 0 = recvs > 0
+  atom seen at 1 = recvs > 0
+}
+EOF
+
+cat > "$hpldir/bad_symmetry.hpl" <<'EOF'
+protocol badsymmetry {
+  processes 3
+  process * { when len < 1 => recv }
+  symmetry spin
+}
+EOF
+
+# well-formed spec: the universe subcommands accept it like a -s name
+expect 0 "hpl file enumerate" -- enumerate -f "$hpldir/good.hpl"
+expect 0 "hpl file with params" -- enumerate -f "$hpldir/good.hpl:4"
+expect 0 "hpl file knows" -- knows -f "$hpldir/good.hpl"
+expect 0 "hpl file lint" -- lint -f "$hpldir/good.hpl"
+expect 0 "hpl file check" -- check -f "$hpldir/good.hpl" 'AG (moved -> K p0 moved)'
+expect 0 "hpl file reduce" -- enumerate -f "$hpldir/good.hpl" --reduce sym
+expect 0 "hpl file list" -- list -v -f "$hpldir/good.hpl"
+
+# malformed specs: one-line file:line:col diagnostic, exit 2
+expect 2 "hpl bad param bounds" -- enumerate -f "$hpldir/bad_bounds.hpl"
+expect 2 "hpl undeclared process" -- enumerate -f "$hpldir/bad_process.hpl"
+expect 2 "hpl duplicate atom" -- knows -f "$hpldir/dup_atom.hpl"
+expect 2 "hpl bad symmetry" -- lint -f "$hpldir/bad_symmetry.hpl"
+expect 2 "hpl missing spec file" -- enumerate -f "$hpldir/nowhere.hpl"
+expect 2 "hpl -f param out of range" -- enumerate -f "$hpldir/good.hpl:1"
+expect 2 "hpl -f non-integer param" -- enumerate -f "$hpldir/good.hpl:x"
+expect 2 "hpl -f with -s" -- enumerate -s ring -f "$hpldir/good.hpl"
+expect 2 "hpl lint --all with -f" -- lint --all -f "$hpldir/good.hpl"
+
+# the diagnostic carries a source position
+pos_err=$("$HPL" enumerate -f "$hpldir/bad_bounds.hpl" 2>&1 >/dev/null)
+case "$pos_err" in
+*bad_bounds.hpl:2:*) ;;
+*)
+  echo "FAIL: bad-bounds diagnostic lacks file:line:col: $pos_err" >&2
+  fails=$((fails + 1))
+  ;;
+esac
+
+# seeded fuzz: generated specs load, lint clean, and satisfy the laws
+expect 0 "hpl fuzz" -- fuzz --seed 7 --count 5
+expect 2 "hpl fuzz bad count" -- fuzz --count 0
+
+rm -rf "$hpldir"
+
 # budget truncation: exit 3
 expect 3 "state budget" -- enumerate -s chatter:3 -d 8 --max-states 50
 
