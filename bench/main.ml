@@ -322,17 +322,18 @@ let minwall_rows () =
   [
     ( "hpl/enumerate/depth=7/disabled-minwall",
       Some (minwall_enumerate ()),
+      "ns/run",
       None );
-    ("hpl/bitset/n=10000/minwall", Some (minwall_bitset ()), None);
+    ("hpl/bitset/n=10000/minwall", Some (minwall_bitset ()), "ns/run", None);
   ]
 
 (* -- reduction layer rows (DESIGN.md §10) -------------------------------
 
    The depth-wall claim, machine-readable: time AND states explored for
    each reduction mode at depth 9 on the acceptance protocols. The
-   [/states] rows carry a count, not nanoseconds — they record how much
-   smaller the reduced universe is, which is the part of the trajectory
-   that survives machine changes. *)
+   [/states] rows carry a count (unit "states", not "ns/run") — they
+   record how much smaller the reduced universe is, which is the part
+   of the trajectory that survives machine changes. *)
 let reduce_rows () =
   fresh_heap ();
   Hpl_protocols.Builtins.init ();
@@ -362,10 +363,12 @@ let reduce_rows () =
           [
             ( Printf.sprintf "hpl/enumerate/reduce=%s/%s/depth=9" label pname,
               Some ns,
+              "ns/run",
               None );
             ( Printf.sprintf "hpl/enumerate/reduce=%s/%s/depth=9/states" label
                 pname,
               Some (float_of_int states),
+              "states",
               None );
           ])
         (modes inst))
@@ -419,12 +422,15 @@ let dsl_rows () =
   [
     ( "hpl/dsl/parse+elaborate/ring",
       Some (min_time_ns ~runs:25 (fun () -> load ())),
+      "ns/run",
       None );
     ( Printf.sprintf "hpl/dsl/enumerate-parity/spec/depth=%d" depth,
       Some (min_time_ns ~runs:10 (enum inst_spec)),
+      "ns/run",
       None );
     ( Printf.sprintf "hpl/dsl/enumerate-parity/compiled/depth=%d" depth,
       Some (min_time_ns ~runs:10 (enum inst_builtin)),
+      "ns/run",
       None );
   ]
 
@@ -441,6 +447,7 @@ let phase_rows () =
       (fun (phase, span) ->
         ( Printf.sprintf "hpl/enumerate/depth=7/phase=%s" phase,
           Some (Hpl_obs.span_total_us span *. 1e3),
+          "ns/run",
           None ))
       [
         ("frontier", "enumerate.frontier");
@@ -451,29 +458,62 @@ let phase_rows () =
   Hpl_obs.reset ();
   rows
 
+(* -- Monte Carlo sampler throughput -------------------------------------
+
+   One row: how many seeded walks per second the mc layer sustains
+   (two-generals, depth 12, trivial predicate — pure walk plus judging
+   overhead, no knowledge resampling). Unit "runs/s", not time: the
+   trajectory question here is sampling capacity, which is what decides
+   how tight an interval a CI-budgeted [hpl mc] run can deliver. *)
+let mc_rows () =
+  fresh_heap ();
+  Hpl_protocols.Builtins.init ();
+  let spec =
+    match Hpl_protocols.Protocol.Registry.find "two-generals" with
+    | Some p ->
+        Hpl_protocols.Protocol.spec_of
+          (Hpl_protocols.Protocol.default_instance p)
+    | None -> failwith "bench: two-generals not registered"
+  in
+  let cfg = { Hpl_mc.Mc.default with Hpl_mc.Mc.runs = 100_000; depth = 12 } in
+  let b = Prop.make "always" (fun _ -> true) in
+  let e = Hpl_mc.Mc.estimate_prop cfg spec b in
+  let rate =
+    if e.Hpl_mc.Mc.elapsed > 0.0 then
+      float_of_int e.Hpl_mc.Mc.runs /. e.Hpl_mc.Mc.elapsed
+    else 0.0
+  in
+  [ ("hpl/mc/runs=100k", Some rate, "runs/s", None) ]
+
 (* Machine-readable results so successive PRs can track the perf
-   trajectory. One JSON object per benchmark: {name, ns_per_run, r2};
-   unavailable estimates are emitted as null. *)
+   trajectory. One JSON object per benchmark: {name, value, unit, r2};
+   [unit] says what the number measures ("ns/run", "states",
+   "runs/s", ...) — earlier schema versions abused ns_per_run for
+   non-time rows, so readers fall back to that key for old files.
+   Unavailable estimates are emitted as null. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let row_string (name, value, unit_, r2) =
+  let fnum = function Some v -> Printf.sprintf "%.6g" v | None -> "null" in
+  Printf.sprintf "{\"name\": \"%s\", \"value\": %s, \"unit\": \"%s\", \"r2\": %s}"
+    (json_escape name) (fnum value) (json_escape unit_) (fnum r2)
+
 let write_bench_json path rows =
   let oc = open_out path in
-  let escape s =
-    let b = Buffer.create (String.length s + 8) in
-    String.iter
-      (function
-        | '"' -> Buffer.add_string b "\\\""
-        | '\\' -> Buffer.add_string b "\\\\"
-        | c when Char.code c < 0x20 ->
-            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char b c)
-      s;
-    Buffer.contents b
-  in
-  let fnum = function Some v -> Printf.sprintf "%.6g" v | None -> "null" in
   output_string oc "[\n";
   List.iteri
-    (fun i (name, ns, r2) ->
-      Printf.fprintf oc "  {\"name\": \"%s\", \"ns_per_run\": %s, \"r2\": %s}%s\n"
-        (escape name) (fnum ns) (fnum r2)
+    (fun i row ->
+      Printf.fprintf oc "  %s%s\n" (row_string row)
         (if i = List.length rows - 1 then "" else ","))
     rows;
   output_string oc "]\n";
@@ -534,9 +574,10 @@ let run_benchmarks () =
     rows;
   write_bench_json "BENCH.json"
     (List.map
-       (fun (name, ols) -> (name, estimate ols, Analyze.OLS.r_square ols))
+       (fun (name, ols) ->
+         (name, estimate ols, "ns/run", Analyze.OLS.r_square ols))
        rows
-    @ early_rows @ phase_rows ())
+    @ early_rows @ phase_rows () @ mc_rows ())
 
 (* -- disabled-probe overhead guard --------------------------------------
 
@@ -562,24 +603,31 @@ let bench_json_lookup path name =
     go 0
   in
   let needle = Printf.sprintf "\"name\": \"%s\"" name in
-  let field = "\"ns_per_run\": " in
+  (* current schema first, then the pre-[unit] field name so the guard
+     still reads baselines recorded before the schema migration. *)
+  let extract line field =
+    match contains line field with
+    | Some i ->
+        let off = i + String.length field in
+        let rest = String.sub line off (String.length line - off) in
+        let stop =
+          match String.index_opt rest ',' with
+          | Some j -> j
+          | None -> String.length rest
+        in
+        float_of_string_opt (String.trim (String.sub rest 0 stop))
+    | None -> None
+  in
   let ic = open_in path in
   let result = ref None in
   (try
      while !result = None do
        let line = input_line ic in
        if contains line needle <> None then
-         match contains line field with
-         | Some i ->
-             let off = i + String.length field in
-             let rest = String.sub line off (String.length line - off) in
-             let stop =
-               match String.index_opt rest ',' with
-               | Some j -> j
-               | None -> String.length rest
-             in
-             result := float_of_string_opt (String.trim (String.sub rest 0 stop))
-         | None -> ()
+         result :=
+           (match extract line "\"value\": " with
+           | Some _ as v -> v
+           | None -> extract line "\"ns_per_run\": ")
      done
    with End_of_file -> ());
   close_in ic;
@@ -620,6 +668,73 @@ let assert_overhead () =
   end;
   print_endline "  within the 2% bound"
 
+(* --mc: measure the sampler-throughput row alone and merge it into
+   BENCH.json in place, keeping every other recorded row. This is the CI
+   mc job's bench step — it must not disturb the ns/run baselines the
+   overhead guard compares against, so the merge is line-based: existing
+   row lines are kept verbatim (minus any previous row with the same
+   name) and the fresh rows are appended. *)
+let merge_bench_json path rows =
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i =
+      if i + m > n then false
+      else if String.sub s i m = sub then true
+      else go (i + 1)
+    in
+    go 0
+  in
+  let existing =
+    if Sys.file_exists path then (
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      List.rev !lines)
+    else []
+  in
+  let names = List.map (fun (n, _, _, _) -> n) rows in
+  let kept =
+    existing
+    |> List.filter_map (fun l ->
+           let t = String.trim l in
+           if String.length t = 0 || t.[0] <> '{' then None
+           else if
+             List.exists
+               (fun n -> contains t (Printf.sprintf "\"name\": \"%s\"" n))
+               names
+           then None
+           else if t.[String.length t - 1] = ',' then
+             Some (String.sub t 0 (String.length t - 1))
+           else Some t)
+  in
+  let all = kept @ List.map row_string rows in
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc "  %s%s\n" r
+        (if i = List.length all - 1 then "" else ","))
+    all;
+  output_string oc "]\n";
+  close_out oc
+
+let run_mc () =
+  print_endline "=== mc sampler throughput ===";
+  let rows = mc_rows () in
+  List.iter
+    (fun (name, value, unit_, _) ->
+      match value with
+      | Some v -> Printf.printf "  %-34s %12.0f %s\n" name v unit_
+      | None -> Printf.printf "  %-34s            - %s\n" name unit_)
+    rows;
+  merge_bench_json "BENCH.json" rows;
+  print_endline "BENCH.json updated"
+
 (* --quick: CI smoke mode. Skips the paper experiments and runs a tiny
    benchmark subset with a minimal quota, without touching BENCH.json —
    it exists to prove the binary links and the hot paths execute, not to
@@ -647,7 +762,8 @@ let run_quick () =
   print_endline "bench smoke passed"
 
 let () =
-  if Array.exists (fun a -> a = "--quick") Sys.argv then begin
+  if Array.exists (fun a -> a = "--mc") Sys.argv then run_mc ()
+  else if Array.exists (fun a -> a = "--quick") Sys.argv then begin
     run_quick ();
     if Array.exists (fun a -> a = "--assert-overhead") Sys.argv then
       assert_overhead ()

@@ -20,6 +20,7 @@ open Hpl_core
 open Hpl_faults
 open Hpl_protocols
 open Hpl_analysis
+module Mc = Hpl_mc.Mc
 
 (* Exit codes: 0 ok; 1 property violated; 2 bad arguments; 3 the
    enumeration budget truncated the universe. *)
@@ -843,6 +844,252 @@ let check_cmd =
       $ max_states_arg $ max_seconds_arg $ mode_arg $ domains_arg $ reduce_arg
       $ formula $ obs_term)
 
+(* -- mc (Monte Carlo statistical estimation) ------------------------------- *)
+
+(* The statistical sibling of [check]: where enumeration is Truncated,
+   seeded random walks estimate the formula's μ-prevalence at walk
+   endpoints with a Wilson confidence interval (see lib/mc). Exit 0:
+   estimate computed (the CI may still include 1); exit 1: at least one
+   sampled walk violated the formula — the CI excludes prevalence 1 at
+   the requested level — or, with --robust, a confident
+   degraded/destroyed verdict; exit 3: the wall-clock budget cut
+   sampling short (the partial estimate is still printed). *)
+let mc proto file depth_str faults_str runs_str seed_str ci_str peers_str
+    peer_tries_str ck_str max_seconds_str robust formula_str obs =
+  obs_setup obs;
+  let formula_text =
+    match formula_str with
+    | Some t -> t
+    | None -> die_usage "mc needs --formula"
+  in
+  let f =
+    match Formula.parse formula_text with
+    | Error e -> die_usage "--formula: parse error: %s" e
+    | Ok f -> f
+  in
+  let inst = resolve_proto proto file in
+  let scenario =
+    match faults_str with
+    | None -> None
+    | Some s -> (
+        match Faults.Scenario.parse s with
+        | Ok t -> Some t
+        | Error e -> die_usage "--faults: %s" e)
+  in
+  let base = Protocol.spec_of inst in
+  let base_n = Spec.n base in
+  (* validate the whole scenario (including partition windows) against
+     the base system before splitting it for the sampler *)
+  (match scenario with
+  | Some t -> (
+      match Faults.Scenario.apply t base with
+      | Ok _ -> ()
+      | Error e -> die_usage "--faults: %s" e)
+  | None -> ());
+  (* partitions are sampled as step-index delivery windows, not routed
+     lossy channels: split them off the spec transformation *)
+  let windows =
+    match scenario with
+    | None -> []
+    | Some t -> Faults.Scenario.partition_windows t
+  in
+  let routed = Option.map Faults.Scenario.without_partitions scenario in
+  let faulty_spec =
+    match routed with
+    | None -> base
+    | Some t -> (
+        match Faults.Scenario.apply t base with
+        | Ok s -> s
+        | Error e -> die_usage "--faults: %s" e)
+  in
+  let view =
+    match routed with
+    | None -> Fun.id
+    | Some t -> Faults.Scenario.view t ~n:base_n
+  in
+  let pos_int what s =
+    match int_of_string_opt s with
+    | Some k when k >= 1 -> k
+    | _ -> die_usage "bad %s %S (want a positive integer)" what s
+  in
+  let runs =
+    Option.fold ~none:Mc.default.Mc.runs ~some:(pos_int "--runs") runs_str
+  in
+  let seed =
+    match seed_str with
+    | None -> 1L
+    | Some s -> (
+        match Int64.of_string_opt s with
+        | Some v -> v
+        | None -> die_usage "bad --seed %S (want an integer)" s)
+  in
+  let level =
+    match ci_str with
+    | None -> Mc.default.Mc.level
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some v when v > 0.0 && v < 1.0 -> v
+        | _ -> die_usage "bad --ci %S (want a level strictly in (0, 1))" s)
+  in
+  let peers =
+    Option.fold ~none:Mc.default.Mc.peers ~some:(pos_int "--peers") peers_str
+  in
+  let peer_tries =
+    Option.fold ~none:Mc.default.Mc.peer_tries
+      ~some:(pos_int "--peer-tries") peer_tries_str
+  in
+  let ck_depth =
+    Option.fold ~none:Mc.default.Mc.ck_depth ~some:(pos_int "--ck-depth")
+      ck_str
+  in
+  let max_seconds =
+    match max_seconds_str with
+    | None -> None
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some v when v > 0.0 -> Some v
+        | _ -> die_usage "bad --max-seconds %S (want a positive number)" s)
+  in
+  let depth_of_str s =
+    match int_of_string_opt s with
+    | Some d when d >= 0 -> d
+    | _ -> die_usage "bad --depth %S (want a nonnegative integer)" s
+  in
+  let base_depth =
+    match depth_str with
+    | Some s -> depth_of_str s
+    | None -> Protocol.depth_of inst
+  in
+  let depth =
+    match (depth_str, scenario) with
+    | Some s, _ -> depth_of_str s
+    | None, None -> base_depth
+    | None, Some t -> Faults.Scenario.suggested_depth t base_depth
+  in
+  let cfg =
+    {
+      Mc.runs;
+      depth;
+      seed;
+      level;
+      peers;
+      peer_tries;
+      ck_depth;
+      base_n = Some base_n;
+      windows;
+      max_seconds;
+    }
+  in
+  let env = Protocol.atom_env inst in
+  Format.printf "formula: %a@." Formula.pp f;
+  if robust then begin
+    if scenario = None then die_usage "--robust needs --faults to compare against";
+    let baseline_cfg = { cfg with Mc.depth = base_depth; windows = [] } in
+    match
+      Mc.estimate_robust baseline_cfg base ~faulty:faulty_spec
+        ~faulty_config:cfg ~view ~env f
+    with
+    | Error e -> die_usage "%s" e
+    | Ok r ->
+        Format.printf "robust: %a@." Mc.pp_robustness r;
+        obs_emit obs;
+        if
+          r.Mc.baseline.Mc.status = Mc.Out_of_time
+          || r.Mc.faulty.Mc.status = Mc.Out_of_time
+        then begin
+          prerr_endline "hpl: mc sampling truncated by --max-seconds";
+          exit exit_truncated
+        end;
+        match r.Mc.verdict with
+        | Mc.Degraded | Mc.Destroyed -> exit exit_violated
+        | Mc.Robust | Mc.Vacuous | Mc.Inconclusive -> ()
+  end
+  else
+    match Mc.estimate_formula ~view cfg faulty_spec ~env f with
+    | Error e -> die_usage "%s" e
+    | Ok e ->
+        Format.printf "estimate: %a@." Mc.pp_estimate e;
+        obs_emit obs;
+        if e.Mc.status = Mc.Out_of_time then begin
+          prerr_endline "hpl: mc sampling truncated by --max-seconds";
+          exit exit_truncated
+        end;
+        if e.Mc.hits < e.Mc.runs then exit exit_violated
+
+let mc_cmd =
+  let formula =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "formula" ] ~docv:"FORMULA"
+          ~doc:
+            "Epistemic formula to estimate (required), e.g. 'CK attack'. \
+             Temporal operators are rejected — walk endpoints have no \
+             branching structure; use $(b,hpl check) for those.")
+  in
+  let runs =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "runs" ] ~docv:"N" ~doc:"Number of sampled walks (default 10000).")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Replay seed (default 1); the same seed gives bit-identical \
+             estimates.")
+  in
+  let ci =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ci" ] ~docv:"LEVEL"
+          ~doc:"Confidence level for the Wilson interval (default 0.95).")
+  in
+  let peers =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "peers" ] ~docv:"N"
+          ~doc:"Peer samples per knowledge evaluation (default 12).")
+  in
+  let peer_tries =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "peer-tries" ] ~docv:"N"
+          ~doc:"Rejection-sampling attempts allowed per peer (default 30).")
+  in
+  let ck =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ck-depth" ] ~docv:"K"
+          ~doc:"Approximate CK by K levels of 'everyone knows' (default 2).")
+  in
+  let robust =
+    Arg.(
+      value & flag
+      & info [ "robust" ]
+          ~doc:
+            "Compare the formula's prevalence fault-free vs under --faults \
+             (statistical analogue of the robustness verdicts); exit 1 on a \
+             confident degraded/destroyed verdict.")
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:
+         "Estimate an epistemic formula's prevalence by seeded Monte Carlo \
+          walks, with Wilson confidence intervals — scales to depths where \
+          enumeration is truncated")
+    Term.(
+      const mc $ proto_arg $ file_arg $ depth_arg $ faults_arg $ runs $ seed
+      $ ci $ peers $ peer_tries $ ck $ max_seconds_arg $ robust $ formula
+      $ obs_term)
+
 (* -- lint (static analysis, no enumeration) -------------------------------- *)
 
 let lint proto file all faults_str formula_texts depth_str fuel_str
@@ -1097,6 +1344,19 @@ let fuzz seed count verbose =
               law "subsumption"
                 (Isomorphism.Laws.subsumption u p (Pset.union p q) x y)
             done;
+            (* statistical cross-check: a small seeded mc sample of each
+               atom must land its (wide, 99.9%) CI on the exact
+               μ-prevalence at this depth — deterministic per (seed,
+               index), so a pass here is a pass everywhere *)
+            List.iter
+              (fun v ->
+                if not v.Mc.ok then
+                  fail index src "mc estimate off: %s"
+                    (Format.asprintf "%a" Mc.pp_validation v))
+              (Mc.cross_validate ~runs:400 ~depth:(min depth 4)
+                 ~seed:(Int64.of_int ((seed * 7919) + index)) ~level:0.999
+                 ~max_nodes:50_000 ~name spec
+                 ~atoms:(Protocol.atoms_of inst));
             if verbose then
               Printf.printf "%-16s n=%d depth=%d universe=%d lint=%s\n" name n
                 depth (Universe.size u)
@@ -1145,6 +1405,7 @@ let () =
             mutex_cmd;
             election_cmd;
             check_cmd;
+            mc_cmd;
             lint_cmd;
             fuzz_cmd;
             knew_cmd;

@@ -158,8 +158,14 @@ let dropped_channels scenario g =
       | Faults.Scenario.Drop Faults.Scenario.All_channels ->
           Channel_graph.channels g
       | Faults.Scenario.Drop (Faults.Scenario.Channel (a, b)) -> [ (a, b) ]
+      | Faults.Scenario.Partition { group; _ } ->
+          (* the exact engine over-approximates a partition window as
+             whole-run lossiness on the crossing channels *)
+          List.filter
+            (fun (a, b) -> List.mem a group <> List.mem b group)
+            (Channel_graph.channels g)
       | Faults.Scenario.Dup _ | Faults.Scenario.Crash_stop _
-      | Faults.Scenario.Crash_any _ ->
+      | Faults.Scenario.Crash_any _ | Faults.Scenario.Recover _ ->
           [])
     scenario
   |> List.sort_uniq Stdlib.compare

@@ -3,6 +3,26 @@ let extend s x e =
     Some (Trace.snoc x e)
   else None
 
+let walk ?filter ?(init = Trace.empty) s ~choose ~depth =
+  if depth < 0 then invalid_arg "Extension.walk: negative depth";
+  let candidates z =
+    let es = Spec.enabled s z in
+    match filter with None -> es | Some keep -> List.filter (keep z) es
+  in
+  let rec go z k =
+    if k = 0 then z
+    else
+      match candidates z with
+      | [] -> z
+      | cands ->
+          let m = List.length cands in
+          let i = choose m in
+          if i < 0 || i >= m then
+            invalid_arg "Extension.walk: choose returned an out-of-range index";
+          go (Trace.snoc z (List.nth cands i)) (k - 1)
+  in
+  go init depth
+
 let is_computation s z = Spec.valid s z
 
 let check_principle_forward s ~x ~y ~e ~p =

@@ -15,6 +15,24 @@
 val extend : Spec.t -> Trace.t -> Event.t -> Trace.t option
 (** [extend s x e] is [(x; e)] if that is a computation of [s]. *)
 
+val walk :
+  ?filter:(Trace.t -> Event.t -> bool) ->
+  ?init:Trace.t ->
+  Spec.t ->
+  choose:(int -> int) ->
+  depth:int ->
+  Trace.t
+(** [walk s ~choose ~depth] is one random walk through the extension
+    relation: starting from [init] (default the empty computation), at
+    each step the enabled extensions are listed (optionally thinned by
+    [filter], which sees the computation so far and a candidate event)
+    and [choose m] picks an index in [\[0, m)]. The walk ends after
+    [depth] steps or at the first deadlock (no candidates), whichever
+    comes first — every prefix visited is a computation of [s]. The
+    walk is deterministic given [choose], which is how the Monte Carlo
+    layer gets replayable samples. Raises [Invalid_argument] on a
+    negative depth or an out-of-range choice. *)
+
 val check_principle_forward :
   Spec.t -> x:Trace.t -> y:Trace.t -> e:Event.t -> p:Pset.t -> bool
 (** Part 1: [e] internal-or-send on [P], [x \[P\] y], [(x;e)] a

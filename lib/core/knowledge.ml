@@ -94,8 +94,11 @@ let unsure u ps b = Prop.not_ (sure u ps b)
 
 type verdict = Robust | Degraded | Destroyed | Vacuous
 
+type provenance = Exact | Bound
+
 type robustness = {
   verdict : verdict;
+  provenance : provenance;
   baseline_hits : int;
   baseline_size : int;
   faulty_hits : int;
@@ -110,8 +113,10 @@ let verdict_to_string = function
   | Destroyed -> "destroyed"
   | Vacuous -> "vacuous"
 
+let provenance_to_string = function Exact -> "exact" | Bound -> "bound"
+
 let pp_robustness fmt r =
-  Format.fprintf fmt "%s (fault-free: %d/%d%s; faulty: %d/%d%s)"
+  Format.fprintf fmt "%s (fault-free: %d/%d%s; faulty: %d/%d%s)%s"
     (verdict_to_string r.verdict) r.baseline_hits r.baseline_size
     (match r.baseline_status with
     | Universe.Complete -> ""
@@ -120,6 +125,9 @@ let pp_robustness fmt r =
     (match r.faulty_status with
     | Universe.Complete -> ""
     | Universe.Truncated _ -> " truncated")
+    (match r.provenance with
+    | Exact -> ""
+    | Bound -> "  [bound: truncated universe]")
 
 let robust_under ?(mode = `Canonical) ?(budget = Universe.no_budget)
     ?faulty_depth ?(view = Fun.id) spec ~transform ~depth ps b =
@@ -141,8 +149,14 @@ let robust_under ?(mode = `Canonical) ?(budget = Universe.no_budget)
     then Robust
     else Degraded
   in
+  let provenance =
+    match (Universe.status u0, Universe.status u1) with
+    | Universe.Complete, Universe.Complete -> Exact
+    | _ -> Bound
+  in
   {
     verdict;
+    provenance;
     baseline_hits;
     baseline_size;
     faulty_hits;

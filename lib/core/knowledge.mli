@@ -65,19 +65,36 @@ type verdict =
   | Destroyed  (** attainable fault-free, never attained under faults *)
   | Vacuous  (** never attained even fault-free — nothing to compare *)
 
+type provenance =
+  | Exact
+      (** both universes enumerated to completion — the prevalences (and
+          hence the verdict) are exact statements about depth-bounded
+          computations *)
+  | Bound
+      (** at least one universe was {!Universe.Truncated} by its budget:
+          the prevalences are over the explored prefix only, so the
+          verdict is evidence, not proof — in particular a [Destroyed]
+          only says no witness was found {e within the budget}. For
+          systems beyond exact reach, [Hpl_mc.Mc.estimate_robust] gives
+          a statistical verdict with a confidence interval instead. *)
+
 type robustness = {
   verdict : verdict;
+  provenance : provenance;
+      (** whether the verdict is an exact depth-bounded statement or a
+          budget-relative bound *)
   baseline_hits : int;  (** computations where [P knows b], fault-free *)
   baseline_size : int;
   faulty_hits : int;  (** same count in the transformed universe *)
   faulty_size : int;
   baseline_status : Universe.status;
   faulty_status : Universe.status;
-      (** truncated universes make the verdict relative to the explored
-          prefix — check these before trusting a [Destroyed] *)
+      (** which side(s) were truncated, with the triggering budget —
+          the detail behind [provenance] *)
 }
 
 val verdict_to_string : verdict -> string
+val provenance_to_string : provenance -> string
 val pp_robustness : Format.formatter -> robustness -> unit
 
 val robust_under :

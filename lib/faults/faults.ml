@@ -1,10 +1,16 @@
 open Hpl_core
 
 let crash_tag = "crash"
+let recover_tag = "recover"
 
 let is_crash e =
   match e.Event.kind with
   | Event.Internal t -> String.equal t crash_tag
+  | _ -> false
+
+let is_recover e =
+  match e.Event.kind with
+  | Event.Internal t -> String.equal t recover_tag
   | _ -> false
 
 (* -- crash transformers ------------------------------------------------- *)
@@ -32,6 +38,35 @@ let crash_any ~upto s =
         match Spec.rule_of s p history with
         | [] -> []
         | intents -> intents @ [ Spec.Do crash_tag ])
+
+let crash_recover ~pid ~after ~upto s =
+  let n = Spec.n s in
+  if Pid.to_int pid < 0 || Pid.to_int pid >= n then
+    invalid_arg "Faults.crash_recover: pid outside the system";
+  if after < 0 then invalid_arg "Faults.crash_recover: negative event count";
+  if upto < 1 then invalid_arg "Faults.crash_recover: need at least one recovery";
+  let is_fault e = is_crash e || is_recover e in
+  Spec.make ~n (fun p history ->
+      if not (Pid.equal p pid) then Spec.rule_of s p history
+      else
+        let crashes = List.length (List.filter is_crash history) in
+        let recovers = List.length (List.filter is_recover history) in
+        if crashes > recovers then
+          (* down: the only thing a crashed process can do is come back
+             up — and only while it has recoveries left *)
+          if recovers < upto then [ Spec.Do recover_tag ] else []
+        else
+          (* alive: the crash quota counts protocol events since the
+             last recovery (each life gets a fresh quota) *)
+          let since_recover =
+            List.fold_left
+              (fun acc e -> if is_recover e then 0 else acc + 1)
+              0 history
+          in
+          if since_recover >= after then [ Spec.Do crash_tag ]
+          else
+            (* the underlying rule never sees the fault bookkeeping *)
+            Spec.rule_of s p (List.filter (fun e -> not (is_fault e)) history))
 
 (* -- channel routing ----------------------------------------------------- *)
 
@@ -240,6 +275,19 @@ let view ~n z =
          else Some (translate_event ~is_daemon e.Event.pid e))
   |> Trace.of_list
 
+let delivery_channel ~n e =
+  match e.Event.kind with
+  | Event.Receive m ->
+      let src = Pid.to_int m.Msg.src and dst = Pid.to_int m.Msg.dst in
+      if dst >= n then None (* daemon pickup: the message is still in the network *)
+      else if src >= n then
+        (* daemon forward: decode the original sender *)
+        (match dec_forward m.Msg.payload with
+        | Some (srci, _, _) -> Some (srci, dst)
+        | None -> None)
+      else Some (src, dst)
+  | _ -> None
+
 (* -- scenarios ------------------------------------------------------------ *)
 
 module Scenario = struct
@@ -248,6 +296,8 @@ module Scenario = struct
     | Crash_any of { upto : int }
     | Drop of channel_pat
     | Dup of channel_pat
+    | Partition of { group : int list; t0 : int; t1 : int }
+    | Recover of { pid : int; upto : int }
 
   and channel_pat = All_channels | Channel of int * int
 
@@ -298,10 +348,45 @@ module Scenario = struct
         | Some pat -> Ok (Dup pat)
         | None ->
             Error (Printf.sprintf "bad fault item %S (want dup:pA->pB or dup:*)" itm))
+    | Some ("partition", rest) -> (
+        let err () =
+          Error
+            (Printf.sprintf "bad fault item %S (want partition:pA|pB@t0-t1)" itm)
+        in
+        match cut '@' rest with
+        | Some (grp, win) -> (
+            let pids =
+              String.split_on_char '|' grp |> List.map String.trim
+              |> List.map parse_pid
+            in
+            match cut '-' win with
+            | Some (a, b) -> (
+                match (int_of_string_opt a, int_of_string_opt b) with
+                | Some t0, Some t1
+                  when t0 >= 0 && t1 >= t0 && pids <> []
+                       && List.for_all Option.is_some pids ->
+                    Ok
+                      (Partition
+                         { group = List.filter_map Fun.id pids; t0; t1 })
+                | _ -> err ())
+            | None -> err ())
+        | None -> err ())
+    | Some ("recover", rest) -> (
+        let err () =
+          Error
+            (Printf.sprintf
+               "bad fault item %S (want recover:pN@K with K >= 1 recoveries)" itm)
+        in
+        match cut '@' rest with
+        | Some (p, k) -> (
+            match (parse_pid p, int_of_string_opt k) with
+            | Some pid, Some upto when upto >= 1 -> Ok (Recover { pid; upto })
+            | _ -> err ())
+        | None -> err ())
     | _ ->
         Error
           (Printf.sprintf
-             "unknown fault item %S (want crash:pN@K, crash-any:K, drop:pA->pB, dup:pA->pB, or * for all channels)"
+             "unknown fault item %S (want crash:pN@K, crash-any:K, drop:pA->pB, dup:pA->pB, * for all channels, partition:pA|pB@t0-t1, or recover:pN@K)"
              itm)
 
   let parse s =
@@ -328,27 +413,43 @@ module Scenario = struct
     | Crash_any { upto } -> Printf.sprintf "crash-any:%d" upto
     | Drop pat -> "drop:" ^ pat_to_string pat
     | Dup pat -> "dup:" ^ pat_to_string pat
+    | Partition { group; t0; t1 } ->
+        Printf.sprintf "partition:%s@%d-%d"
+          (String.concat "|" (List.map (Printf.sprintf "p%d") group))
+          t0 t1
+    | Recover { pid; upto } -> Printf.sprintf "recover:p%d@%d" pid upto
 
   let to_string t = String.concat "," (List.map item_to_string t)
 
   let routes_channels t =
-    List.exists (function Drop _ | Dup _ -> true | _ -> false) t
+    List.exists (function Drop _ | Dup _ | Partition _ -> true | _ -> false) t
+
+  let partition_windows t =
+    List.filter_map
+      (function
+        | Partition { group; t0; t1 } -> Some (t0, t1, group) | _ -> None)
+      t
+
+  let without_partitions t =
+    List.filter (function Partition _ -> false | _ -> true) t
 
   (* merge every Drop/Dup item into one per-channel fault map, expanding
      [*]; deterministic order: sorted by (src, dst) *)
+  let all_ordered_pairs n =
+    List.concat
+      (List.init n (fun i ->
+           List.filter_map
+             (fun j -> if i = j then None else Some (i, j))
+             (List.init n Fun.id)))
+
+  let crossing_pairs n group =
+    List.filter
+      (fun (i, j) -> List.mem i group <> List.mem j group)
+      (all_ordered_pairs n)
+
   let channel_faults n t =
     let tbl = Hashtbl.create 8 in
-    let add pat set =
-      let chans =
-        match pat with
-        | All_channels ->
-            List.concat
-              (List.init n (fun i ->
-                   List.filter_map
-                     (fun j -> if i = j then None else Some (i, j))
-                     (List.init n Fun.id)))
-        | Channel (a, b) -> [ (a, b) ]
-      in
+    let add_chans chans set =
       List.iter
         (fun c ->
           let cur =
@@ -358,11 +459,25 @@ module Scenario = struct
           Hashtbl.replace tbl c (set cur))
         chans
     in
+    let add pat set =
+      let chans =
+        match pat with
+        | All_channels -> all_ordered_pairs n
+        | Channel (a, b) -> [ (a, b) ]
+      in
+      add_chans chans set
+    in
     List.iter
       (function
         | Drop pat -> add pat (fun f -> { f with drop = true })
         | Dup pat -> add pat (fun f -> { f with dup = true })
-        | Crash_stop _ | Crash_any _ -> ())
+        | Partition { group; _ } ->
+            (* the exact engine has no global clock, so a partition
+               window is over-approximated as whole-run lossiness on the
+               boundary-crossing channels; the sim engine and the Monte
+               Carlo sampler honor the [t0, t1) window precisely *)
+            add_chans (crossing_pairs n group) (fun f -> { f with drop = true })
+        | Crash_stop _ | Crash_any _ | Recover _ -> ())
       t;
     Hashtbl.fold (fun c f acc -> (c, f) :: acc) tbl []
     |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
@@ -383,6 +498,44 @@ module Scenario = struct
                 if a >= n || b >= n then
                   bad "channel p%d->p%d out of range for a %d-process system" a b n
                 else if a = b then bad "channel p%d->p%d is a self-loop" a b
+                else Ok ()
+            | Partition { group; _ } -> (
+                match List.find_opt (fun p -> p >= n) group with
+                | Some p ->
+                    bad "partition: pid p%d out of range for a %d-process system"
+                      p n
+                | None ->
+                    let distinct = List.sort_uniq Int.compare group in
+                    if List.length distinct <> List.length group then
+                      bad "partition: duplicate pid in group"
+                    else if List.length distinct >= n then
+                      bad
+                        "partition: the group must leave at least one process \
+                         on the other side"
+                    else Ok ())
+            | Recover { pid; _ } ->
+                if pid >= n then
+                  bad "recover:p%d: pid out of range for a %d-process system"
+                    pid n
+                else if
+                  not
+                    (List.exists
+                       (function
+                         | Crash_stop { pid = p; _ } -> p = pid | _ -> false)
+                       t)
+                then
+                  bad
+                    "recover:p%d: needs a matching crash:p%d@K item (recovery \
+                     is from a scheduled crash)"
+                    pid pid
+                else if
+                  List.length
+                    (List.filter
+                       (function
+                         | Recover { pid = p; _ } -> p = pid | _ -> false)
+                       t)
+                  > 1
+                then bad "recover:p%d: duplicate recovery item" pid
                 else Ok ()
             | _ -> Ok ()))
       (Ok ()) t
@@ -428,14 +581,23 @@ module Scenario = struct
         (* one network daemon per routed channel *)
         Hpl_obs.count "faults.daemons" (List.length cf);
         let s = if cf = [] then s else route s cf in
+        let recover_of pid =
+          List.find_map
+            (function
+              | Recover { pid = p; upto } when p = pid -> Some upto | _ -> None)
+            t
+        in
         Ok
           (List.fold_left
              (fun s item ->
                match item with
-               | Crash_stop { pid; after } ->
-                   crash_stop ~pid:(Pid.of_int pid) ~after s
+               | Crash_stop { pid; after } -> (
+                   match recover_of pid with
+                   | Some upto ->
+                       crash_recover ~pid:(Pid.of_int pid) ~after ~upto s
+                   | None -> crash_stop ~pid:(Pid.of_int pid) ~after s)
                | Crash_any { upto } -> crash_any ~upto s
-               | Drop _ | Dup _ -> s)
+               | Drop _ | Dup _ | Partition _ | Recover _ -> s)
              s t)
 
   let apply_exn t s =
@@ -447,7 +609,8 @@ module Scenario = struct
     + List.fold_left
         (fun acc -> function
           | Crash_any { upto } -> acc + upto
-          | Crash_stop _ | Drop _ | Dup _ -> acc)
+          | Recover { upto; _ } -> acc + (2 * upto)
+          | Crash_stop _ | Drop _ | Dup _ | Partition _ -> acc)
         0 t
 
   let view t ~n z = if routes_channels t then view ~n z else z
@@ -458,6 +621,8 @@ module Scenario = struct
     let dups = ref [] and dup_all = ref false in
     let crash_after = ref cfg.Engine.crash_after_events in
     let prone = ref cfg.Engine.crash_prone in
+    let parts = ref [] in
+    let recs = ref [] in
     let any_drop = ref false and any_dup = ref false and any_prone = ref false in
     List.iter
       (function
@@ -476,7 +641,13 @@ module Scenario = struct
         | Crash_stop { pid; after } -> crash_after := (pid, after) :: !crash_after
         | Crash_any { upto } ->
             any_prone := true;
-            prone := List.init upto Fun.id @ !prone)
+            prone := List.init upto Fun.id @ !prone
+        | Partition { group; t0; t1 } ->
+            (* scenario window bounds are interpreted as simulated-time
+               instants here (the sim clock), as step indices in the mc
+               sampler *)
+            parts := (float_of_int t0, float_of_int t1, group) :: !parts
+        | Recover { pid; upto } -> recs := (pid, upto) :: !recs)
       t;
     {
       cfg with
@@ -490,10 +661,12 @@ module Scenario = struct
          else cfg.Engine.dup_prob);
       dup_channels =
         (if !dup_all then [] else List.rev !dups @ cfg.Engine.dup_channels);
+      partitions = cfg.Engine.partitions @ List.rev !parts;
       crash_after_events = !crash_after;
       crash_prone = List.sort_uniq Int.compare !prone;
       crash_prob =
         (if !any_prone then Stdlib.max cfg.Engine.crash_prob 0.05
          else cfg.Engine.crash_prob);
+      recoveries = cfg.Engine.recoveries @ List.rev !recs;
     }
 end

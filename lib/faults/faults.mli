@@ -56,6 +56,10 @@ val crash_tag : string
 (** ["crash"] — the internal-event tag recording a nondeterministic
     crash (same tag the simulation engine uses). *)
 
+val recover_tag : string
+(** ["recover"] — the internal-event tag recording a crash-recovery
+    (see {!crash_recover}; same tag the simulation engine uses). *)
+
 val crash_stop : pid:Pid.t -> after:int -> Spec.t -> Spec.t
 (** [crash_stop ~pid ~after s]: as [s], except that [pid] enables
     nothing once it has performed [after] local events — a scheduled
@@ -71,6 +75,20 @@ val crash_any : upto:int -> Spec.t -> Spec.t
     crash), which keeps finite systems finite and makes the transformer
     commute with {!Hpl_core.Spec_algebra.bound_events}. Raises
     [Invalid_argument] unless [0 <= upto <= n]. *)
+
+val crash_recover : pid:Pid.t -> after:int -> upto:int -> Spec.t -> Spec.t
+(** [crash_recover ~pid ~after ~upto s]: crash-recovery failures for
+    [pid]. Each "life" of the process ends with a visible internal
+    {!crash_tag} event once it has performed [after] events since its
+    last recovery (the first life counts from the start); while down it
+    enables only a visible {!recover_tag} event, after which its rule
+    resumes — the underlying rule sees its local history with the fault
+    bookkeeping (crash/recover events) filtered out, so protocol code is
+    unaware of the failures. State survives recovery (the rule is a
+    function of the filtered history, which persists). At most [upto]
+    recoveries; after the last one the next crash is final. Raises
+    [Invalid_argument] if [pid] is outside [s], [after < 0], or
+    [upto < 1]. *)
 
 type channel_fault = { drop : bool; dup : bool }
 
@@ -107,6 +125,16 @@ val view : n:int -> Trace.t -> Trace.t
     is for predicate evaluation, not re-enumeration — it need not be
     intrinsically well-formed). *)
 
+val delivery_channel : n:int -> Event.t -> (int * int) option
+(** [delivery_channel ~n e] is the fault-free [(src, dst)] channel of a
+    delivery event in a (possibly routed) system with [n] real
+    processes: [Some] for a receive by a real process — decoding a
+    daemon forward back to its original sender — and [None] for
+    anything else, including a daemon's own pickup of a routed message
+    (the message is then still inside the network). The Monte Carlo
+    sampler uses this to block boundary-crossing deliveries during a
+    partition window. *)
+
 (** {1 Scenarios — compact fault descriptions}
 
     A scenario is a parsed, composable list of fault items with the
@@ -118,6 +146,18 @@ val view : n:int -> Trace.t -> Trace.t
     - [crash-any:K] — {!crash_any} with [upto = K]
     - [drop:pA->pB] / [drop:*] — {!lossy} on one channel / all channels
     - [dup:pA->pB] / [dup:*] — {!duplicating} likewise
+    - [partition:pA|pB|…@t0-t1] — a network partition: during the
+      window [\[t0, t1)] messages crossing the boundary between the
+      listed group and the rest of the system do not get through. The
+      three engines interpret the window at their own granularity: the
+      sim engine as simulated-time instants (crossing sends are lost),
+      the Monte Carlo sampler as global step indices (crossing
+      deliveries are delayed until the window closes), and the exact
+      engine — which has no global clock — over-approximates the window
+      as whole-run lossiness on the crossing channels.
+    - [recover:pN@K] — process [N] recovers from its scheduled crash,
+      at most [K] times ({!crash_recover}); requires a matching
+      [crash:pN@…] item.
 
     Pids may be written with or without the leading [p]. *)
 
@@ -127,6 +167,8 @@ module Scenario : sig
     | Crash_any of { upto : int }
     | Drop of channel_pat
     | Dup of channel_pat
+    | Partition of { group : int list; t0 : int; t1 : int }
+    | Recover of { pid : int; upto : int }
 
   and channel_pat = All_channels | Channel of int * int
 
@@ -141,8 +183,21 @@ module Scenario : sig
   (** Round-trips through {!parse}. *)
 
   val routes_channels : t -> bool
-  (** True when the scenario contains channel faults (and {!apply} will
-      add the daemon process). *)
+  (** True when the scenario contains channel faults — including
+      partitions, whose crossing channels the exact engine routes — and
+      {!apply} will add daemon processes. *)
+
+  val partition_windows : t -> (int * int * int list) list
+  (** The scenario's partition items as [(t0, t1, group)] windows, in
+      scenario order — what the Monte Carlo sampler consumes (it blocks
+      crossing deliveries while the global step index is inside a
+      window). *)
+
+  val without_partitions : t -> t
+  (** The scenario with partition items removed. The Monte Carlo
+      sampler applies this and handles the windows itself, instead of
+      the exact engine's whole-run over-approximation. The result may
+      be the empty list, which {!apply} treats as the identity. *)
 
   val validate_channels :
     t -> channels:(int * int) list -> (unit, string) result
@@ -155,8 +210,12 @@ module Scenario : sig
 
   val apply : t -> Spec.t -> (Spec.t, string) result
   (** Compose the scenario onto a spec: channel faults first (one
-      shared daemon), then crash transformers. [Error] on out-of-range
-      pids or channels for this spec. *)
+      daemon per channel; a partition contributes its crossing channels
+      as lossy — the whole-run over-approximation), then crash
+      transformers ([crash:pN@K] with a matching [recover:pN@R] becomes
+      {!crash_recover}). [Error] on out-of-range pids or channels for
+      this spec, on a partition group that is not a proper nonempty
+      subset, or on a [recover:] item without its [crash:]. *)
 
   val apply_exn : t -> Spec.t -> Spec.t
   (** Raises [Invalid_argument] where {!apply} returns [Error]. *)
@@ -175,7 +234,10 @@ module Scenario : sig
       engine: [drop:…] becomes per-channel message loss, [dup:…]
       per-channel duplication, [crash:pN@K] a crash after [K] local
       events, [crash-any:K] makes the first [K] processes crash-prone
-      with a small per-step crash probability. Probabilistic fields are
-      only raised, never lowered, so a config that already injects
-      faults keeps its settings. *)
+      with a small per-step crash probability, [partition:…@t0-t1] a
+      timed entry in [config.partitions] (window bounds read as
+      simulated-time instants), and [recover:pN@K] an entry in
+      [config.recoveries]. Probabilistic fields are only raised, never
+      lowered, so a config that already injects faults keeps its
+      settings. *)
 end

@@ -15,6 +15,7 @@ type config = {
   crash_after_events : (int * int) list;
   crash_prone : int list;
   crash_prob : float;
+  recoveries : (int * int) list;
   max_steps : int;
   max_time : float;
 }
@@ -35,6 +36,7 @@ let default =
     crash_after_events = [];
     crash_prone = [];
     crash_prob = 0.0;
+    recoveries = [];
     max_steps = 100_000;
     max_time = 1e6;
   }
@@ -82,6 +84,7 @@ type item =
     }
   | Timer of { pid : Pid.t; tag : string }
   | Crash_at of { pid : Pid.t }
+  | Recover_at of { pid : Pid.t }
 
 let run cfg handlers =
   if cfg.n < 1 then invalid_arg "Engine.run: need at least one process";
@@ -106,6 +109,13 @@ let run cfg handlers =
           (Printf.sprintf "Engine.run: crash-prone pid %d out of range" pid))
     cfg.crash_prone;
   List.iter
+    (fun (pid, upto) ->
+      if pid < 0 || pid >= cfg.n then
+        invalid_arg (Printf.sprintf "Engine.run: recovery pid %d out of range" pid);
+      if upto < 1 then
+        invalid_arg "Engine.run: recoveries need at least one recovery each")
+    cfg.recoveries;
+  List.iter
     (fun p ->
       if p < 0.0 || p > 1.0 then
         invalid_arg "Engine.run: probabilities must be within [0, 1]")
@@ -124,15 +134,37 @@ let run cfg handlers =
   let lseq = Array.make cfg.n 0 in
   let send_seq = Array.make cfg.n 0 in
   let trace = ref Trace.empty in
+  let now = ref 0.0 in
+  (* event-count crash quota, per pid; recovery bumps the quota so each
+     life gets a fresh allowance, matching Faults.crash_recover *)
+  let base_quota = Array.make cfg.n max_int in
+  List.iter
+    (fun (pid, after) -> base_quota.(pid) <- min base_quota.(pid) after)
+    cfg.crash_after_events;
+  let crash_quota = Array.copy base_quota in
+  let recover_left = Array.make cfg.n 0 in
+  List.iter
+    (fun (pid, upto) -> recover_left.(pid) <- recover_left.(pid) + upto)
+    cfg.recoveries;
+  (* every crash site funnels through here: halt the node and — if it
+     has recoveries left — schedule it to come back up one max_delay
+     later (the repair takes about as long as the network's worst
+     case) *)
+  let crash_now pid =
+    let i = Pid.to_int pid in
+    crashed.(i) <- true;
+    if recover_left.(i) > 0 then begin
+      recover_left.(i) <- recover_left.(i) - 1;
+      schedule (!now +. cfg.max_delay) (Recover_at { pid })
+    end
+  in
   let record pid mk =
     let i = Pid.to_int pid in
     trace := Trace.snoc !trace (mk ~lseq:lseq.(i));
     lseq.(i) <- lseq.(i) + 1;
     (* scheduled-by-event-count crashes are silent, like Faults.crash_stop:
        the process simply stops once it has performed its quota *)
-    List.iter
-      (fun (pid', after) -> if pid' = i && lseq.(i) >= after then crashed.(i) <- true)
-      cfg.crash_after_events
+    if lseq.(i) >= crash_quota.(i) && not crashed.(i) then crash_now pid
   in
   let sent = ref 0 and delivered = ref 0 and dropped = ref 0 in
   let duplicated = ref 0 in
@@ -143,7 +175,6 @@ let run cfg handlers =
   let inflight = ref 0 and inflight_max = ref 0 in
   let latency_sum = ref 0.0 and latency_max = ref 0.0 in
   let last_delivery = Hashtbl.create 16 (* (src,dst) -> latest delivery time *) in
-  let now = ref 0.0 in
   let partitioned src dst t =
     List.exists
       (fun (t0, t1, group) ->
@@ -213,7 +244,7 @@ let run cfg handlers =
           | Log_internal tag ->
               record self (fun ~lseq -> Event.internal ~pid:self ~lseq tag)
           | Crash ->
-              crashed.(Pid.to_int self) <- true;
+              crash_now self;
               record self (fun ~lseq -> Event.internal ~pid:self ~lseq "crash"))
       actions
   and step_handler self f =
@@ -224,7 +255,7 @@ let run cfg handlers =
         && List.mem i cfg.crash_prone
         && Rng.float rng 1.0 < cfg.crash_prob
       then begin
-        crashed.(i) <- true;
+        crash_now self;
         record self (fun ~lseq -> Event.internal ~pid:self ~lseq "crash")
       end
       else begin
@@ -284,8 +315,20 @@ let run cfg handlers =
             | Crash_at { pid } ->
                 let i = Pid.to_int pid in
                 if not crashed.(i) then begin
-                  crashed.(i) <- true;
+                  crash_now pid;
                   record pid (fun ~lseq -> Event.internal ~pid ~lseq "crash")
+                end
+            | Recover_at { pid } ->
+                let i = Pid.to_int pid in
+                if crashed.(i) then begin
+                  crashed.(i) <- false;
+                  (* fresh event allowance for the new life; node state
+                     survives the outage (crash-recovery with stable
+                     storage). The +1 exempts the recover event itself
+                     from the new life's quota. *)
+                  if base_quota.(i) <> max_int then
+                    crash_quota.(i) <- lseq.(i) + 1 + base_quota.(i);
+                  record pid (fun ~lseq -> Event.internal ~pid ~lseq "recover")
                 end);
             loop ()
           end

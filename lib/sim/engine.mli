@@ -45,6 +45,14 @@ type config = {
   crash_prob : float;
       (** per-handled-event crash probability for [crash_prone] pids;
           a spontaneous crash records a visible ["crash"] event *)
+  recoveries : (int * int) list;
+      (** [(pid, k)]: pid recovers from a crash — whatever its cause —
+          at most [k] times, coming back up one [max_delay] after going
+          down with a visible ["recover"] event and its pre-crash state
+          intact (crash-recovery with stable storage). A recovered
+          process gets a fresh [crash_after_events] allowance for its
+          new life — the timed counterpart of
+          [Hpl_faults.Faults.crash_recover]. *)
   max_steps : int;  (** hard event budget *)
   max_time : float;  (** simulated-time horizon *)
 }

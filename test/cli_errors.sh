@@ -153,6 +153,34 @@ rm -rf "$hpldir"
 # budget truncation: exit 3
 expect 3 "state budget" -- enumerate -s chatter:3 -d 8 --max-states 50
 
+# -- mc (Monte Carlo estimation) ---------------------------------------
+# Same discipline: 0 = estimate computed, 1 = estimated-violated at the
+# CI level (or a confident degraded/destroyed --robust verdict), 2 = bad
+# arguments, 3 = wall-clock budget cut sampling short.
+
+expect 0 "mc trivial estimate" -- mc -s ping-pong --formula 'true' --runs 200
+expect 0 "mc knowledge estimate" -- mc -s ping-pong --formula 'K p0 sent' --runs 100
+expect 0 "mc faulty estimate" -- mc -s ping-pong --faults 'drop:p1->p0' --formula 'true' --runs 100
+expect 1 "mc violated estimate" -- mc -s ping-pong --formula 'false' --runs 100
+expect 1 "mc partitioned knowledge" -- mc -s two-generals --faults 'partition:p0@0-99' --formula 'K p1 attack' --depth 12 --runs 100
+expect 1 "mc robust degraded" -- mc -s two-generals --faults 'drop:*' --formula 'CK attack' --depth 15 --runs 100 --robust
+expect 2 "mc missing formula" -- mc -s ping-pong
+expect 2 "mc formula parse error" -- mc -s ping-pong --formula 'K (('
+expect 2 "mc temporal rejected" -- mc -s ping-pong --formula 'AG true'
+expect 2 "mc unknown atom" -- mc -s ping-pong --formula 'K p0 nonsense'
+expect 2 "mc pid out of range" -- mc -s ping-pong --formula 'K p9 sent'
+expect 2 "mc bad runs" -- mc -s ping-pong --formula 'true' --runs 0
+expect 2 "mc bad seed" -- mc -s ping-pong --formula 'true' --seed x
+expect 2 "mc bad ci" -- mc -s ping-pong --formula 'true' --ci 1.5
+expect 2 "mc robust without faults" -- mc -s ping-pong --formula 'true' --robust
+expect 2 "mc malformed partition" -- mc -s ping-pong --formula 'true' --faults 'partition:p0@5'
+expect 2 "mc empty partition group" -- mc -s ping-pong --formula 'true' --faults 'partition:@1-2'
+expect 2 "mc partition pid range" -- mc -s ping-pong --formula 'true' --faults 'partition:p0|p9@1-2'
+expect 2 "mc whole-system partition" -- mc -s ping-pong --formula 'true' --faults 'partition:p0|p1@1-2'
+expect 2 "mc bad recover count" -- mc -s ping-pong --formula 'true' --faults 'crash:p0@1,recover:p0@0'
+expect 2 "mc recover without crash" -- mc -s ping-pong --formula 'true' --faults 'recover:p0@1'
+expect 3 "mc time budget" -- mc -s two-generals --formula 'CK attack' --depth 15 --runs 10000000 --max-seconds 0.1
+
 # -- observability golden shapes ---------------------------------------
 
 # --stats: the aggregate table with the three section headers and a row

@@ -322,6 +322,10 @@ let test_scenario_round_trip () =
       "drop:*";
       "crash:p1@2,drop:p0->p1";
       "crash-any:2,dup:*,crash:p0@0";
+      "partition:p0@1-3";
+      "partition:p0|p2@0-5";
+      "crash:p1@2,recover:p1@1";
+      "partition:p1@2-4,crash:p0@1,recover:p0@2";
     ]
 
 let test_scenario_parse_errors () =
@@ -329,12 +333,49 @@ let test_scenario_parse_errors () =
     (fun s ->
       check tbool (Printf.sprintf "%S rejected" s) true
         (Result.is_error (Faults.Scenario.parse s)))
-    [ ""; "explode:p0"; "crash:p1"; "drop:p0"; "drop:p0->"; "crash:p1@x"; "crash-any:x" ]
+    [
+      "";
+      "explode:p0";
+      "crash:p1";
+      "drop:p0";
+      "drop:p0->";
+      "crash:p1@x";
+      "crash-any:x";
+      "partition:p0";
+      "partition:p0@5";
+      "partition:@1-2";
+      "partition:p0@3-1";
+      "recover:p0@0";
+      "recover:p0";
+    ]
 
 let test_scenario_apply_checks_ranges () =
   let t = Result.get_ok (Faults.Scenario.parse "crash:p7@1") in
   check tbool "out-of-range pid rejected" true
+    (Result.is_error (Faults.Scenario.apply t Fixtures.one_msg));
+  let t = Result.get_ok (Faults.Scenario.parse "partition:p0|p9@1-2") in
+  check tbool "partition out-of-range pid rejected" true
+    (Result.is_error (Faults.Scenario.apply t Fixtures.one_msg));
+  let t = Result.get_ok (Faults.Scenario.parse "partition:p0|p1@1-2") in
+  check tbool "whole-system group rejected" true
     (Result.is_error (Faults.Scenario.apply t Fixtures.one_msg))
+
+let test_robustness_provenance () =
+  let sent = Prop.make "sent" (fun z -> Trace.send_count z p0 > 0) in
+  let transform s = Faults.lossy ~channels:[ (p0, p1) ] s in
+  let exact =
+    Knowledge.robust_under Fixtures.one_msg ~transform ~depth:3
+      (Pset.singleton p0) sent
+  in
+  check tbool "complete universes give an exact verdict" true
+    (exact.Knowledge.provenance = Knowledge.Exact);
+  let bound =
+    Knowledge.robust_under
+      ~budget:(Universe.budget ~max_states:2 ())
+      Fixtures.one_msg ~transform ~depth:3 (Pset.singleton p0) sent
+  in
+  check tbool "truncation downgrades to a bound" true
+    (bound.Knowledge.provenance = Knowledge.Bound)
 
 let test_scenario_apply_matches_manual () =
   let t = Result.get_ok (Faults.Scenario.parse "drop:p0->p1") in
@@ -449,6 +490,7 @@ let suite =
     ("budget roomy = complete", `Quick, test_budget_complete_when_roomy);
     ("robust_under lossy", `Quick, test_robust_under_lossy_ping);
     ("robust_under crash destroys", `Quick, test_robust_under_crash_destroys);
+    ("robustness provenance", `Quick, test_robustness_provenance);
     ("scenario round-trip", `Quick, test_scenario_round_trip);
     ("scenario parse errors", `Quick, test_scenario_parse_errors);
     ("scenario range check", `Quick, test_scenario_apply_checks_ranges);
