@@ -344,34 +344,70 @@ let reduce_rows () =
   in
   let modes inst =
     let g = Hpl_protocols.Protocol.symmetry_of inst in
-    [
-      ("none", Reduction.none);
-      ("por", Reduction.por);
-      ("sym", Reduction.sym (Option.get g));
-      ("full", Reduction.full (Option.get g));
-    ]
+    (* por+indep: por carrying the abstract interpreter's independence
+       relation. Where the no-truncation certificate fails at depth 9
+       the restriction never fires and the row must equal plain por;
+       where it holds (quorum: Σ bound = 7) the row must be strictly
+       smaller — that strictness IS the tentpole claim, so it is
+       asserted below, not just recorded. *)
+    let por_indep =
+      match
+        Option.bind
+          (Hpl_analysis.Dataflow.of_instance inst)
+          Hpl_analysis.Dataflow.independence
+      with
+      | Some ind ->
+          [ ("por+indep", Reduction.with_independence Reduction.por ind) ]
+      | None -> []
+    in
+    [ ("none", Reduction.none); ("por", Reduction.por) ]
+    @ por_indep
+    @ [
+        ("sym", Reduction.sym (Option.get g));
+        ("full", Reduction.full (Option.get g));
+      ]
   in
   List.concat_map
     (fun pname ->
       let inst = instance pname in
       let spec = Hpl_protocols.Protocol.spec_of inst in
-      List.concat_map
-        (fun (label, reduce) ->
-          let enum () = Universe.enumerate ~reduce spec ~depth:9 in
-          let states = Universe.size (enum ()) in
-          let ns = min_time_ns ~runs:5 (fun () -> Universe.size (enum ())) in
-          [
-            ( Printf.sprintf "hpl/enumerate/reduce=%s/%s/depth=9" label pname,
-              Some ns,
-              "ns/run",
-              None );
-            ( Printf.sprintf "hpl/enumerate/reduce=%s/%s/depth=9/states" label
-                pname,
-              Some (float_of_int states),
-              "states",
-              None );
-          ])
-        (modes inst))
+      let states_of = Hashtbl.create 8 in
+      let rows =
+        List.concat_map
+          (fun (label, reduce) ->
+            let enum () = Universe.enumerate ~reduce spec ~depth:9 in
+            let states = Universe.size (enum ()) in
+            Hashtbl.replace states_of label states;
+            let ns = min_time_ns ~runs:5 (fun () -> Universe.size (enum ())) in
+            [
+              ( Printf.sprintf "hpl/enumerate/reduce=%s/%s/depth=9" label pname,
+                Some ns,
+                "ns/run",
+                None );
+              ( Printf.sprintf "hpl/enumerate/reduce=%s/%s/depth=9/states" label
+                  pname,
+                Some (float_of_int states),
+                "states",
+                None );
+            ])
+          (modes inst)
+      in
+      (match
+         ( Hashtbl.find_opt states_of "none",
+           Hashtbl.find_opt states_of "por+indep" )
+       with
+      | Some n0, Some ni ->
+          if ni > n0 then
+            failwith
+              (Printf.sprintf "bench: %s por+indep grew the universe (%d > %d)"
+                 pname ni n0);
+          if pname = "quorum" && ni >= n0 then
+            failwith
+              (Printf.sprintf
+                 "bench: quorum por+indep shows no strict reduction (%d vs %d)"
+                 ni n0)
+      | _ -> ());
+      rows)
     [ "ring"; "star-flood"; "quorum" ]
 
 (* -- DSL rows (lib/dsl) --------------------------------------------------
@@ -458,6 +494,77 @@ let phase_rows () =
   Hpl_obs.reset ();
   rows
 
+(* -- flow rows (lib/analysis/dataflow.ml) --------------------------------
+
+   The acceptance claim of `hpl flow`: one sweep of the abstract
+   interpreter over the whole registry (every protocol that declares a
+   profile) plus every corpus spec finishes well under a second — the
+   analysis must stay cheap enough to run before every enumeration.
+   The /rules row counts how many rules the sweep passed verdicts on,
+   so a silently shrinking analysis surface would show in the
+   trajectory; a false dead-rule report anywhere fails the bench
+   outright. *)
+let flow_rows () =
+  fresh_heap ();
+  Hpl_protocols.Builtins.init ();
+  let dir =
+    match
+      List.find_opt Sys.file_exists
+        [
+          "corpus/specs";
+          "../corpus/specs";
+          "../../corpus/specs";
+          "../../../corpus/specs";
+        ]
+    with
+    | Some d -> d
+    | None -> failwith "bench: corpus/specs not found"
+  in
+  let specs =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".hpl")
+    |> List.sort compare
+    |> List.map (fun f ->
+           match Hpl_dsl.Elaborate.load_file (Filename.concat dir f) with
+           | Ok l -> l
+           | Error d -> failwith (Hpl_dsl.Diag.to_string d))
+  in
+  let sweep () =
+    let rules = ref 0 in
+    List.iter
+      (fun p ->
+        let inst = Hpl_protocols.Protocol.default_instance p in
+        match Hpl_analysis.Dataflow.of_instance inst with
+        | Some df ->
+            if Hpl_analysis.Dataflow.dead_rules df <> [] then
+              failwith
+                ("bench: false dead-rule report on "
+                ^ Hpl_protocols.Protocol.name p);
+            rules := !rules + List.length (Hpl_analysis.Dataflow.rules df)
+        | None -> ())
+      (Hpl_protocols.Protocol.Registry.list ());
+    List.iter
+      (fun l ->
+        match
+          Hpl_analysis.Dataflow.of_loaded l
+            (Hpl_protocols.Protocol.defaults l.Hpl_dsl.Elaborate.proto)
+        with
+        | Ok df ->
+            rules := !rules + List.length (Hpl_analysis.Dataflow.rules df)
+        | Error d -> failwith (Hpl_dsl.Diag.to_string d))
+      specs;
+    !rules
+  in
+  let rules = sweep () in
+  let ns = min_time_ns ~runs:25 (fun () -> ignore (sweep ())) in
+  if ns >= 1e9 then
+    failwith
+      (Printf.sprintf "bench: hpl/flow/all took %.3fs (budget 1s)" (ns /. 1e9));
+  [
+    ("hpl/flow/all", Some ns, "ns/run", None);
+    ("hpl/flow/all/rules", Some (float_of_int rules), "rules", None);
+  ]
+
 (* -- Monte Carlo sampler throughput -------------------------------------
 
    One row: how many seeded walks per second the mc layer sustains
@@ -535,7 +642,9 @@ let run_benchmarks () =
   (* wall-clock rows first: after the bechamel phase the process carries
      enough live and fragmented heap that allocation-heavy enumerations
      pay a multi-x GC tax, which would be recorded as enumeration time *)
-  let early_rows = minwall_rows () @ reduce_rows () @ dsl_rows () in
+  let early_rows =
+    minwall_rows () @ reduce_rows () @ dsl_rows () @ flow_rows ()
+  in
   let raw = Benchmark.all cfg instances (all_tests ()) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   (* one run of the registry-wide lint takes ~0.5s, so it needs a wider
@@ -723,6 +832,22 @@ let merge_bench_json path rows =
   output_string oc "]\n";
   close_out oc
 
+(* --flow: measure the abstract-interpretation rows (the flow sweep and
+   the depth-9 reduction ladder including por+indep) alone and merge
+   them into BENCH.json in place — the CI gate for the strict-reduction
+   and under-a-second claims, same line-based merge as --mc. *)
+let run_flow () =
+  print_endline "=== flow rows (abstract interpretation + reduction) ===";
+  let rows = reduce_rows () @ flow_rows () in
+  List.iter
+    (fun (name, value, unit_, _) ->
+      match value with
+      | Some v -> Printf.printf "  %-48s %14.0f %s\n" name v unit_
+      | None -> Printf.printf "  %-48s              - %s\n" name unit_)
+    rows;
+  merge_bench_json "BENCH.json" rows;
+  print_endline "BENCH.json updated"
+
 let run_mc () =
   print_endline "=== mc sampler throughput ===";
   let rows = mc_rows () in
@@ -763,6 +888,7 @@ let run_quick () =
 
 let () =
   if Array.exists (fun a -> a = "--mc") Sys.argv then run_mc ()
+  else if Array.exists (fun a -> a = "--flow") Sys.argv then run_flow ()
   else if Array.exists (fun a -> a = "--quick") Sys.argv then begin
     run_quick ();
     if Array.exists (fun a -> a = "--assert-overhead") Sys.argv then

@@ -5,6 +5,7 @@
      enumerate    enumerate a registered protocol's computations
      diagram      emit the isomorphism diagram of a universe as DOT
      knows        evaluate knowledge along the canonical run of a system
+     flow         abstractly interpret a protocol's rules (dead guards, POR)
      fuzz         push generated .hpl specs through the whole pipeline
      termination  run the §5 termination-detector comparison
      heartbeat    run the §5 heartbeat failure detector
@@ -66,6 +67,13 @@ let file_arg =
            parameters, e.g. $(b,corpus/specs/ring.hpl:4). Mutually \
            exclusive with $(b,-s).")
 
+(* The flow analyzer wants surface syntax: [Dataflow.of_loaded] reads
+   the elaborated AST of a [-f] spec, while registry protocols are
+   analyzed through their declared [Protocol.Profile]. Compiled rule
+   closures are opaque, so an instance alone is not enough — [load_hpl]
+   stashes the loaded spec here (it runs at most once per invocation). *)
+let loaded_src : Hpl_dsl.Elaborate.loaded option ref = ref None
+
 (* Load FILE[:v1[:v2...]]: lex + parse + elaborate the spec, instantiate
    at the given (or default) parameter values, then re-run the
    value-dependent checks at those values. Every failure is a one-line
@@ -98,7 +106,20 @@ let load_hpl arg =
   (match Hpl_dsl.Elaborate.validate loaded (Protocol.values inst) with
   | Ok () -> ()
   | Error d -> die_usage "%s" (Hpl_dsl.Diag.to_string d));
+  loaded_src := Some loaded;
   inst
+
+(* Flow analysis of an instance: through the elaborated AST when it
+   came from [-f] (validation already passed, so [of_loaded] cannot
+   fail), through the declared profile for registry protocols, [None]
+   for opaque builtins. *)
+let dataflow_of inst =
+  match !loaded_src with
+  | Some l -> (
+      match Dataflow.of_loaded l (Protocol.values inst) with
+      | Ok t -> Some t
+      | Error _ -> None)
+  | None -> Dataflow.of_instance inst
 
 (* [-s] and [-f] are two sources for the same thing: a loaded spec flows
    through enumeration, knowledge, checking, linting and reduction as an
@@ -373,6 +394,18 @@ let enumerate proto file depth faults max_states max_seconds mode domains
   obs_setup obs;
   let st = resolve proto file depth faults max_states max_seconds in
   let reduce = resolve_reduce st ~faults ~mode reduce in
+  (* a static independence relation describes the fault-free spec only:
+     fault transformers add daemon events the analyzer never saw, so
+     attach one just when no scenario is in force. Enumeration still
+     checks the no-truncation certificate at its own depth before
+     restricting anything. *)
+  let reduce =
+    if Reduction.uses_por reduce && faults = None then
+      match Option.bind (dataflow_of st.inst) Dataflow.independence with
+      | Some ind -> Reduction.with_independence reduce ind
+      | None -> reduce
+    else reduce
+  in
   let u =
     Universe.enumerate ~mode ~domains ~budget:st.budget ~reduce st.spec
       ~depth:st.depth
@@ -1135,6 +1168,21 @@ let lint proto file all faults_str formula_texts depth_str fuel_str
         | Some k when k >= 1 -> Some k
         | _ -> die_usage "bad --max-states %S (want a positive integer)" s)
   in
+  (* the flow rule family (dead-rule, unreachable-message,
+     guard-tautology) joins the report whenever the instance is
+     analyzable — [Lint] cannot depend on [Dataflow] (both live in
+     lib/analysis and lint is a dataflow test oracle), so the merge
+     happens here *)
+  let with_flow inst report =
+    match dataflow_of inst with
+    | None -> report
+    | Some df ->
+        let expect = Protocol.lint_expect (Protocol.proto inst) in
+        {
+          report with
+          Lint.findings = report.Lint.findings @ Dataflow.findings df ~expect;
+        }
+  in
   let reports =
     if all then begin
       if formula_texts <> [] || faults_str <> None || file <> None then
@@ -1142,14 +1190,15 @@ let lint proto file all faults_str formula_texts depth_str fuel_str
                    --formula, --faults, or -f";
       List.map
         (fun t ->
-          Lint.lint_instance ?fuel ?max_states ?depth
-            (Protocol.default_instance t))
+          let inst = Protocol.default_instance t in
+          with_flow inst (Lint.lint_instance ?fuel ?max_states ?depth inst))
         (Protocol.Registry.list ())
     end
     else
       let inst = resolve_proto proto file in
-      [ Lint.lint_instance ?fuel ?max_states ?depth ~formulas ?faults:scenario
-          inst ]
+      [ with_flow inst
+          (Lint.lint_instance ?fuel ?max_states ?depth ~formulas
+             ?faults:scenario inst) ]
   in
   List.iter (fun r -> Format.printf "%a@." Lint.pp_report r) reports;
   obs_emit obs;
@@ -1187,6 +1236,92 @@ let lint_cmd =
     Term.(
       const lint $ proto_arg $ file_arg $ all $ faults_arg $ formula
       $ depth_arg $ fuel $ max_states_arg $ obs_term)
+
+(* -- flow (abstract interpretation over rules) ------------------------------ *)
+
+(* [hpl flow] runs the interval-domain abstract interpreter on its own:
+   per-rule verdicts, the static channel graph, per-process event
+   bounds and the derived POR independence relation — no enumeration,
+   no traces. Exit 0 when clean (or every finding was expected), 1 on
+   an unexpected warning-level finding, 2 on bad arguments. *)
+let flow proto file all verbose =
+  let bad = ref false in
+  let analyze name t ~expect =
+    let fs = Dataflow.findings t ~expect in
+    if
+      List.exists
+        (fun f -> f.Lint.severity <> Lint.Info && not f.Lint.expected)
+        fs
+    then bad := true;
+    Format.printf "%s: %d rule(s), %d dead, %d channel(s)%s%s%s@." name
+      (List.length (Dataflow.rules t))
+      (List.length (Dataflow.dead_rules t))
+      (List.length (Dataflow.channels t))
+      (if Dataflow.graph_exact t then "" else " (over-approximated)")
+      (match Dataflow.independence t with
+      | Some ind ->
+          Printf.sprintf ", POR may restrict at depth >= %d"
+            (Reduction.Independence.total ind)
+      | None -> "")
+      (if fs = [] then " — clean" else "");
+    List.iter (fun f -> Format.printf "  %a@." Lint.pp_finding f) fs;
+    if verbose then Format.printf "%a@." Dataflow.pp t
+  in
+  if all then begin
+    if proto <> None || file <> None then
+      die_usage
+        "--all analyzes the whole registry; it cannot be combined with -s \
+         or -f";
+    let skipped = ref [] in
+    List.iter
+      (fun t ->
+        let inst = Protocol.default_instance t in
+        match Dataflow.of_instance inst with
+        | None -> skipped := Protocol.name t :: !skipped
+        | Some df ->
+            analyze (Protocol.name t) df ~expect:(Protocol.lint_expect t))
+      (Protocol.Registry.list ());
+    if !skipped <> [] then
+      Format.printf "(no declared profile, skipped: %s)@."
+        (String.concat " " (List.rev !skipped))
+  end
+  else begin
+    let inst = resolve_proto proto file in
+    match dataflow_of inst with
+    | None ->
+        die_usage
+          "%s declares no flow profile; only .hpl specs (-f) and profiled \
+           registry protocols can be analyzed — try `hpl flow --all`"
+          (Protocol.instance_name inst)
+    | Some df ->
+        analyze (Protocol.instance_name inst) df
+          ~expect:(Protocol.lint_expect (Protocol.proto inst))
+  end;
+  if !bad then exit exit_violated
+
+let flow_cmd =
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "Analyze every registered protocol that declares a profile (the \
+             CI gate).")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:"Print the full per-rule verdicts, channels, and bounds.")
+  in
+  Cmd.v
+    (Cmd.info "flow"
+       ~doc:
+         "Abstractly interpret a protocol's rules in an interval domain: \
+          guard satisfiability (dead rules, tautologies), the static channel \
+          graph, and the POR independence relation — without constructing a \
+          single trace")
+    Term.(const flow $ proto_arg $ file_arg $ all $ verbose)
 
 (* -- snapshot ------------------------------------------------------------------- *)
 
@@ -1344,6 +1479,54 @@ let fuzz seed count verbose =
               law "subsumption"
                 (Isomorphism.Laws.subsumption u p (Pset.union p q) x y)
             done;
+            (* flow soundness, per spec: a reported-dead rule's guard
+               must be false on every reachable local history (the
+               universe is prefix-closed, so projecting every stored
+               computation covers them all), and the static channel
+               graph must cover every channel the enumeration actually
+               used *)
+            (match
+               Dataflow.of_loaded loaded (Protocol.values inst)
+             with
+            | Error d ->
+                fail index src "flow failed: %s" (Hpl_dsl.Diag.to_string d)
+            | Ok df ->
+                List.iter
+                  (fun (r : Dataflow.rule_report) ->
+                    Universe.iter
+                      (fun _ z ->
+                        let h = Trace.proj z (Pid.of_int r.Dataflow.pid) in
+                        if
+                          Dataflow.guard_holds df ~pid:r.Dataflow.pid
+                            ~index:r.Dataflow.index h
+                        then
+                          fail index src
+                            "flow unsound: dead rule enabled (p%d rule %d \
+                             `when %s`)"
+                            r.Dataflow.pid r.Dataflow.index r.Dataflow.text)
+                      u)
+                  (Dataflow.dead_rules df);
+                let static = Dataflow.channels df in
+                Universe.iter
+                  (fun _ z ->
+                    List.iter
+                      (fun e ->
+                        match Event.message e with
+                        | Some m when Event.is_send e ->
+                            let edge =
+                              ( Pid.to_int m.Msg.src,
+                                Pid.to_int m.Msg.dst,
+                                m.Msg.payload )
+                            in
+                            if not (List.mem edge static) then
+                              let s, d, p = edge in
+                              fail index src
+                                "flow unsound: dynamic channel p%d->p%d %S \
+                                 not in the static graph"
+                                s d p
+                        | _ -> ())
+                      (Trace.to_list z))
+                  u);
             (* statistical cross-check: a small seeded mc sample of each
                atom must land its (wide, 99.9%) CI on the exact
                μ-prevalence at this depth — deterministic per (seed,
@@ -1407,6 +1590,7 @@ let () =
             check_cmd;
             mc_cmd;
             lint_cmd;
+            flow_cmd;
             fuzz_cmd;
             knew_cmd;
             paxos_cmd;

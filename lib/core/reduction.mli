@@ -8,12 +8,25 @@
       universe is recovered by quantifying over the orbit expansion
       ({!Knowledge.knows} does this automatically).
     - {e partial order} ([por]): the persistent-set style filter plus
-      incremental enabled-set maintenance. This produces a universe
-      {e bit-identical} to the unreduced canonical enumeration — same
-      computations, same order, same class ids — only faster, so it is
-      always safe.
+      incremental enabled-set maintenance. Plain {!por} produces a
+      universe {e bit-identical} to the unreduced canonical enumeration
+      — same computations, same order, same class ids — only faster, so
+      it is always safe.
 
-    [full] combines both. Reductions require [`Canonical] mode. *)
+    [full] combines both. Reductions require [`Canonical] mode.
+
+    A [por] reduction may additionally carry a static
+    {!Independence.t} (attach with {!with_independence}; computed by
+    the abstract interpreter, [Hpl_analysis.Dataflow]). When the
+    no-truncation certificate holds ({!Independence.applicable}),
+    enumeration restricts some states to a singleton ample set
+    ({!restrict}), actually pruning. The contract weakens from
+    bit-identity to {e blocked-preservation}: every blocked (quiescent)
+    computation class of the unreduced universe survives, with its
+    canonical representative; only states on the way to other
+    interleavings of the same classes are dropped. On specs where the
+    restriction never fires (no stable process ever holds the least
+    enabled event alone) the result is still bit-identical. *)
 
 type t
 
@@ -27,6 +40,39 @@ val symmetry : t -> Symmetry.group option
 val uses_por : t -> bool
 val label : t -> string
 (** ["none"], ["por"], ["sym"] or ["full"]. *)
+
+(** {2 Static independence}
+
+    Facts a static analyzer proves about a spec, consumed by the
+    ample-set restriction. [stable.(p)] means process [p] performs no
+    receive in any reachable history (so its enabled set depends only
+    on its own events); [bound.(p)] is a finite upper bound on the
+    number of events [p] performs in any computation. *)
+
+module Independence : sig
+  type t
+
+  val make : stable:bool array -> bound:int array -> t
+  (** Arrays indexed by pid; raises [Invalid_argument] on a length
+      mismatch. *)
+
+  val applicable : t -> depth:int -> bool
+  (** The no-truncation certificate: [Σ bound <= depth], so every
+      depth-limited leaf is genuinely blocked. Restriction must not be
+      used when this is false. *)
+
+  val stable : t -> int -> bool
+  val bound : t -> int -> int
+  val total : t -> int
+  val n : t -> int
+end
+
+val with_independence : t -> Independence.t -> t
+(** Attach an independence relation (meaningful with {!por}/[full];
+    enumeration additionally checks {!Independence.applicable} at its
+    depth before restricting). *)
+
+val independence : t -> Independence.t option
 
 (** {2 CLI-facing mode} *)
 
@@ -70,3 +116,11 @@ module Enabled : sig
   (** Context of the one-event extension; recomputes only the extending
       process's enabled set (and the destination's, for a send). *)
 end
+
+val restrict : Independence.t -> Enabled.ctx -> Event.t list -> Event.t list
+(** [restrict ind ctx cands] — the singleton ample set. [cands] must be
+    the full enabled list of [ctx]'s state (head = globally least
+    event). If the least event's process is stable and it is that
+    process's only enabled event, returns just that event; otherwise
+    [cands] unchanged. Sound for blocked-computation preservation only
+    under {!Independence.applicable} — the caller gates on it. *)

@@ -185,17 +185,33 @@ let enumerate ?(mode = `Canonical) ?(domains = 1) ?(budget = no_budget)
     | `Full -> true
     | `Canonical -> Option.is_some group || snoc_is_canonical z e
   in
+  (* ample-set restriction: only with por, only when the static
+     independence relation certifies no depth-truncation — then every
+     leaf is blocked and Reduction.restrict preserves all blocked
+     classes (see reduction.ml) *)
+  let indep_active =
+    if por && mode = `Canonical && group = None then
+      match Reduction.independence reduce with
+      | Some ind when Reduction.Independence.applicable ind ~depth -> Some ind
+      | _ -> None
+    else None
+  in
   let children z en =
     let cands =
       match en with
       | Some ctx -> Reduction.Enabled.events ctx
       | None -> Spec.enabled spec z
     in
+    let restricted =
+      match (indep_active, en) with
+      | Some ind, Some ctx -> Reduction.restrict ind ctx cands
+      | _ -> cands
+    in
     let kept =
       if por && mode = `Canonical && group = None then
         let ctx = Reduction.Ample.make ~n z in
-        List.filter (Reduction.Ample.keep ctx) cands
-      else List.filter (keep z) cands
+        List.filter (Reduction.Ample.keep ctx) restricted
+      else List.filter (keep z) restricted
     in
     let pruned = List.length cands - List.length kept in
     ( List.map

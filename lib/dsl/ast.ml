@@ -40,7 +40,12 @@ type intent =
   | Recv of expr option * pos  (** optional sender restriction *)
   | Act of string * pos  (** internal event, [do "tag"] *)
 
-type rule = { guard : expr; intents : intent list; rpos : pos }
+type rule = {
+  guard : expr;
+  intents : intent list;
+  rpos : pos;
+  gspan : pos * pos;  (* first and last token of the guard, inclusive *)
+}
 
 type selector =
   | Sel_pid of expr * pos  (** [process <expr>] — a specific process *)

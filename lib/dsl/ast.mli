@@ -42,7 +42,14 @@ type intent =
   | Recv of expr option * pos  (** optional sender restriction *)
   | Act of string * pos  (** internal event, [do "tag"] *)
 
-type rule = { guard : expr; intents : intent list; rpos : pos }
+type rule = {
+  guard : expr;
+  intents : intent list;
+  rpos : pos;
+  gspan : pos * pos;
+      (** positions of the guard's first and last tokens (inclusive) —
+          the span flow diagnostics underline *)
+}
 
 type selector =
   | Sel_pid of expr * pos  (** [process <expr>] — a specific process *)

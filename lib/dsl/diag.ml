@@ -2,17 +2,49 @@
    every bad-input path dies with a single stderr line and exit 2;
    [to_string] is that line's body: "file:line:col: message". I/O
    failures that precede any token carry line 0 and render without a
-   position. *)
+   position.
 
-type t = { file : string; line : int; col : int; msg : string }
+   A diagnostic may carry a span (start–end positions) instead of a
+   point, so multi-token findings — a whole guard, say — can be
+   underlined by tooling. [line]/[col] remain the start position, so
+   point construction and field access are unchanged; the renderer
+   appends the end only when it extends past the start. *)
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  eline : int;  (* span end, inclusive of the last token; = line/col *)
+  ecol : int;  (* for point diagnostics *)
+  msg : string;
+}
 
 exception Error of t
 
-let make ~file ~pos msg = { file; line = pos.Ast.line; col = pos.Ast.col; msg }
-let io ~file msg = { file; line = 0; col = 0; msg }
+let make ~file ~pos msg =
+  let line = pos.Ast.line and col = pos.Ast.col in
+  { file; line; col; eline = line; ecol = col; msg }
+
+let span ~file ~pos ~epos msg =
+  let line = pos.Ast.line and col = pos.Ast.col in
+  let eline = epos.Ast.line and ecol = epos.Ast.col in
+  (* a degenerate span collapses to a point rather than erroring: span
+     ends come from token end positions and an empty production can
+     place one at its start *)
+  if eline < line || (eline = line && ecol <= col) then
+    { file; line; col; eline = line; ecol = col; msg }
+  else { file; line; col; eline; ecol; msg }
+
+let io ~file msg = { file; line = 0; col = 0; eline = 0; ecol = 0; msg }
+
+let is_span d = d.eline > d.line || (d.eline = d.line && d.ecol > d.col)
 
 let to_string d =
   if d.line = 0 then Printf.sprintf "%s: %s" d.file d.msg
-  else Printf.sprintf "%s:%d:%d: %s" d.file d.line d.col d.msg
+  else if not (is_span d) then
+    Printf.sprintf "%s:%d:%d: %s" d.file d.line d.col d.msg
+  else if d.eline = d.line then
+    Printf.sprintf "%s:%d:%d-%d: %s" d.file d.line d.col d.ecol d.msg
+  else Printf.sprintf "%s:%d:%d-%d:%d: %s" d.file d.line d.col d.eline d.ecol d.msg
 
 let error ~file ~pos fmt = Printf.ksprintf (make ~file ~pos) fmt

@@ -3,9 +3,22 @@
     Lexing, parsing and elaboration all fail with a {!t}; the CLI
     renders {!to_string} on stderr and exits 2 — the same exit-code
     discipline as every other bad-argument path
-    (test/cli_errors.sh). *)
+    (test/cli_errors.sh).
 
-type t = { file : string; line : int; col : int; msg : string }
+    A diagnostic carries a {e span}: [line]/[col] is the start of the
+    offending region and [eline]/[ecol] its end (the last column of the
+    last token). Point diagnostics — the common case — have both ends
+    equal and render exactly as before; flow findings over whole guards
+    use {!span} so the rendered line pins down the full region. *)
+
+type t = {
+  file : string;
+  line : int;  (** start line *)
+  col : int;  (** start column *)
+  eline : int;  (** end line; equals [line] for a point *)
+  ecol : int;  (** end column, inclusive; equals [col] for a point *)
+  msg : string;
+}
 
 exception Error of t
 (** Raised by elaborated closures on value-dependent violations that
@@ -13,12 +26,23 @@ exception Error of t
     error in the caller, not a user error. *)
 
 val make : file:string -> pos:Ast.pos -> string -> t
+(** A point diagnostic. *)
+
+val span : file:string -> pos:Ast.pos -> epos:Ast.pos -> string -> t
+(** A range diagnostic from [pos] to [epos] (inclusive). A degenerate
+    range ([epos] not past [pos]) collapses to a point. *)
 
 val io : file:string -> string -> t
 (** A failure with no source position (unreadable file); renders as
     ["file: message"]. *)
 
+val is_span : t -> bool
+(** Whether the end extends past the start. *)
+
 val to_string : t -> string
-(** ["file:line:col: message"], or ["file: message"] for {!io}. *)
+(** ["file:line:col: message"] for points,
+    ["file:line:col-ecol: message"] for single-line spans,
+    ["file:line:col-eline:ecol: message"] for multi-line spans, and
+    ["file: message"] for {!io}. *)
 
 val error : file:string -> pos:Ast.pos -> ('a, unit, string, t) format4 -> 'a

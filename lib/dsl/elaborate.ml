@@ -566,6 +566,25 @@ let validate { ast; file; _ } values =
     Ok ()
   with Diag.Error d -> Error d
 
+(* -- static-analysis surface ---------------------------------------------- *)
+
+(* The abstract interpreter (Hpl_analysis.Dataflow) works on the
+   elaborated per-pid rule lists rather than the compiled closures, so
+   it sees guards as syntax; its soundness tests need the concrete
+   semantics of a single guard on a single local history — exactly the
+   [eval] the closures use. *)
+
+let resolved_rules (l : loaded) values =
+  try
+    let sp = split ~file:l.file l.ast in
+    let n = nproc ~file:l.file sp values in
+    let pid_rules, _ = resolve_blocks ~file:l.file sp values ~n in
+    Ok pid_rules
+  with Diag.Error d -> Error d
+
+let eval_expr (l : loaded) values ~me ~history e =
+  eval { efile = l.file; values; me; hist = history } e
+
 (* -- entry points --------------------------------------------------------- *)
 
 let elaborate ~file (ast : spec) =

@@ -48,6 +48,27 @@ val validate : loaded -> Hpl_protocols.Protocol.values -> (unit, Diag.t) result
     instance; the compiled closures raise {!Diag.Error} as a backstop
     on violations this would have caught. *)
 
+val resolved_rules :
+  loaded -> Hpl_protocols.Protocol.values -> (Ast.rule list array, Diag.t) result
+(** The per-pid surface rules at [values] — selectors resolved, one
+    {!Ast.rule} list per process. This is the syntax the static
+    analyzer ([Hpl_analysis.Dataflow]) interprets; guard spans
+    ([Ast.rule.gspan]) survive, so flow findings can point into the
+    source. *)
+
+val eval_expr :
+  loaded ->
+  Hpl_protocols.Protocol.values ->
+  me:int ->
+  history:Hpl_core.Event.t list ->
+  Ast.expr ->
+  int
+(** Concrete evaluation of one expression on one local history — the
+    exact dynamic semantics the compiled closures use (booleans are
+    0/1). The flow soundness tests compare abstract verdicts against
+    this. May raise {!Diag.Error} (e.g. division by zero) like the
+    closures themselves. *)
+
 val load_string : file:string -> string -> (loaded, Diag.t) result
 (** Lex, parse, elaborate. [file] is used for diagnostics only. *)
 

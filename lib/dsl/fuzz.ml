@@ -31,7 +31,10 @@ let garnish st =
   | 3 -> " && len % 2 >= 0"
   | _ -> ""
 
-let atom_line st ~n =
+(* [k] makes the name unique within the spec: elaboration rejects
+   duplicate atom names, and a 100-wide random pool collides within a
+   50-spec run (birthday bound — seed 42 index 38 really did) *)
+let atom_line st ~n ~k =
   let body =
     match Random.State.int st 4 with
     | 0 -> Printf.sprintf "sends(\"%s\") >= 1" (pick st payloads)
@@ -40,9 +43,11 @@ let atom_line st ~n =
     | _ -> Printf.sprintf "len <= %d" (2 + Random.State.int st 4)
   in
   if Random.State.bool st then
-    Printf.sprintf "  atom a%d at %d = %s\n" (Random.State.int st 100)
+    Printf.sprintf "  atom a%d_%d at %d = %s\n" k (Random.State.int st 100)
       (Random.State.int st n) body
-  else Printf.sprintf "  atom a%d forall = %s\n" (Random.State.int st 100) body
+  else
+    Printf.sprintf "  atom a%d_%d forall = %s\n" k (Random.State.int st 100)
+      body
 
 (* family 0: one 'process *' block, rotation-equivariant destinations *)
 let ring_family st buf ~n =
@@ -137,8 +142,8 @@ let spec_text ~seed ~index =
   | 0 -> ring_family st buf ~n
   | 1 -> star_family st buf ~n
   | _ -> random_family st buf ~n);
-  for _ = 1 to Random.State.int st 3 do
-    Buffer.add_string buf (atom_line st ~n)
+  for k = 1 to Random.State.int st 3 do
+    Buffer.add_string buf (atom_line st ~n ~k)
   done;
   Buffer.add_string buf "}\n";
   Buffer.contents buf

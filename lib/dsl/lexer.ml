@@ -33,7 +33,7 @@ type token =
   | DOTDOT
   | EOF
 
-type t = { tok : token; pos : Ast.pos }
+type t = { tok : token; pos : Ast.pos; epos : Ast.pos }
 
 let token_to_string = function
   | IDENT s -> Printf.sprintf "'%s'" s
@@ -75,11 +75,17 @@ let tokenize ~file src : (t list, Diag.t) result =
   (* i = absolute offset; column is 1-based from the last newline *)
   let pos_at i = { Ast.line = !line; col = i - !bol + 1 } in
   let toks = ref [] in
-  let emit tok pos = toks := { tok; pos } :: !toks in
+  (* a token occupies [i, j): its end position is the column of its
+     last character — tokens never span newlines (strings reject '\n'),
+     so [pos_at] is valid at any offset inside the token *)
+  let emit tok i j =
+    let epos = if j > i then pos_at (j - 1) else pos_at i in
+    toks := { tok; pos = pos_at i; epos } :: !toks
+  in
   let err i msg = Error (Diag.make ~file ~pos:(pos_at i) msg) in
   let rec go i =
     if i >= n then begin
-      emit EOF (pos_at i);
+      emit EOF i i;
       Ok (List.rev !toks)
     end
     else
@@ -94,90 +100,90 @@ let tokenize ~file src : (t list, Diag.t) result =
           let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
           go (skip (i + 1))
       | '{' ->
-          emit LBRACE (pos_at i);
+          emit LBRACE i (i + 1);
           go (i + 1)
       | '}' ->
-          emit RBRACE (pos_at i);
+          emit RBRACE i (i + 1);
           go (i + 1)
       | '(' ->
-          emit LPAREN (pos_at i);
+          emit LPAREN i (i + 1);
           go (i + 1)
       | ')' ->
-          emit RPAREN (pos_at i);
+          emit RPAREN i (i + 1);
           go (i + 1)
       | ',' ->
-          emit COMMA (pos_at i);
+          emit COMMA i (i + 1);
           go (i + 1)
       | '*' ->
-          emit STAR (pos_at i);
+          emit STAR i (i + 1);
           go (i + 1)
       | '+' ->
-          emit PLUS (pos_at i);
+          emit PLUS i (i + 1);
           go (i + 1)
       | '-' ->
-          emit MINUS (pos_at i);
+          emit MINUS i (i + 1);
           go (i + 1)
       | '/' ->
-          emit SLASH (pos_at i);
+          emit SLASH i (i + 1);
           go (i + 1)
       | '%' ->
-          emit PERCENT (pos_at i);
+          emit PERCENT i (i + 1);
           go (i + 1)
       | '=' ->
           if i + 1 < n && src.[i + 1] = '=' then begin
-            emit EQEQ (pos_at i);
+            emit EQEQ i (i + 2);
             go (i + 2)
           end
           else if i + 1 < n && src.[i + 1] = '>' then begin
-            emit ARROW (pos_at i);
+            emit ARROW i (i + 2);
             go (i + 2)
           end
           else begin
-            emit EQUALS (pos_at i);
+            emit EQUALS i (i + 1);
             go (i + 1)
           end
       | '!' ->
           if i + 1 < n && src.[i + 1] = '=' then begin
-            emit NE (pos_at i);
+            emit NE i (i + 2);
             go (i + 2)
           end
           else begin
-            emit BANG (pos_at i);
+            emit BANG i (i + 1);
             go (i + 1)
           end
       | '<' ->
           if i + 1 < n && src.[i + 1] = '=' then begin
-            emit LE (pos_at i);
+            emit LE i (i + 2);
             go (i + 2)
           end
           else begin
-            emit LT (pos_at i);
+            emit LT i (i + 1);
             go (i + 1)
           end
       | '>' ->
           if i + 1 < n && src.[i + 1] = '=' then begin
-            emit GE (pos_at i);
+            emit GE i (i + 2);
             go (i + 2)
           end
           else begin
-            emit GT (pos_at i);
+            emit GT i (i + 1);
             go (i + 1)
           end
       | '&' ->
           if i + 1 < n && src.[i + 1] = '&' then begin
-            emit ANDAND (pos_at i);
+            emit ANDAND i (i + 2);
             go (i + 2)
           end
           else err i "expected '&&'"
       | '|' ->
           if i + 1 < n && src.[i + 1] = '|' then begin
-            emit OROR (pos_at i);
+            emit OROR i (i + 2);
             go (i + 2)
           end
           else err i "expected '||'"
       | '.' ->
           if i + 1 < n && src.[i + 1] = '.' then begin
-            emit DOTDOT (pos_at i);
+            emit DOTDOT i (i + 2);
             go (i + 2)
           end
           else err i "expected '..'"
@@ -189,7 +195,7 @@ let tokenize ~file src : (t list, Diag.t) result =
             if j >= n then err i "unterminated string literal"
             else if src.[j] = '\n' then err i "unterminated string literal"
             else if src.[j] = '"' then begin
-              emit (STRING (String.sub src (i + 1) (j - i - 1))) (pos_at i);
+              emit (STRING (String.sub src (i + 1) (j - i - 1))) i (j + 1);
               go (j + 1)
             end
             else scan (j + 1)
@@ -201,7 +207,7 @@ let tokenize ~file src : (t list, Diag.t) result =
           let lit = String.sub src i (j - i) in
           (match int_of_string_opt lit with
           | Some k ->
-              emit (INT k) (pos_at i);
+              emit (INT k) i j;
               go j
           | None -> err i (Printf.sprintf "integer literal %s out of range" lit))
       | c when is_ident_start c ->
@@ -209,7 +215,7 @@ let tokenize ~file src : (t list, Diag.t) result =
             if j < n && is_ident_char src.[j] then scan (j + 1) else j
           in
           let j = scan i in
-          emit (IDENT (String.sub src i (j - i))) (pos_at i);
+          emit (IDENT (String.sub src i (j - i))) i j;
           go j
       | c -> err i (Printf.sprintf "unexpected character %C" c)
   in

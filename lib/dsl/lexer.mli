@@ -34,7 +34,10 @@ type token =
   | DOTDOT
   | EOF
 
-type t = { tok : token; pos : Ast.pos }
+type t = { tok : token; pos : Ast.pos; epos : Ast.pos }
+(** [pos] is the token's first character, [epos] its last (inclusive).
+    Tokens never span lines, so [epos.line = pos.line] except for
+    {!EOF}, where both are the end-of-input position. *)
 
 val token_to_string : token -> string
 (** For "expected X, got Y" parse errors. *)

@@ -197,7 +197,10 @@ let parse_intent st =
 
 let parse_rule st =
   let _, rpos = expect_ident st "'when'" in
+  let gstart = peek_pos st in
   let guard = parse_expr st in
+  (* the guard's last token is the one just consumed before '=>' *)
+  let gend = st.toks.(st.i - 1).Lexer.epos in
   expect st Lexer.ARROW "'=>'";
   let rec more acc =
     if peek_tok st = Lexer.COMMA then begin
@@ -207,7 +210,7 @@ let parse_rule st =
     else List.rev acc
   in
   let intents = more [ parse_intent st ] in
-  { guard; intents; rpos }
+  { guard; intents; rpos; gspan = (gstart, gend) }
 
 let parse_process st ppos =
   let sel =

@@ -148,6 +148,44 @@ esac
 expect 0 "hpl fuzz" -- fuzz --seed 7 --count 5
 expect 2 "hpl fuzz bad count" -- fuzz --count 0
 
+# -- flow (abstract interpretation) ------------------------------------
+# Same discipline: 0 = clean (or every finding expected), 1 = an
+# unexpected warning-level finding, 2 = bad arguments.
+
+cat > "$hpldir/dead_rule.hpl" <<'EOF'
+protocol deadrule {
+  processes 2
+  process 0 {
+    when sends == 0 => send "m" to 1
+    when recvs("nope") >= 1 => send "m" to 1
+  }
+  process 1 {
+    when len < 2 => recv
+  }
+}
+EOF
+
+expect 0 "flow clean spec" -- flow -f "$hpldir/good.hpl"
+expect 0 "flow registry protocol" -- flow -s quorum
+expect 0 "flow registry gate" -- flow --all
+expect 1 "flow dead rule" -- flow -f "$hpldir/dead_rule.hpl"
+expect 2 "flow -f with -s" -- flow -f "$hpldir/good.hpl" -s quorum
+expect 2 "flow unknown protocol" -- flow -s no-such-protocol
+expect 2 "flow unprofiled protocol" -- flow -s token-bus
+expect 2 "flow --all with -s" -- flow --all -s quorum
+expect 2 "flow --all with -f" -- flow --all -f "$hpldir/good.hpl"
+expect 2 "flow missing spec file" -- flow -f "$hpldir/nowhere.hpl"
+
+# the dead-rule finding pins the whole guard with a span (line:col-ecol)
+flow_out=$("$HPL" flow -f "$hpldir/dead_rule.hpl" 2>/dev/null)
+case "$flow_out" in
+*dead_rule.hpl:5:*-*) ;;
+*)
+  echo "FAIL: flow dead-rule finding lacks a guard span: $flow_out" >&2
+  fails=$((fails + 1))
+  ;;
+esac
+
 rm -rf "$hpldir"
 
 # budget truncation: exit 3

@@ -129,7 +129,15 @@ let diag_case ~src ~line ~col ~needle () =
       if not (contains s needle) then
         Alcotest.failf "diagnostic %S does not mention %S" s needle;
       check tint "line" line d.Diag.line;
-      check tint "col" col d.Diag.col
+      check tint "col" col d.Diag.col;
+      (* lexer/parser/elaborator diagnostics are points — both span ends
+         coincide and the rendering is exactly the classic prefix (flow
+         findings are where guard-wide spans appear, see flow_tests) *)
+      check tbool "point, not a span" false (Diag.is_span d);
+      let prefix = Printf.sprintf "test.hpl:%d:%d: " line col in
+      check tbool "classic point prefix" true
+        (String.length s >= String.length prefix
+        && String.sub s 0 (String.length prefix) = prefix)
 
 let proto_wrap body = "protocol t {\n  processes 2\n" ^ body ^ "}\n"
 
