@@ -592,6 +592,54 @@ let mc_rows () =
   in
   [ ("hpl/mc/runs=100k", Some rate, "runs/s", None) ]
 
+(* -- serve: warm-cache query throughput ----------------------------------
+
+   One row: queries per second sustained by an in-process [hpl serve]
+   over line-delimited JSON frames with the universes warm in the LRU
+   cache — the steady state a long-running daemon answers from. A
+   self-driving client loops a small query pool (extent, knows, check,
+   stats across three protocols); the first pass populates the cache,
+   the timed passes must be all hits — a single miss during the timed
+   window means the cache layer broke, so it fails the run rather than
+   record an enumeration-bound number as serving throughput. *)
+let serve_rows () =
+  fresh_heap ();
+  Hpl_protocols.Builtins.init ();
+  let module Serve = Hpl_serve.Serve in
+  let t =
+    Serve.create { Serve.max_cached_states = 1_000_000; cache_dir = None }
+  in
+  let frames =
+    [
+      {|{"op":"extent","protocol":"ping-pong","depth":6,"atom":"sent"}|};
+      {|{"op":"knows","protocol":"ping-pong","depth":6}|};
+      {|{"op":"knows","protocol":"two-generals","depth":5}|};
+      {|{"op":"extent","protocol":"two-generals","depth":5,"atom":"attack"}|};
+      {|{"op":"check","protocol":"token-ring:3","depth":4,"formula":"AG (holds0 -> ~holds1)"}|};
+      {|{"op":"enumerate-stats","protocol":"token-ring:3","depth":4}|};
+    ]
+  in
+  let drive () = List.iter (fun f -> ignore (Serve.handle_line t f)) frames in
+  drive ();
+  let hit_count () = List.assoc "cache_hit" (Serve.counters t) in
+  let hits0 = hit_count () in
+  let n = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. 1.0 in
+  while Unix.gettimeofday () < deadline do
+    drive ();
+    n := !n + List.length frames
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if hit_count () - hits0 <> !n then
+    failwith "bench: a warm serve query missed the cache";
+  [
+    ( "hpl/serve/warm-cache/queries-per-sec",
+      Some (float_of_int !n /. elapsed),
+      "queries/s",
+      None );
+  ]
+
 (* Machine-readable results so successive PRs can track the perf
    trajectory. One JSON object per benchmark: {name, value, unit, r2};
    [unit] says what the number measures ("ns/run", "states",
@@ -686,7 +734,7 @@ let run_benchmarks () =
        (fun (name, ols) ->
          (name, estimate ols, "ns/run", Analyze.OLS.r_square ols))
        rows
-    @ early_rows @ phase_rows () @ mc_rows ())
+    @ early_rows @ phase_rows () @ mc_rows () @ serve_rows ())
 
 (* -- disabled-probe overhead guard --------------------------------------
 
@@ -860,6 +908,21 @@ let run_mc () =
   merge_bench_json "BENCH.json" rows;
   print_endline "BENCH.json updated"
 
+(* --serve: measure the daemon's warm-cache throughput row alone and
+   merge it into BENCH.json in place — the CI serve job's bench step,
+   same line-based merge as --mc. *)
+let run_serve () =
+  print_endline "=== serve warm-cache throughput ===";
+  let rows = serve_rows () in
+  List.iter
+    (fun (name, value, unit_, _) ->
+      match value with
+      | Some v -> Printf.printf "  %-42s %12.0f %s\n" name v unit_
+      | None -> Printf.printf "  %-42s            - %s\n" name unit_)
+    rows;
+  merge_bench_json "BENCH.json" rows;
+  print_endline "BENCH.json updated"
+
 (* --quick: CI smoke mode. Skips the paper experiments and runs a tiny
    benchmark subset with a minimal quota, without touching BENCH.json —
    it exists to prove the binary links and the hot paths execute, not to
@@ -888,6 +951,7 @@ let run_quick () =
 
 let () =
   if Array.exists (fun a -> a = "--mc") Sys.argv then run_mc ()
+  else if Array.exists (fun a -> a = "--serve") Sys.argv then run_serve ()
   else if Array.exists (fun a -> a = "--flow") Sys.argv then run_flow ()
   else if Array.exists (fun a -> a = "--quick") Sys.argv then begin
     run_quick ();

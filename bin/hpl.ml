@@ -5,6 +5,8 @@
      enumerate    enumerate a registered protocol's computations
      diagram      emit the isomorphism diagram of a universe as DOT
      knows        evaluate knowledge along the canonical run of a system
+     extent       count the computations where one named atom holds
+     serve        run the cached knowledge-query daemon (JSON over socket/stdio)
      flow         abstractly interpret a protocol's rules (dead guards, POR)
      fuzz         push generated .hpl specs through the whole pipeline
      termination  run the §5 termination-detector comparison
@@ -67,73 +69,20 @@ let file_arg =
            parameters, e.g. $(b,corpus/specs/ring.hpl:4). Mutually \
            exclusive with $(b,-s).")
 
-(* The flow analyzer wants surface syntax: [Dataflow.of_loaded] reads
-   the elaborated AST of a [-f] spec, while registry protocols are
-   analyzed through their declared [Protocol.Profile]. Compiled rule
-   closures are opaque, so an instance alone is not enough — [load_hpl]
-   stashes the loaded spec here (it runs at most once per invocation). *)
-let loaded_src : Hpl_dsl.Elaborate.loaded option ref = ref None
+(* Request resolution and answer rendering are shared with the [serve]
+   daemon: [Hpl_serve.Query] owns them (conformance by construction —
+   see DESIGN.md §14), and this layer only turns [Error] results into
+   exit-2 diagnostics. *)
+module Query = Hpl_serve.Query
 
-(* Load FILE[:v1[:v2...]]: lex + parse + elaborate the spec, instantiate
-   at the given (or default) parameter values, then re-run the
-   value-dependent checks at those values. Every failure is a one-line
-   exit-2 diagnostic, same as the registry path. *)
-let load_hpl arg =
-  let path, vals =
-    match String.split_on_char ':' arg with
-    | [] -> die_usage "-f: empty argument"
-    | path :: rest ->
-        ( path,
-          List.map
-            (fun s ->
-              match int_of_string_opt s with
-              | Some v -> v
-              | None ->
-                  die_usage "-f %s: parameters must be integers (got %S)" path
-                    s)
-            rest )
-  in
-  let loaded =
-    match Hpl_dsl.Elaborate.load_file path with
-    | Ok l -> l
-    | Error d -> die_usage "%s" (Hpl_dsl.Diag.to_string d)
-  in
-  let inst =
-    match Protocol.instantiate loaded.Hpl_dsl.Elaborate.proto vals with
-    | Ok i -> i
-    | Error e -> die_usage "%s: %s" path e
-  in
-  (match Hpl_dsl.Elaborate.validate loaded (Protocol.values inst) with
-  | Ok () -> ()
-  | Error d -> die_usage "%s" (Hpl_dsl.Diag.to_string d));
-  loaded_src := Some loaded;
-  inst
-
-(* Flow analysis of an instance: through the elaborated AST when it
-   came from [-f] (validation already passed, so [of_loaded] cannot
-   fail), through the declared profile for registry protocols, [None]
-   for opaque builtins. *)
-let dataflow_of inst =
-  match !loaded_src with
-  | Some l -> (
-      match Dataflow.of_loaded l (Protocol.values inst) with
-      | Ok t -> Some t
-      | Error _ -> None)
-  | None -> Dataflow.of_instance inst
+let die = function Ok v -> v | Error m -> die_usage "%s" m
 
 (* [-s] and [-f] are two sources for the same thing: a loaded spec flows
    through enumeration, knowledge, checking, linting and reduction as an
-   ordinary instance. *)
+   ordinary instance. The returned [loaded] AST (for [-f] specs) is what
+   the flow analyzer reads — compiled rule closures are opaque. *)
 let resolve_proto proto_str file_str =
-  match (proto_str, file_str) with
-  | Some _, Some _ ->
-      die_usage "use either -s (registry) or -f (spec file), not both"
-  | None, Some f -> load_hpl f
-  | _, None -> (
-      let s = Option.value proto_str ~default:"ping-pong" in
-      match Protocol.Registry.parse s with
-      | Ok i -> i
-      | Error e -> die_usage "%s" e)
+  die (Query.resolve_proto ?proto:proto_str ?file:file_str ())
 
 let depth_arg =
   Arg.(
@@ -170,106 +119,10 @@ let max_seconds_arg =
         ~doc:"Stop enumerating after S seconds of CPU time (exit code 3).")
 
 (* Everything a universe-driven subcommand needs, resolved from the raw
-   string arguments (with exit-2 diagnostics on bad input). *)
-type setup = {
-  inst : Protocol.instance;
-  spec : Spec.t;  (** fault-transformed when [--faults] is given *)
-  base_n : int;  (** process count before fault routing *)
-  depth : int;
-  budget : Universe.budget;
-  view : Trace.t -> Trace.t;
-      (** faulty computation -> fault-free observation *)
-}
-
-let resolve proto_str file_str depth_str faults_str max_states_str
-    max_seconds_str =
-  let inst = resolve_proto proto_str file_str in
-  let scenario =
-    match faults_str with
-    | None -> None
-    | Some s -> (
-        match Faults.Scenario.parse s with
-        | Ok t -> Some t
-        | Error e -> die_usage "--faults: %s" e)
-  in
-  let base = Protocol.spec_of inst in
-  let base_n = Spec.n base in
-  let spec =
-    match scenario with
-    | None -> base
-    | Some t -> (
-        match Faults.Scenario.apply t base with
-        | Ok s -> s
-        | Error e -> die_usage "--faults: %s" e)
-  in
-  let depth =
-    match depth_str with
-    | Some s -> (
-        match int_of_string_opt s with
-        | Some d when d >= 0 -> d
-        | _ -> die_usage "bad --depth %S (want a nonnegative integer)" s)
-    | None -> (
-        let d = Protocol.depth_of inst in
-        match scenario with
-        | None -> d
-        | Some t -> Faults.Scenario.suggested_depth t d)
-  in
-  let max_states =
-    match max_states_str with
-    | None -> None
-    | Some s -> (
-        match int_of_string_opt s with
-        | Some k when k >= 1 -> Some k
-        | _ -> die_usage "bad --max-states %S (want a positive integer)" s)
-  in
-  let max_seconds =
-    match max_seconds_str with
-    | None -> None
-    | Some s -> (
-        match float_of_string_opt s with
-        | Some v when v > 0.0 -> Some v
-        | _ -> die_usage "bad --max-seconds %S (want a positive number)" s)
-  in
-  let budget = Universe.budget ?max_states ?max_seconds () in
-  (* an explicitly named drop/dup channel must exist in the spec:
-     [Scenario.apply] only range-checks pids, so [drop:p0->p2] on a
-     3-process ring would silently route a channel that carries no
-     message. The static channel graph knows the real channels; reject
-     when its scope covers this enumeration depth. *)
-  (match scenario with
-  | Some t
-    when List.exists
-           (function
-             | Faults.Scenario.Drop (Faults.Scenario.Channel _)
-             | Faults.Scenario.Dup (Faults.Scenario.Channel _) ->
-                 true
-             | _ -> false)
-           t -> (
-      let g =
-        Channel_graph.extract
-          ~fuel:(max 1 (min 16 depth))
-          ~max_states:60_000 base
-      in
-      let covered =
-        match Channel_graph.scope g with
-        | Channel_graph.Exact -> true
-        | Channel_graph.Up_to_depth f -> depth <= f
-        | Channel_graph.Incomplete -> false
-      in
-      if covered then
-        match
-          Faults.Scenario.validate_channels t
-            ~channels:(Channel_graph.channels g)
-        with
-        | Ok () -> ()
-        | Error e -> die_usage "--faults: %s" e)
-  | _ -> ());
-  let view =
-    match scenario with
-    | None -> Fun.id
-    | Some t -> Faults.Scenario.view t ~n:base_n
-  in
-  { inst; spec; base_n; depth; budget; view }
+   string arguments (with exit-2 diagnostics on bad input) — the same
+   [Query.setup] the server resolves per request. *)
+let resolve proto file depth faults max_states max_seconds =
+  die (Query.resolve ?proto ?file ?depth ?faults ?max_states ?max_seconds ())
 
 (* -- observability flags ----------------------------------------------- *)
 
@@ -365,27 +218,18 @@ let reduce_arg =
            quotient; requires a protocol with declared generators, see \
            $(b,hpl list -v)), or 'full' (both).")
 
-let resolve_reduce st ~faults ~mode reduce_str =
-  match Reduction.mode_of_string reduce_str with
-  | Error e -> die_usage "--reduce: %s" e
-  | Ok `None -> Reduction.none
-  | Ok rmode ->
-      if mode = `Full then
-        die_usage "--reduce %s requires canonical mode (got --mode full)"
-          (Reduction.mode_to_string rmode);
-      (match (rmode, faults) with
-      | (`Sym | `Full), Some _ ->
-          die_usage
-            "--reduce %s cannot be combined with --faults: fault transformers \
-             add daemon processes and break the declared automorphisms"
-            (Reduction.mode_to_string rmode)
-      | _ -> ());
-      (match
-         Reduction.resolve rmode ~symmetry:(Protocol.symmetry_of st.inst)
-       with
-      | Ok r -> r
-      | Error e ->
-          die_usage "--reduce %s: %s" (Reduction.mode_to_string rmode) e)
+let resolve_reduce st ~mode ?indep reduce_str =
+  die (Query.resolve_reduce st ~mode ?indep reduce_str)
+
+(* Print a [Query.outcome] the way the CLI always has: stdout bytes,
+   observability output, stderr bytes, exit code. Usage errors (exit 2)
+   skip the observability report, matching the historical die_usage
+   paths. *)
+let emit_outcome obs (o : Query.outcome) =
+  print_string o.Query.out;
+  if o.Query.code <> exit_usage then obs_emit obs;
+  if o.Query.err <> "" then prerr_string o.Query.err;
+  if o.Query.code <> 0 then exit o.Query.code
 
 (* -- enumerate ---------------------------------------------------------- *)
 
@@ -393,28 +237,17 @@ let enumerate proto file depth faults max_states max_seconds mode domains
     reduce verbose obs =
   obs_setup obs;
   let st = resolve proto file depth faults max_states max_seconds in
-  let reduce = resolve_reduce st ~faults ~mode reduce in
-  (* a static independence relation describes the fault-free spec only:
-     fault transformers add daemon events the analyzer never saw, so
-     attach one just when no scenario is in force. Enumeration still
-     checks the no-truncation certificate at its own depth before
-     restricting anything. *)
-  let reduce =
-    if Reduction.uses_por reduce && faults = None then
-      match Option.bind (dataflow_of st.inst) Dataflow.independence with
-      | Some ind -> Reduction.with_independence reduce ind
-      | None -> reduce
-    else reduce
-  in
-  let u =
-    Universe.enumerate ~mode ~domains ~budget:st.budget ~reduce st.spec
-      ~depth:st.depth
-  in
-  Format.printf "%a@." Universe.pp_stats u;
+  (* enumerate is the one subcommand that attaches the static
+     independence relation to a por reduction (~indep:true) *)
+  let reduce = resolve_reduce st ~mode ~indep:true reduce in
+  let u = Query.enumerate ~mode ~domains st ~reduce in
+  let o = Query.run_stats u in
+  print_string o.Query.out;
   if verbose then
     Universe.iter (fun i z -> Format.printf "%4d: %a@." i Trace.pp z) u;
   obs_emit obs;
-  exit_on_truncation u
+  if o.Query.err <> "" then prerr_string o.Query.err;
+  if o.Query.code <> 0 then exit o.Query.code
 
 let enumerate_cmd =
   let verbose =
@@ -431,10 +264,8 @@ let enumerate_cmd =
 
 let diagram proto file depth faults max_states max_seconds mode reduce limit =
   let st = resolve proto file depth faults max_states max_seconds in
-  let reduce = resolve_reduce st ~faults ~mode reduce in
-  let u =
-    Universe.enumerate ~mode ~budget:st.budget ~reduce st.spec ~depth:st.depth
-  in
+  let reduce = resolve_reduce st ~mode reduce in
+  let u = Query.enumerate ~mode st ~reduce in
   let size = min limit (Universe.size u) in
   let named =
     Universe.fold
@@ -465,35 +296,9 @@ let diagram_cmd =
 let knows proto file depth faults max_states max_seconds reduce obs =
   obs_setup obs;
   let st = resolve proto file depth faults max_states max_seconds in
-  let reduce = resolve_reduce st ~faults ~mode:`Canonical reduce in
-  let u = Universe.enumerate ~budget:st.budget ~reduce st.spec ~depth:st.depth in
-  Format.printf "%a@.@." Universe.pp_stats u;
-  (match Protocol.atoms_of st.inst with
-  | [] ->
-      Format.printf "(no atoms registered for %s)@."
-        (Protocol.instance_name st.inst)
-  | atoms ->
-      List.iter
-        (fun (name, fact) ->
-          (* atoms are written against the fault-free system; evaluate
-             them through the fault view so they apply unchanged *)
-          let fact = Prop.make (Prop.name fact) (fun z -> Prop.eval fact (st.view z)) in
-          Format.printf "fact %s: %a@." name Prop.pp fact;
-          (* report the real processes only, not fault daemons *)
-          for i = 0 to st.base_n - 1 do
-            let p = Pid.of_int i in
-            let k = Knowledge.knows_p u p fact in
-            let count =
-              Universe.fold
-                (fun _ z acc -> if Prop.eval k z then acc + 1 else acc)
-                u 0
-            in
-            Format.printf "  %a knows it in %d / %d computations@." Pid.pp p
-              count (Universe.size u)
-          done)
-        atoms);
-  obs_emit obs;
-  exit_on_truncation u
+  let reduce = resolve_reduce st ~mode:`Canonical reduce in
+  let u = Query.enumerate st ~reduce in
+  emit_outcome obs (Query.run_knows st u)
 
 let knows_cmd =
   Cmd.v
@@ -501,6 +306,33 @@ let knows_cmd =
     Term.(
       const knows $ proto_arg $ file_arg $ depth_arg $ faults_arg
       $ max_states_arg $ max_seconds_arg $ reduce_arg $ obs_term)
+
+(* -- extent --------------------------------------------------------------- *)
+
+(* The smallest knowledge query: in how many stored computations does
+   one named atom hold? Exists chiefly so the serve conformance battery
+   can exercise the server's extent op against a CLI twin. *)
+let extent proto file depth faults max_states max_seconds reduce atom obs =
+  obs_setup obs;
+  let st = resolve proto file depth faults max_states max_seconds in
+  let reduce = resolve_reduce st ~mode:`Canonical reduce in
+  let u = Query.enumerate st ~reduce in
+  emit_outcome obs (Query.run_extent st u ~atom)
+
+let extent_cmd =
+  let atom =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ATOM"
+          ~doc:"Registered atom name (run $(b,hpl list -v) for the atoms).")
+  in
+  Cmd.v
+    (Cmd.info "extent"
+       ~doc:"Count the computations of a universe where one named atom holds")
+    Term.(
+      const extent $ proto_arg $ file_arg $ depth_arg $ faults_arg
+      $ max_states_arg $ max_seconds_arg $ reduce_arg $ atom $ obs_term)
 
 (* -- termination ------------------------------------------------------------ *)
 
@@ -831,33 +663,11 @@ let check_formula proto file depth faults max_states max_seconds mode domains
   obs_setup obs;
   match Formula.parse formula_text with
   | Error e -> die_usage "parse error: %s" e
-  | Ok f -> (
+  | Ok f ->
       let st = resolve proto file depth faults max_states max_seconds in
-      let reduce = resolve_reduce st ~faults ~mode reduce in
-      let u =
-        Universe.enumerate ~mode ~domains ~budget:st.budget ~reduce st.spec
-          ~depth:st.depth
-      in
-      Format.printf "%a@." Universe.pp_stats u;
-      Format.printf "formula: %a@." Formula.pp f;
-      let env name =
-        (* formula atoms are fault-free predicates; route them through
-           the fault view *)
-        Option.map
-          (fun b -> Prop.make (Prop.name b) (fun z -> Prop.eval b (st.view z)))
-          (Protocol.atom_env st.inst name)
-      in
-      match Formula.check u ~env f with
-      | Error e -> die_usage "%s" e
-      | Ok `Valid ->
-          Format.printf "VALID at every computation@.";
-          obs_emit obs;
-          (* a VALID verdict on a truncated universe is not a proof *)
-          exit_on_truncation u
-      | Ok (`Fails_at z) ->
-          Format.printf "FAILS — witness computation:@.  %a@." Trace.pp z;
-          obs_emit obs;
-          exit exit_violated)
+      let reduce = resolve_reduce st ~mode reduce in
+      let u = Query.enumerate ~mode ~domains st ~reduce in
+      emit_outcome obs (Query.run_check st u f)
 
 let check_cmd =
   let formula =
@@ -900,7 +710,7 @@ let mc proto file depth_str faults_str runs_str seed_str ci_str peers_str
     | Error e -> die_usage "--formula: parse error: %s" e
     | Ok f -> f
   in
-  let inst = resolve_proto proto file in
+  let inst, _loaded = resolve_proto proto file in
   let scenario =
     match faults_str with
     | None -> None
@@ -1173,8 +983,8 @@ let lint proto file all faults_str formula_texts depth_str fuel_str
      analyzable — [Lint] cannot depend on [Dataflow] (both live in
      lib/analysis and lint is a dataflow test oracle), so the merge
      happens here *)
-  let with_flow inst report =
-    match dataflow_of inst with
+  let with_flow ~loaded inst report =
+    match Query.dataflow ~loaded inst with
     | None -> report
     | Some df ->
         let expect = Protocol.lint_expect (Protocol.proto inst) in
@@ -1191,12 +1001,13 @@ let lint proto file all faults_str formula_texts depth_str fuel_str
       List.map
         (fun t ->
           let inst = Protocol.default_instance t in
-          with_flow inst (Lint.lint_instance ?fuel ?max_states ?depth inst))
+          with_flow ~loaded:None inst
+            (Lint.lint_instance ?fuel ?max_states ?depth inst))
         (Protocol.Registry.list ())
     end
     else
-      let inst = resolve_proto proto file in
-      [ with_flow inst
+      let inst, loaded = resolve_proto proto file in
+      [ with_flow ~loaded inst
           (Lint.lint_instance ?fuel ?max_states ?depth ~formulas
              ?faults:scenario inst) ]
   in
@@ -1286,8 +1097,8 @@ let flow proto file all verbose =
         (String.concat " " (List.rev !skipped))
   end
   else begin
-    let inst = resolve_proto proto file in
-    match dataflow_of inst with
+    let inst, loaded = resolve_proto proto file in
+    match Query.dataflow ~loaded inst with
     | None ->
         die_usage
           "%s declares no flow profile; only .hpl specs (-f) and profiled \
@@ -1395,7 +1206,7 @@ let list_protocols verbose file =
   | Some f ->
       (* the loaded spec is appended, marked with its source path, so
          file specs are never mistaken for builtins *)
-      let inst = load_hpl f in
+      let inst, _loaded = die (Query.load f) in
       let path = List.hd (String.split_on_char ':' f) in
       print_protocol ~verbose ~from:path (Protocol.proto inst)
 
@@ -1569,6 +1380,81 @@ let fuzz_cmd =
           pipeline: parse, elaborate, lint, enumerate, isomorphism laws")
     Term.(const fuzz $ seed $ count $ verbose)
 
+(* -- serve (cached knowledge-query daemon) -------------------------------- *)
+
+let serve pipe socket max_cached_states cache_dir =
+  if max_cached_states < 1 then
+    die_usage "bad --max-cached-states %d (want a positive integer)"
+      max_cached_states;
+  (match cache_dir with
+  | None -> ()
+  | Some d ->
+      if Sys.file_exists d then begin
+        if not (Sys.is_directory d) then
+          die_usage "--cache-dir %s: not a directory" d
+      end
+      else (
+        try Unix.mkdir d 0o755 with
+        | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+        | Unix.Unix_error (e, _, _) ->
+            die_usage "--cache-dir %s: %s" d (Unix.error_message e)));
+  let t =
+    Hpl_serve.Serve.create
+      { Hpl_serve.Serve.max_cached_states; cache_dir }
+  in
+  (* the daemon always records: every reply carries counters, and
+     profiling a live server is the point of the obs surface *)
+  Hpl_obs.enable ();
+  match (pipe, socket) with
+  | true, Some _ -> die_usage "use either --pipe or --socket PATH, not both"
+  | false, None -> die_usage "serve needs a transport: --pipe or --socket PATH"
+  | true, None -> Hpl_serve.Serve.run_pipe t stdin stdout
+  | false, Some path -> (
+      match Hpl_serve.Serve.run_socket t ~path with
+      | Ok () -> ()
+      | Error m -> die_usage "%s" m)
+
+let serve_cmd =
+  let pipe =
+    Arg.(
+      value & flag
+      & info [ "pipe" ]
+          ~doc:
+            "Serve stdin/stdout, one JSON request per line — the transport \
+             the tests and the bench client drive.")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Bind a Unix domain socket at $(docv) and serve connections.")
+  in
+  let max_cached =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "max-cached-states" ] ~docv:"N"
+          ~doc:
+            "LRU cache budget: total stored computations across all cached \
+             universes.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist universe snapshots in $(docv) (created if missing) for \
+             warm starts across daemon restarts.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the knowledge-query daemon: knows/check/extent/enumerate-stats \
+          over line-delimited JSON, backed by an LRU universe cache and \
+          on-disk snapshots")
+    Term.(const serve $ pipe $ socket $ max_cached $ cache_dir)
+
 let () =
   let doc = "explore the systems of 'How Processes Learn' (Chandy & Misra 1985)" in
   exit
@@ -1579,6 +1465,8 @@ let () =
             enumerate_cmd;
             diagram_cmd;
             knows_cmd;
+            extent_cmd;
+            serve_cmd;
             termination_cmd;
             heartbeat_cmd;
             gossip_cmd;

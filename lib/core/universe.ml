@@ -612,6 +612,260 @@ let prefixes_of u i =
   in
   List.rev (go Trace.empty (Trace.to_list z) [])
 
+(* --- snapshot body ---------------------------------------------------
+
+   A universe is a prefix-closed BFS in discovery order: [comps.(0)] is
+   the empty trace and every other computation extends an earlier one by
+   a single event. The body therefore stores, per computation, the index
+   of its parent prefix plus one interned event — the same incremental
+   representation the enumerator builds — rather than whole traces.
+   Payload strings and internal tags go through a first-occurrence
+   string table. Class ids are not stored at all: replaying the events
+   through the same hash-consed trie in the same discovery order
+   reproduces them bit-identically.
+
+   The encoding is body-only. Framing (magic, format version, cache key,
+   checksum) belongs to the snapshot container in [Hpl_serve.Snapshot];
+   this layer only promises that any byte string either round-trips to a
+   structurally valid universe of the given spec or yields [Error]. *)
+
+let add_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let add_i32 b v =
+  if v < 0 || v > 0x3fffffff then
+    invalid_arg "Universe.serialize: integer out of range";
+  add_u8 b v;
+  add_u8 b (v lsr 8);
+  add_u8 b (v lsr 16);
+  add_u8 b (v lsr 24)
+
+let add_i64 b (v : int64) =
+  for k = 0 to 7 do
+    add_u8 b (Int64.to_int (Int64.shift_right_logical v (8 * k)))
+  done
+
+let add_str b s =
+  add_i32 b (String.length s);
+  Buffer.add_string b s
+
+let serialize u =
+  if Option.is_some (Reduction.symmetry u.reduce) then
+    Error
+      "symmetry-reduced universes have no snapshot form (orbit tables \
+       are not serialized); cache them in memory only"
+  else begin
+    let b = Buffer.create 4096 in
+    add_u8 b (match u.mode with `Full -> 0 | `Canonical -> 1);
+    add_i32 b u.depth;
+    (match u.status with
+    | Complete -> add_u8 b 0
+    | Truncated (Max_states k) ->
+        add_u8 b 1;
+        add_i32 b k
+    | Truncated (Max_seconds s) ->
+        add_u8 b 2;
+        add_i64 b (Int64.bits_of_float s));
+    add_u8 b (if Reduction.uses_por u.reduce then 1 else 0);
+    let n = Spec.n u.spec in
+    add_i32 b n;
+    let count = Array.length u.comps in
+    (* events into a side buffer so the string table can precede them *)
+    let strings = Hashtbl.create 64 in
+    let str_order = ref [] and nstr = ref 0 in
+    let str_id s =
+      match Hashtbl.find_opt strings s with
+      | Some i -> i
+      | None ->
+          let i = !nstr in
+          incr nstr;
+          Hashtbl.add strings s i;
+          str_order := s :: !str_order;
+          i
+    in
+    let eb = Buffer.create 4096 in
+    for i = 1 to count - 1 do
+      let events = Trace.to_list u.comps.(i) in
+      let rec split acc = function
+        | [] -> invalid_arg "Universe.serialize: empty non-root computation"
+        | [ e ] -> (List.rev acc, e)
+        | e :: rest -> split (e :: acc) rest
+      in
+      let init, e = split [] events in
+      let parent =
+        match TraceTbl.find_opt u.idx (Trace.of_list init) with
+        | Some j when j < i -> j
+        | _ -> invalid_arg "Universe.serialize: universe is not prefix-closed"
+      in
+      add_i32 eb parent;
+      add_i32 eb (Pid.to_int e.Event.pid);
+      add_i32 eb e.Event.lseq;
+      match e.Event.kind with
+      | Event.Internal tag ->
+          add_u8 eb 0;
+          add_i32 eb (str_id tag)
+      | Event.Send m ->
+          add_u8 eb 1;
+          add_i32 eb (Pid.to_int m.Msg.dst);
+          add_i32 eb m.Msg.seq;
+          add_i32 eb (str_id m.Msg.payload)
+      | Event.Receive m ->
+          add_u8 eb 2;
+          add_i32 eb (Pid.to_int m.Msg.src);
+          add_i32 eb m.Msg.seq;
+          add_i32 eb (str_id m.Msg.payload)
+    done;
+    add_i32 b !nstr;
+    List.iter (add_str b) (List.rev !str_order);
+    add_i32 b count;
+    Buffer.add_buffer b eb;
+    Ok (Buffer.contents b)
+  end
+
+exception Corrupt of string
+
+let deserialize spec blob =
+  let len = String.length blob in
+  let pos = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt in
+  let u8 () =
+    if !pos >= len then fail "truncated body";
+    let v = Char.code blob.[!pos] in
+    incr pos;
+    v
+  in
+  let i32 () =
+    let a = u8 () in
+    let b = u8 () in
+    let c = u8 () in
+    let d = u8 () in
+    let v = a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24) in
+    if v < 0 || v > 0x3fffffff then fail "integer out of range";
+    v
+  in
+  let i64 () =
+    let v = ref 0L in
+    for k = 0 to 7 do
+      v := Int64.logor !v (Int64.shift_left (Int64.of_int (u8 ())) (8 * k))
+    done;
+    !v
+  in
+  let str () =
+    let k = i32 () in
+    if !pos + k > len then fail "truncated string";
+    let s = String.sub blob !pos k in
+    pos := !pos + k;
+    s
+  in
+  try
+    let mode =
+      match u8 () with 0 -> `Full | 1 -> `Canonical | m -> fail "bad mode %d" m
+    in
+    let depth = i32 () in
+    let status =
+      match u8 () with
+      | 0 -> Complete
+      | 1 -> Truncated (Max_states (i32 ()))
+      | 2 ->
+          let s = Int64.float_of_bits (i64 ()) in
+          if not (s > 0.0 && Float.is_finite s) then fail "bad time budget";
+          Truncated (Max_seconds s)
+      | t -> fail "bad status tag %d" t
+    in
+    let reduce =
+      match u8 () with 0 -> Reduction.none | 1 -> Reduction.por | t -> fail "bad reduce tag %d" t
+    in
+    if mode = `Full && not (Reduction.is_none reduce) then
+      fail "full mode cannot carry a reduction";
+    let n = i32 () in
+    if n <> Spec.n spec then
+      fail "process count mismatch (snapshot has %d, spec has %d)" n
+        (Spec.n spec);
+    let nstr = i32 () in
+    if nstr > len then fail "oversized string table";
+    let strings = Array.init nstr (fun _ -> str ()) in
+    let getstr i = if i >= nstr then fail "dangling string reference" else strings.(i) in
+    let count = i32 () in
+    if count < 1 || count > len then fail "implausible computation count";
+    let comps = Array.make count Trace.empty in
+    let class_ids_by_pid = Array.init n (fun _ -> Array.make count 0) in
+    let step_tbls = Array.init n (fun _ -> StepTbl.create 64) in
+    let next_ids = Array.make n 1 in
+    let intern pi parent_id e =
+      let key = (parent_id, e) in
+      match StepTbl.find_opt step_tbls.(pi) key with
+      | Some id -> id
+      | None ->
+          let id = next_ids.(pi) in
+          next_ids.(pi) <- id + 1;
+          StepTbl.add step_tbls.(pi) key id;
+          id
+    in
+    for i = 1 to count - 1 do
+      let parent = i32 () in
+      if parent >= i then fail "parent index %d not before child %d" parent i;
+      let pi = i32 () in
+      if pi >= n then fail "pid %d out of range" pi;
+      let pid = Pid.of_int pi in
+      let lseq = i32 () in
+      let pz = comps.(parent) in
+      (* lseq is derivable from the parent: reject inconsistent bodies
+         rather than building traces that violate Trace.well_formed *)
+      if lseq <> Trace.local_length pz pid then
+        fail "inconsistent local sequence number at computation %d" i;
+      let e =
+        match u8 () with
+        | 0 -> Event.internal ~pid ~lseq (getstr (i32 ()))
+        | 1 ->
+            let dst = i32 () in
+            if dst >= n then fail "destination %d out of range" dst;
+            let seq = i32 () in
+            if seq <> Trace.send_count pz pid then
+              fail "inconsistent send sequence number at computation %d" i;
+            let payload = getstr (i32 ()) in
+            Event.send ~pid ~lseq
+              (Msg.make ~src:pid ~dst:(Pid.of_int dst) ~seq ~payload)
+        | 2 ->
+            let src = i32 () in
+            if src >= n then fail "source %d out of range" src;
+            let seq = i32 () in
+            let payload = getstr (i32 ()) in
+            let m = Msg.make ~src:(Pid.of_int src) ~dst:pid ~seq ~payload in
+            if not (List.exists (Msg.equal m) (Trace.in_flight pz)) then
+              fail "receive of a message not in flight at computation %d" i;
+            Event.receive ~pid ~lseq m
+        | t -> fail "bad event kind %d" t
+      in
+      comps.(i) <- Trace.snoc pz e;
+      for q = 0 to n - 1 do
+        class_ids_by_pid.(q).(i) <- class_ids_by_pid.(q).(parent)
+      done;
+      class_ids_by_pid.(pi).(i) <- intern pi class_ids_by_pid.(pi).(parent) e
+    done;
+    if !pos <> len then fail "%d trailing bytes" (len - !pos);
+    (* spot-check against the spec the caller claims this snapshot is
+       for: the deepest stored computation must be one of its
+       computations (catches key collisions and spec drift) *)
+    if count > 1 && not (Spec.valid spec comps.(count - 1)) then
+      fail "snapshot is not a universe of the given spec";
+    let idx = TraceTbl.create (2 * count) in
+    Array.iteri (fun i z -> TraceTbl.replace idx z i) comps;
+    Ok
+      {
+        spec;
+        mode;
+        depth;
+        status;
+        reduce;
+        comps;
+        idx;
+        class_ids_by_pid;
+        orbit_idx = None;
+        rep_sigma = None;
+        pset_ids_memo = Hashtbl.create 16;
+        classes_memo = Hashtbl.create 16;
+      }
+  with Corrupt m -> Error m
+
 let pp_stats fmt u =
   Format.fprintf fmt "universe: %d computations, depth %d, mode %s%s, %d processes%s"
     (size u) u.depth

@@ -155,5 +155,29 @@ val prefixes_of : t -> int -> int list
 (** Indices of all stored computations that are prefixes of computation
     [i] (in [`Canonical] mode: whose class representative is a prefix). *)
 
+val serialize : t -> (string, string) result
+(** Compact binary body of the universe's interned-projection
+    representation: computation [i] is stored as (parent index, one
+    event) with payloads/tags going through a first-occurrence string
+    table, exploiting prefix-closure — no trace is written twice. The
+    spec itself is {e not} stored; pair the body with a cache key that
+    pins down (protocol, params, depth, faults, reduce, mode) and hand
+    the same spec back to {!deserialize}. [Error] for symmetry-reduced
+    universes, whose orbit tables have no serialized form. The body
+    carries no framing — version stamp, key and checksum belong to the
+    snapshot container layered on top (DESIGN.md §14). *)
+
+val deserialize : Spec.t -> string -> (t, string) result
+(** Rebuild a universe from a {!serialize} body, replaying the stored
+    events through the same class-id interning trie in the same
+    discovery order, so [class_ids], [find] and every knowledge query
+    answer bit-identically to the originally enumerated universe. Every
+    read is bounds-checked and cross-validated against derivable
+    invariants (parents precede children, [lseq]/[seq] match the parent
+    trace, receives consume in-flight messages, the deepest computation
+    satisfies [Spec.valid]); any violation — truncation, bit flips, a
+    body for a different spec — yields [Error], never a wrong
+    universe. *)
+
 val pp_stats : Format.formatter -> t -> unit
 (** One-line summary: size, depth, mode. *)

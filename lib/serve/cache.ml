@@ -1,0 +1,67 @@
+open Hpl_core
+
+type entry = { u : Universe.t; mutable tick : int }
+
+type t = {
+  max_states : int;
+  tbl : (string, entry) Hashtbl.t;
+  mutable clock : int;
+  mutable stored : int;
+  mutable evicted : int;
+}
+
+let create ~max_states =
+  if max_states < 1 then invalid_arg "Cache.create: max_states < 1";
+  {
+    max_states;
+    tbl = Hashtbl.create 16;
+    clock = 0;
+    stored = 0;
+    evicted = 0;
+  }
+
+let weight u = max 1 (Universe.size u)
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> None
+  | Some e ->
+      t.clock <- t.clock + 1;
+      e.tick <- t.clock;
+      Some e.u
+
+(* The entry count stays small (a handful of distinct request shapes),
+   so a linear scan for the LRU victim beats maintaining an intrusive
+   list. *)
+let evict_one t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, b) when b.tick <= e.tick -> acc
+        | _ -> Some (k, e))
+      t.tbl None
+  in
+  match victim with
+  | None -> ()
+  | Some (k, e) ->
+      Hashtbl.remove t.tbl k;
+      t.stored <- t.stored - weight e.u;
+      t.evicted <- t.evicted + 1
+
+let add t key u =
+  if not (Hashtbl.mem t.tbl key) then begin
+    let w = weight u in
+    if w <= t.max_states then begin
+      while t.stored + w > t.max_states && Hashtbl.length t.tbl > 0 do
+        evict_one t
+      done;
+      t.clock <- t.clock + 1;
+      Hashtbl.add t.tbl key { u; tick = t.clock };
+      t.stored <- t.stored + w
+    end
+  end
+
+let entries t = Hashtbl.length t.tbl
+let stored_states t = t.stored
+let evictions t = t.evicted

@@ -1,0 +1,30 @@
+(** In-memory universe cache with LRU eviction (DESIGN.md §14).
+
+    Entries are keyed by the canonical request key (protocol identity,
+    depth, faults, reduce, mode, state budget — see [Serve.cache_key])
+    and weighted by their universe's computation count, so
+    [--max-cached-states] bounds the dominant memory cost rather than an
+    entry count. Eviction only ever forgets work — a re-enumeration
+    returns the identical universe — so cache pressure can never change
+    an answer, a property the serve test suite checks under a
+    deliberately tiny budget. *)
+
+open Hpl_core
+
+type t
+
+val create : max_states:int -> t
+(** Raises [Invalid_argument] when [max_states < 1]. *)
+
+val find : t -> string -> Universe.t option
+(** Lookup; a hit refreshes the entry's recency. *)
+
+val add : t -> string -> Universe.t -> unit
+(** Insert, evicting least-recently-used entries until the new entry
+    fits. A universe larger than the whole budget is not cached at all.
+    Re-adding an existing key is a no-op. *)
+
+val entries : t -> int
+val stored_states : t -> int
+val evictions : t -> int
+(** Total entries evicted since {!create}. *)

@@ -1,0 +1,10 @@
+(** FNV-1a 64-bit hashing.
+
+    Used twice in the server stack: as the content checksum of snapshot
+    files (DESIGN.md §14) and to derive stable snapshot filenames from
+    cache keys. Not cryptographic — it guards against truncation and
+    bit rot, not adversaries, which is all a local cache needs. *)
+
+val fnv64 : string -> int64
+val hex64 : int64 -> string
+(** 16 lowercase hex digits, zero-padded. *)

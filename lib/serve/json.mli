@@ -1,0 +1,32 @@
+(** Minimal JSON, just enough for the server's line-delimited protocol.
+
+    One value per line, objects with string keys, no dependency beyond
+    the stdlib. The printer emits compact single-line output (no
+    whitespace), so a reply is always exactly one frame. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value; trailing non-whitespace is an error. *)
+
+val to_string : t -> string
+(** Compact single-line rendering; control characters in strings are
+    escaped, so the output never contains a newline. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the value bound to [k]; [None] when absent
+    or when the value is not an object. *)
+
+val str_member : string -> t -> string option
+(** String-valued member; numbers are rendered to strings (the server
+    accepts ["depth": 5] and ["depth": "5"] alike). [None] when absent
+    or [Null]. *)
+
+val int_member : string -> t -> int option

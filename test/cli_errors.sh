@@ -280,6 +280,77 @@ expect 0 "knows --stats" -- knows -s ping-pong --stats
 expect 0 "check --stats-json" -- check -s token-ring 'AG (holds0 -> ~holds1)' --stats-json
 expect 0 "lint --stats" -- lint -s token-ring --stats
 
+# -- extent (the CLI face of the server's extent op) -------------------
+
+expect 0 "extent ok" -- extent -s ping-pong sent -d 6
+expect 2 "extent unknown atom" -- extent -s ping-pong bogus
+expect 2 "extent unknown protocol" -- extent -s no-such-protocol sent
+
+# -- serve: argument discipline ----------------------------------------
+
+expect 2 "serve without transport" -- serve
+expect 2 "serve both transports" -- serve --pipe --socket /tmp/hpl-ce.sock
+expect 2 "serve bad cache budget" -- serve --pipe --max-cached-states 0
+expect 2 "serve unbindable socket" -- serve --socket /no-such-dir/hpl.sock
+expect 2 "serve cache dir is a file" -- serve --pipe --cache-dir "$0"
+
+# a socket path occupied by a regular file is refused, not clobbered
+notsock=$(mktemp /tmp/hpl-notsock.XXXXXX)
+expect 2 "serve socket path is a file" -- serve --socket "$notsock"
+if [ ! -f "$notsock" ]; then
+  echo "FAIL: serve clobbered a non-socket file at its --socket path" >&2
+  fails=$((fails + 1))
+fi
+rm -f "$notsock"
+
+# -- serve: one --pipe session end to end ------------------------------
+# Frame discipline: a malformed frame and an unknown protocol get
+# exit-2-style JSON error replies mid-stream (the daemon keeps going),
+# a good request answers with the CLI's exact extent line, and EOF
+# after shutdown is a clean exit 0.
+
+serve_out=$(printf '%s\n' \
+  '{"op":"extent","protocol":"ping-pong","depth":6,"atom":"sent","id":1}' \
+  'this is not json' \
+  '{"op":"knows","protocol":"no-such-protocol","id":2}' \
+  '{"op":"extent","protocol":"ping-pong","depth":6,"atom":"sent","id":3}' \
+  '{"op":"shutdown","id":4}' |
+  "$HPL" serve --pipe 2>/dev/null)
+serve_code=$?
+if [ "$serve_code" -ne 0 ]; then
+  echo "FAIL: serve --pipe session: expected exit 0, got $serve_code" >&2
+  fails=$((fails + 1))
+fi
+if [ "$(printf '%s\n' "$serve_out" | grep -c .)" -ne 5 ]; then
+  echo "FAIL: serve --pipe: expected 5 reply frames, got:" >&2
+  printf '%s\n' "$serve_out" >&2
+  fails=$((fails + 1))
+fi
+check_frame() { # check_frame <line-no> <what> <pattern...>
+  local n="$1" what="$2"; shift 2
+  local frame
+  frame=$(printf '%s\n' "$serve_out" | sed -n "${n}p")
+  for pat in "$@"; do
+    if ! printf '%s' "$frame" | grep -qF "$pat"; then
+      echo "FAIL: serve --pipe $what: no '$pat' in: $frame" >&2
+      fails=$((fails + 1))
+    fi
+  done
+}
+cli_extent=$("$HPL" extent -s ping-pong sent -d 6 | tail -n 1)
+check_frame 1 "good extent" '"id":1' '"ok":true' '"exit":0' "$cli_extent"
+check_frame 1 "cold cache" '"cache":"miss"'
+check_frame 2 "malformed frame" '"ok":false' '"exit":2' 'hpl: malformed frame'
+check_frame 3 "unknown protocol" '"id":2' '"ok":false' '"exit":2' 'hpl: '
+check_frame 4 "warm repeat" '"id":3' '"cache":"hit"' "$cli_extent"
+check_frame 5 "shutdown" '"id":4' '"op":"shutdown"' '"exit":0'
+
+# EOF without shutdown is also a clean stop
+if ! printf '%s\n' '{"op":"server-stats"}' | "$HPL" serve --pipe >/dev/null 2>&1; then
+  echo "FAIL: serve --pipe: EOF should exit 0" >&2
+  fails=$((fails + 1))
+fi
+
 if [ "$fails" -ne 0 ]; then
   echo "cli_errors: $fails failure(s)" >&2
   exit 1
